@@ -1,0 +1,223 @@
+//! Application-level reductions over point-to-point messages.
+//!
+//! The paper's dense CG code performs its allReduce and allGather "in
+//! terms of point-to-point messages along a butterfly tree" — i.e. the
+//! *application* owns the reduction, and the checkpointing protocol sees a
+//! storm of small point-to-point messages rather than collective calls.
+//! These helpers reproduce that structure on top of
+//! [`c3_core::Process`]'s p2p API:
+//!
+//! * [`allreduce_sum`] — recursive-doubling butterfly for power-of-two
+//!   rank counts, with the standard fold-in pre/post phases for the rest;
+//!   combination order is fixed by rank so floating-point results are
+//!   identical on every run.
+//! * [`allgather`] — recursive-doubling chunk exchange for powers of two,
+//!   ring pipeline otherwise; handles ragged chunk sizes.
+
+use c3_core::{C3Result, CommHandle, Process};
+use simmpi::MpiType;
+
+/// Tags used by the butterfly phases; kept away from small app tags.
+const TAG_REDUCE: i32 = 0x0C30;
+const TAG_FOLD: i32 = 0x0C31;
+const TAG_GATHER: i32 = 0x0C32;
+
+fn f64s(bytes: &[u8]) -> C3Result<Vec<f64>> {
+    <f64 as MpiType>::bytes_to_vec(bytes).map_err(Into::into)
+}
+
+/// Element-wise sum across all ranks of `comm`, returned at every rank.
+/// Point-to-point butterfly; deterministic combination order.
+pub fn allreduce_sum(
+    p: &mut Process<'_>,
+    comm: CommHandle,
+    x: &[f64],
+) -> C3Result<Vec<f64>> {
+    let n = p.comm_size(comm)?;
+    let me = p.comm_rank(comm)?;
+    let mut acc = x.to_vec();
+    if n == 1 {
+        return Ok(acc);
+    }
+    let pof2 = 1usize << (usize::BITS - 1 - n.leading_zeros()) as usize;
+    let rem = n - pof2;
+
+    // Pre-phase: ranks past the power-of-two boundary fold their data into
+    // a partner below it and sit out the butterfly.
+    if me >= pof2 {
+        p.send_t::<f64>(comm, me - pof2, TAG_FOLD, &acc)?;
+        let msg = p.recv(comm, me - pof2, TAG_FOLD)?;
+        return f64s(&msg.payload);
+    }
+    if me < rem {
+        let msg = p.recv(comm, me + pof2, TAG_FOLD)?;
+        let other = f64s(&msg.payload)?;
+        for (a, b) in acc.iter_mut().zip(other.iter()) {
+            *a += b;
+        }
+    }
+
+    // Butterfly: recursive doubling among the low pof2 ranks. Both
+    // partners of a pair fold the same two operands — IEEE addition is
+    // commutative, and the *association* (tree shape) is identical at
+    // every rank by construction — so all ranks agree bitwise.
+    let mut mask = 1usize;
+    while mask < pof2 {
+        let partner = me ^ mask;
+        let msg = p.sendrecv(
+            comm,
+            partner,
+            TAG_REDUCE + mask.trailing_zeros() as i32,
+            &f64::slice_to_bytes(&acc),
+            partner,
+            TAG_REDUCE + mask.trailing_zeros() as i32,
+        )?;
+        let other = f64s(&msg.payload)?;
+        for (a, b) in acc.iter_mut().zip(other.iter()) {
+            *a += b;
+        }
+        mask <<= 1;
+    }
+
+    // Post-phase: send the result back to the folded-in ranks.
+    if me < rem {
+        p.send_t::<f64>(comm, me + pof2, TAG_FOLD, &acc)?;
+    }
+    Ok(acc)
+}
+
+/// Scalar convenience over [`allreduce_sum`].
+pub fn allreduce_scalar(
+    p: &mut Process<'_>,
+    comm: CommHandle,
+    x: f64,
+) -> C3Result<f64> {
+    Ok(allreduce_sum(p, comm, &[x])?[0])
+}
+
+fn frame_known(have: &[Option<Vec<f64>>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let count = have.iter().filter(|c| c.is_some()).count() as u64;
+    out.extend_from_slice(&count.to_le_bytes());
+    for (idx, chunk) in have.iter().enumerate() {
+        if let Some(c) = chunk {
+            out.extend_from_slice(&(idx as u64).to_le_bytes());
+            out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+            for v in c {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn unframe_known(
+    bytes: &[u8],
+    have: &mut [Option<Vec<f64>>],
+) -> C3Result<()> {
+    let bad = || {
+        c3_core::C3Error::Protocol("malformed butterfly allgather frame".into())
+    };
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, k: usize| -> Result<&[u8], c3_core::C3Error> {
+        if bytes.len() - *pos < k {
+            return Err(bad());
+        }
+        let s = &bytes[*pos..*pos + k];
+        *pos += k;
+        Ok(s)
+    };
+    let count =
+        u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    for _ in 0..count {
+        let idx = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())
+            as usize;
+        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())
+            as usize;
+        let raw = take(&mut pos, len * 8)?;
+        let chunk: Vec<f64> = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if idx >= have.len() {
+            return Err(bad());
+        }
+        have[idx] = Some(chunk);
+    }
+    if pos != bytes.len() {
+        return Err(bad());
+    }
+    Ok(())
+}
+
+/// Gather every rank's chunk at every rank (ragged chunks allowed);
+/// returns chunks indexed by communicator rank. Recursive doubling for
+/// power-of-two sizes, ring pipeline otherwise — all point-to-point.
+pub fn allgather(
+    p: &mut Process<'_>,
+    comm: CommHandle,
+    mine: &[f64],
+) -> C3Result<Vec<Vec<f64>>> {
+    let n = p.comm_size(comm)?;
+    let me = p.comm_rank(comm)?;
+    let mut have: Vec<Option<Vec<f64>>> = vec![None; n];
+    have[me] = Some(mine.to_vec());
+    if n == 1 {
+        return Ok(have.into_iter().map(|c| c.unwrap()).collect());
+    }
+    if n.is_power_of_two() {
+        let mut mask = 1usize;
+        while mask < n {
+            let partner = me ^ mask;
+            let tag = TAG_GATHER + mask.trailing_zeros() as i32;
+            let payload = frame_known(&have);
+            let msg = p.sendrecv(comm, partner, tag, &payload, partner, tag)?;
+            unframe_known(&msg.payload, &mut have)?;
+            mask <<= 1;
+        }
+    } else {
+        // Ring: pass chunks around n-1 times.
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        for step in 0..n - 1 {
+            let send_idx = (me + n - step) % n;
+            let chunk = have[send_idx]
+                .as_ref()
+                .expect("ring invariant: chunk present")
+                .clone();
+            let mut payload =
+                Vec::with_capacity(8 + chunk.len() * 8);
+            payload.extend_from_slice(&(send_idx as u64).to_le_bytes());
+            for v in &chunk {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            let msg =
+                p.sendrecv(comm, right, TAG_GATHER, &payload, left, TAG_GATHER)?;
+            let idx = u64::from_le_bytes(
+                msg.payload[..8].try_into().map_err(|_| {
+                    c3_core::C3Error::Protocol("short ring frame".into())
+                })?,
+            ) as usize;
+            let vals = f64s(&msg.payload[8..])?;
+            if idx >= n {
+                return Err(c3_core::C3Error::Protocol(
+                    "ring frame index out of range".into(),
+                ));
+            }
+            have[idx] = Some(vals);
+        }
+    }
+    Ok(have
+        .into_iter()
+        .map(|c| c.expect("allgather complete"))
+        .collect())
+}
+
+/// Flat allgather: chunks concatenated in rank order.
+pub fn allgather_flat(
+    p: &mut Process<'_>,
+    comm: CommHandle,
+    mine: &[f64],
+) -> C3Result<Vec<f64>> {
+    Ok(allgather(p, comm, mine)?.into_iter().flatten().collect())
+}

@@ -1,0 +1,170 @@
+//! The app-level butterfly reductions agree with the library collectives
+//! and with exact expectations, at power-of-two and irregular rank counts.
+
+use c3_apps::butterfly::{allgather, allgather_flat, allreduce_scalar, allreduce_sum};
+use c3_core::{run_job, C3App, C3Config, C3Result, InstrumentationLevel, Process};
+use ckptstore::impl_saveload_struct;
+
+struct UnitState;
+impl ckptstore::SaveLoad for UnitState {
+    fn save(&self, _enc: &mut ckptstore::Encoder) {}
+    fn load(
+        _dec: &mut ckptstore::Decoder<'_>,
+    ) -> Result<Self, ckptstore::codec::CodecError> {
+        Ok(UnitState)
+    }
+}
+
+/// Run a closure once per rank under the protocol layer.
+fn with_process<F, T>(nprocs: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(&mut Process<'_>) -> C3Result<T> + Sync,
+{
+    struct Wrapper<F2>(F2);
+    impl<F2, T2> C3App for Wrapper<F2>
+    where
+        T2: Send,
+        F2: Fn(&mut Process<'_>) -> C3Result<T2> + Sync,
+    {
+        type State = UnitState;
+        type Output = T2;
+        fn init(&self, _p: &mut Process<'_>) -> C3Result<UnitState> {
+            Ok(UnitState)
+        }
+        fn run(
+            &self,
+            p: &mut Process<'_>,
+            _s: &mut UnitState,
+        ) -> C3Result<T2> {
+            (self.0)(p)
+        }
+    }
+    let cfg = C3Config {
+        level: InstrumentationLevel::Piggyback,
+        ..C3Config::default()
+    };
+    run_job(nprocs, &cfg, None, &Wrapper(f)).unwrap().outputs
+}
+
+#[test]
+fn scalar_allreduce_exact_sum() {
+    for n in [1usize, 2, 3, 4, 5, 7, 8] {
+        let outs = with_process(n, |p| {
+            allreduce_scalar(p, p.world(), (p.rank() + 1) as f64)
+        });
+        let expect = (n * (n + 1) / 2) as f64;
+        for (r, &o) in outs.iter().enumerate() {
+            assert_eq!(o, expect, "rank {r} of {n}");
+        }
+    }
+}
+
+#[test]
+fn vector_allreduce_all_ranks_agree_bitwise() {
+    for n in [2usize, 4, 6, 8] {
+        let outs = with_process(n, |p| {
+            let me = p.rank() as f64;
+            let x: Vec<f64> =
+                (0..32).map(|k| 0.1 * (k as f64) + me * 0.37).collect();
+            allreduce_sum(p, p.world(), &x)
+        });
+        for w in outs.windows(2) {
+            assert_eq!(
+                w[0], w[1],
+                "ranks must agree bitwise (deterministic tree) at n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn butterfly_allreduce_matches_library_allreduce() {
+    for n in [3usize, 4, 5, 8] {
+        let outs = with_process(n, |p| {
+            let me = p.rank() as f64;
+            let x = [me + 0.5, -me, me * me];
+            let bfly = allreduce_sum(p, p.world(), &x)?;
+            let lib =
+                p.allreduce_t::<f64>(p.world(), c3_core::ReduceOp::Sum, &x)?;
+            Ok((bfly, lib))
+        });
+        for (bfly, lib) in outs {
+            for (a, b) in bfly.iter().zip(lib.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "butterfly {a} vs library {b} at n={n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_round_trips_ragged_chunks() {
+    for n in [1usize, 2, 3, 4, 5, 8] {
+        let outs = with_process(n, |p| {
+            let me = p.rank();
+            // Ragged: rank r contributes r+1 values.
+            let mine: Vec<f64> =
+                (0..=me).map(|k| (me * 10 + k) as f64).collect();
+            allgather(p, p.world(), &mine)
+        });
+        for chunks in outs {
+            assert_eq!(chunks.len(), n);
+            for (r, c) in chunks.iter().enumerate() {
+                let expect: Vec<f64> =
+                    (0..=r).map(|k| (r * 10 + k) as f64).collect();
+                assert_eq!(c, &expect, "chunk {r} at n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_flat_concatenates_in_rank_order() {
+    let outs = with_process(4, |p| {
+        let me = p.rank() as f64;
+        allgather_flat(p, p.world(), &[me * 2.0, me * 2.0 + 1.0])
+    });
+    for flat in outs {
+        assert_eq!(flat, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+}
+
+#[test]
+fn butterflies_compose_with_checkpointing_and_failures() {
+    // A loop of butterfly reductions under checkpointing + one failure:
+    // the p2p storm must classify/suppress/replay cleanly.
+    struct BflyApp;
+    struct St {
+        i: u64,
+        acc: f64,
+    }
+    impl_saveload_struct!(St { i: u64, acc: f64 });
+    impl C3App for BflyApp {
+        type State = St;
+        type Output = u64;
+        fn init(&self, _p: &mut Process<'_>) -> C3Result<St> {
+            Ok(St { i: 0, acc: 1.0 })
+        }
+        fn run(&self, p: &mut Process<'_>, s: &mut St) -> C3Result<u64> {
+            let world = p.world();
+            while s.i < 20 {
+                let sum = allreduce_scalar(p, world, s.acc + p.rank() as f64)?;
+                let all = allgather_flat(p, world, &[s.acc, sum])?;
+                s.acc = 0.5 * s.acc + 1e-3 * all.iter().sum::<f64>();
+                s.i += 1;
+                p.potential_checkpoint(s)?;
+            }
+            Ok(s.acc.to_bits())
+        }
+    }
+    let reference =
+        run_job(4, &C3Config::every_ops(9999), None, &BflyApp).unwrap();
+    assert!(reference.outputs.windows(2).all(|w| w[0] == w[1]));
+    let cfg = C3Config::every_ops(30).with_failure(2, 80);
+    let report = run_job(4, &cfg, None, &BflyApp).unwrap();
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.outputs, reference.outputs);
+}

@@ -1,0 +1,94 @@
+//! M2 (ablation): local-checkpoint cost versus state size, memory versus
+//! disk stable storage — the mechanism behind Figure 8a's growth with
+//! problem size.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ckptstore::{
+    CheckpointStore, DiskBackend, MemoryBackend, RankBlobKind,
+    StorageBackend,
+};
+use statesave::snapshot::snapshot_to_bytes;
+
+fn state_of(doubles: usize) -> Vec<f64> {
+    (0..doubles).map(|i| (i as f64).sin()).collect()
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_serialize");
+    for kb in [64usize, 1024, 8192] {
+        let xs = state_of(kb * 128); // kb KiB of f64 payload
+        g.throughput(Throughput::Bytes((kb * 1024) as u64));
+        g.bench_function(format!("{kb}KiB"), |b| {
+            b.iter(|| black_box(snapshot_to_bytes(&xs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_store_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint_write");
+    g.sample_size(20);
+    for kb in [64usize, 1024, 8192] {
+        let blob = snapshot_to_bytes(&state_of(kb * 128));
+        g.throughput(Throughput::Bytes(blob.len() as u64));
+
+        let mem: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+        let mem_store = CheckpointStore::new(mem, 1);
+        let mut ckpt = 0u64;
+        g.bench_function(format!("memory/{kb}KiB"), |b| {
+            b.iter(|| {
+                ckpt += 1;
+                mem_store
+                    .put_rank_blob(ckpt, 0, RankBlobKind::State, &blob)
+                    .unwrap()
+            })
+        });
+
+        let dir = std::env::temp_dir().join(format!(
+            "c3bench-ckpt-{}-{kb}",
+            std::process::id()
+        ));
+        let disk: Arc<dyn StorageBackend> =
+            Arc::new(DiskBackend::new(&dir).unwrap());
+        let disk_store = CheckpointStore::new(disk, 1);
+        let mut ckpt = 0u64;
+        g.bench_function(format!("disk/{kb}KiB"), |b| {
+            b.iter(|| {
+                ckpt += 1;
+                disk_store
+                    .put_rank_blob(ckpt, 0, RankBlobKind::State, &blob)
+                    .unwrap()
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    g.finish();
+}
+
+fn bench_restore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_restore");
+    for kb in [64usize, 1024] {
+        let blob = snapshot_to_bytes(&state_of(kb * 128));
+        g.throughput(Throughput::Bytes(blob.len() as u64));
+        g.bench_function(format!("{kb}KiB"), |b| {
+            b.iter(|| {
+                statesave::snapshot::restore_from_bytes::<Vec<f64>>(
+                    black_box(&blob),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_serialize, bench_store_write, bench_restore
+}
+criterion_main!(benches);

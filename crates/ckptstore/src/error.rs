@@ -1,0 +1,53 @@
+//! Error type shared by every storage operation.
+
+use std::fmt;
+
+/// Errors surfaced by storage backends and the commit layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The requested key does not exist in the backend.
+    Missing(String),
+    /// A blob exists but could not be decoded into the requested structure.
+    Corrupt {
+        /// The blob's storage key.
+        key: String,
+        /// What failed while decoding/validating it.
+        detail: String,
+    },
+    /// Underlying I/O failure (disk backend only).
+    Io(std::io::Error),
+    /// An operation violated commit discipline, e.g. committing a checkpoint
+    /// with missing rank blobs or re-committing an existing checkpoint.
+    Commit(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Missing(key) => write!(f, "no such blob: {key}"),
+            StoreError::Corrupt { key, detail } => {
+                write!(f, "corrupt blob {key}: {detail}")
+            }
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Commit(msg) => write!(f, "commit violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type StoreResult<T> = Result<T, StoreError>;

@@ -1,0 +1,40 @@
+//! Stable-storage substrate for the c3rs checkpointing system.
+//!
+//! The PPoPP 2003 protocol ("Automated Application-level Checkpointing of MPI
+//! Programs", Bronevetsky et al.) assumes a *stable storage* service with two
+//! properties:
+//!
+//! 1. each process can save per-rank blobs (its local state snapshot, its
+//!    message/non-determinism log, its early-message identifier sets), and
+//! 2. the initiator can atomically record "global checkpoint `n` is the one
+//!    to be used for recovery" once every process has reported
+//!    `stoppedLogging` (Section 4.1, phase 4 of the paper).
+//!
+//! This crate provides exactly that service:
+//!
+//! * [`codec`] — a compact, dependency-free binary encoding used for every
+//!   persisted structure (checkpoint snapshots, logs, commit records).
+//! * [`backend`] — the [`backend::StorageBackend`] trait with an in-memory
+//!   backend (fast, used by tests and most benchmarks) and an on-disk backend
+//!   (atomic-rename writes; retains real I/O cost for overhead experiments).
+//! * [`integrity`] — CRC-32 sealing of every stored blob, so corruption
+//!   surfaces as an explicit recovery error instead of a wrong state.
+//! * [`store`] — [`store::CheckpointStore`], the two-phase commit layer:
+//!   per-rank local checkpoints are written under a checkpoint number, and a
+//!   separate `COMMIT` record marks the checkpoint recoverable. Recovery
+//!   always reads the **latest committed** checkpoint; partially written
+//!   checkpoints are invisible and garbage-collectible.
+
+#![deny(missing_docs)]
+
+pub mod backend;
+pub mod codec;
+pub mod error;
+pub mod integrity;
+pub mod store;
+
+pub use backend::{DiskBackend, MemoryBackend, StorageBackend};
+pub use codec::{Decoder, Encoder, SaveLoad};
+pub use error::{StoreError, StoreResult};
+pub use integrity::{crc32, seal, unseal};
+pub use store::{CheckpointStore, CkptId, RankBlobKind};

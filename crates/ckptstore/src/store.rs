@@ -1,0 +1,391 @@
+//! Two-phase global-checkpoint commit over a [`StorageBackend`].
+//!
+//! The paper's protocol (Section 4.1) ends with the initiator recording "on
+//! stable storage that the checkpoint that was just created is the one to be
+//! used for recovery". This module is that record-keeping:
+//!
+//! * **Phase A** — each rank writes its local blobs (state snapshot at
+//!   `potentialCheckpoint` time; message/non-determinism log at
+//!   `finalizeLog` time) under the checkpoint number.
+//! * **Phase B** — after every rank has reported `stoppedLogging`, the
+//!   initiator calls [`CheckpointStore::commit`], which validates that all
+//!   rank blobs exist and writes a single `COMMIT` record.
+//!
+//! Recovery reads [`CheckpointStore::latest_committed`]; a checkpoint whose
+//! creation was interrupted by a failure has no `COMMIT` record and is
+//! invisible, so the job falls back to the previous committed checkpoint (or
+//! a from-scratch restart).
+
+use std::sync::Arc;
+
+use crate::backend::StorageBackend;
+use crate::codec::{Decoder, Encoder};
+use crate::error::{StoreError, StoreResult};
+
+/// Global checkpoint number. Checkpoint `n` separates epoch `n-1` from epoch
+/// `n` in the paper's terminology; the start of the program acts as an
+/// implicit committed checkpoint 0.
+pub type CkptId = u64;
+
+/// The categories of per-rank blob a checkpoint is made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankBlobKind {
+    /// Application + protocol-layer snapshot taken at `potentialCheckpoint`.
+    /// Present for every rank in a committable checkpoint.
+    State,
+    /// The log written between the local checkpoint and `finalizeLog`: late
+    /// messages, non-deterministic decisions, collective-call results.
+    Log,
+    /// Record/replay journal for persistent MPI opaque objects (Section 5.2).
+    MpiObjects,
+}
+
+impl RankBlobKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            RankBlobKind::State => "state",
+            RankBlobKind::Log => "log",
+            RankBlobKind::MpiObjects => "mpi",
+        }
+    }
+}
+
+/// Metadata stored in a `COMMIT` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// The committed checkpoint number.
+    pub ckpt: CkptId,
+    /// Number of ranks participating in the checkpoint.
+    pub nranks: usize,
+}
+
+/// Commit-layer view of stable storage shared by all ranks of a job.
+///
+/// Cloning is cheap (the backend is shared); each rank thread holds a clone.
+#[derive(Clone)]
+pub struct CheckpointStore {
+    backend: Arc<dyn StorageBackend>,
+    nranks: usize,
+}
+
+impl CheckpointStore {
+    /// Create a store for a job with `nranks` processes.
+    pub fn new(backend: Arc<dyn StorageBackend>, nranks: usize) -> Self {
+        assert!(nranks > 0, "a job has at least one rank");
+        CheckpointStore { backend, nranks }
+    }
+
+    /// The number of ranks this store validates commits against.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Access the underlying backend (for byte accounting in experiments).
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
+    }
+
+    fn rank_key(ckpt: CkptId, rank: usize, kind: RankBlobKind) -> String {
+        format!("ckpt/{ckpt:08}/rank{rank}/{}", kind.as_str())
+    }
+
+    fn commit_key(ckpt: CkptId) -> String {
+        format!("ckpt/{ckpt:08}/COMMIT")
+    }
+
+    /// Phase A: persist one rank blob for checkpoint `ckpt`.
+    pub fn put_rank_blob(
+        &self,
+        ckpt: CkptId,
+        rank: usize,
+        kind: RankBlobKind,
+        bytes: &[u8],
+    ) -> StoreResult<()> {
+        if self.is_committed(ckpt)? {
+            return Err(StoreError::Commit(format!(
+                "checkpoint {ckpt} is already committed; rank {rank} may not \
+                 modify it"
+            )));
+        }
+        // Blobs are CRC-sealed so recovery detects torn or rotted data.
+        self.backend.put(
+            &Self::rank_key(ckpt, rank, kind),
+            &crate::integrity::seal(bytes),
+        )
+    }
+
+    /// Fetch one rank blob of a checkpoint (recovery path), validating its
+    /// integrity seal.
+    pub fn get_rank_blob(
+        &self,
+        ckpt: CkptId,
+        rank: usize,
+        kind: RankBlobKind,
+    ) -> StoreResult<Vec<u8>> {
+        let key = Self::rank_key(ckpt, rank, kind);
+        let sealed = self.backend.get(&key)?;
+        crate::integrity::unseal(&sealed)
+            .map(<[u8]>::to_vec)
+            .ok_or(StoreError::Corrupt {
+                key,
+                detail: "CRC-32 integrity check failed".into(),
+            })
+    }
+
+    /// True if the given rank blob exists.
+    pub fn has_rank_blob(
+        &self,
+        ckpt: CkptId,
+        rank: usize,
+        kind: RankBlobKind,
+    ) -> StoreResult<bool> {
+        self.backend.contains(&Self::rank_key(ckpt, rank, kind))
+    }
+
+    /// Phase B: atomically mark checkpoint `ckpt` as the recovery line.
+    ///
+    /// Fails if any rank is missing its `State` or `Log` blob (the protocol
+    /// guarantees both are written before `stoppedLogging` is sent) or if the
+    /// checkpoint is already committed.
+    pub fn commit(&self, ckpt: CkptId) -> StoreResult<()> {
+        if self.is_committed(ckpt)? {
+            return Err(StoreError::Commit(format!(
+                "checkpoint {ckpt} is already committed"
+            )));
+        }
+        for rank in 0..self.nranks {
+            for kind in [RankBlobKind::State, RankBlobKind::Log] {
+                if !self.has_rank_blob(ckpt, rank, kind)? {
+                    return Err(StoreError::Commit(format!(
+                        "cannot commit checkpoint {ckpt}: rank {rank} has no \
+                         {} blob",
+                        kind.as_str()
+                    )));
+                }
+            }
+        }
+        let record = CommitRecord { ckpt, nranks: self.nranks };
+        let mut enc = Encoder::new();
+        enc.put_u64(record.ckpt);
+        enc.put_usize(record.nranks);
+        self.backend.put(&Self::commit_key(ckpt), &enc.into_bytes())
+    }
+
+    /// True if `ckpt` has a `COMMIT` record.
+    pub fn is_committed(&self, ckpt: CkptId) -> StoreResult<bool> {
+        self.backend.contains(&Self::commit_key(ckpt))
+    }
+
+    /// Read back a commit record (validates it decodes and matches `ckpt`).
+    pub fn commit_record(&self, ckpt: CkptId) -> StoreResult<CommitRecord> {
+        let key = Self::commit_key(ckpt);
+        let bytes = self.backend.get(&key)?;
+        let mut dec = Decoder::new(&bytes);
+        let mut parse = || -> Result<CommitRecord, crate::codec::CodecError> {
+            Ok(CommitRecord { ckpt: dec.get_u64()?, nranks: dec.get_usize()? })
+        };
+        let rec = parse().map_err(|e| StoreError::Corrupt {
+            key: key.clone(),
+            detail: e.to_string(),
+        })?;
+        if rec.ckpt != ckpt {
+            return Err(StoreError::Corrupt {
+                key,
+                detail: format!(
+                    "commit record names checkpoint {}, expected {ckpt}",
+                    rec.ckpt
+                ),
+            });
+        }
+        Ok(rec)
+    }
+
+    /// The highest committed checkpoint number, if any. This is the recovery
+    /// line: restart loads exactly this checkpoint's blobs.
+    pub fn latest_committed(&self) -> StoreResult<Option<CkptId>> {
+        let keys = self.backend.list("ckpt/")?;
+        let mut latest = None;
+        for key in keys {
+            if let Some(id) = Self::parse_commit_key(&key) {
+                latest = Some(latest.map_or(id, |l: CkptId| l.max(id)));
+            }
+        }
+        Ok(latest)
+    }
+
+    fn parse_commit_key(key: &str) -> Option<CkptId> {
+        let rest = key.strip_prefix("ckpt/")?;
+        let (num, tail) = rest.split_once('/')?;
+        if tail != "COMMIT" {
+            return None;
+        }
+        num.parse().ok()
+    }
+
+    /// Total stored bytes belonging to checkpoint `ckpt` (state + logs), for
+    /// the "size of application state" annotations in Figure 8.
+    pub fn checkpoint_bytes(&self, ckpt: CkptId) -> StoreResult<u64> {
+        let prefix = format!("ckpt/{ckpt:08}/");
+        let mut total = 0;
+        for key in self.backend.list(&prefix)? {
+            total += self.backend.get(&key)?.len() as u64;
+        }
+        Ok(total)
+    }
+
+    /// Delete every blob of every checkpoint older than `keep`, plus any
+    /// *uncommitted* checkpoint older than the latest committed one. Called
+    /// by the initiator after a successful commit, mirroring the paper's
+    /// assumption that only the latest global checkpoint is retained.
+    pub fn gc_keeping(&self, keep: CkptId) -> StoreResult<()> {
+        for key in self.backend.list("ckpt/")? {
+            let Some(rest) = key.strip_prefix("ckpt/") else { continue };
+            let Some((num, _)) = rest.split_once('/') else { continue };
+            let Ok(id) = num.parse::<CkptId>() else { continue };
+            if id < keep {
+                self.backend.delete(&key)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+
+    fn store(nranks: usize) -> CheckpointStore {
+        CheckpointStore::new(Arc::new(MemoryBackend::new()), nranks)
+    }
+
+    fn write_full_checkpoint(s: &CheckpointStore, ckpt: CkptId) {
+        for r in 0..s.nranks() {
+            s.put_rank_blob(ckpt, r, RankBlobKind::State, b"state").unwrap();
+            s.put_rank_blob(ckpt, r, RankBlobKind::Log, b"log").unwrap();
+        }
+    }
+
+    #[test]
+    fn commit_requires_all_rank_blobs() {
+        let s = store(3);
+        s.put_rank_blob(5, 0, RankBlobKind::State, b"s").unwrap();
+        s.put_rank_blob(5, 0, RankBlobKind::Log, b"l").unwrap();
+        // Ranks 1 and 2 have not checkpointed: commit must fail.
+        let err = s.commit(5).unwrap_err();
+        assert!(matches!(err, StoreError::Commit(_)), "{err}");
+        assert!(!s.is_committed(5).unwrap());
+
+        write_full_checkpoint(&s, 5);
+        s.commit(5).unwrap();
+        assert!(s.is_committed(5).unwrap());
+        assert_eq!(
+            s.commit_record(5).unwrap(),
+            CommitRecord { ckpt: 5, nranks: 3 }
+        );
+    }
+
+    #[test]
+    fn double_commit_is_rejected() {
+        let s = store(1);
+        write_full_checkpoint(&s, 1);
+        s.commit(1).unwrap();
+        assert!(s.commit(1).is_err());
+    }
+
+    #[test]
+    fn committed_checkpoints_are_immutable() {
+        let s = store(1);
+        write_full_checkpoint(&s, 1);
+        s.commit(1).unwrap();
+        let err = s
+            .put_rank_blob(1, 0, RankBlobKind::State, b"tampered")
+            .unwrap_err();
+        assert!(matches!(err, StoreError::Commit(_)));
+        assert_eq!(s.get_rank_blob(1, 0, RankBlobKind::State).unwrap(), b"state");
+    }
+
+    #[test]
+    fn latest_committed_ignores_partial_checkpoints() {
+        let s = store(2);
+        assert_eq!(s.latest_committed().unwrap(), None);
+
+        write_full_checkpoint(&s, 1);
+        s.commit(1).unwrap();
+        assert_eq!(s.latest_committed().unwrap(), Some(1));
+
+        // Checkpoint 2 is interrupted: rank 1 never writes. Recovery must
+        // still name checkpoint 1.
+        s.put_rank_blob(2, 0, RankBlobKind::State, b"s").unwrap();
+        s.put_rank_blob(2, 0, RankBlobKind::Log, b"l").unwrap();
+        assert_eq!(s.latest_committed().unwrap(), Some(1));
+
+        write_full_checkpoint(&s, 3);
+        s.commit(3).unwrap();
+        assert_eq!(s.latest_committed().unwrap(), Some(3));
+    }
+
+    #[test]
+    fn gc_drops_older_checkpoints_only() {
+        let s = store(1);
+        for ckpt in [1, 2, 3] {
+            write_full_checkpoint(&s, ckpt);
+            s.commit(ckpt).unwrap();
+        }
+        s.gc_keeping(3).unwrap();
+        assert!(!s.is_committed(1).unwrap());
+        assert!(!s.is_committed(2).unwrap());
+        assert!(s.is_committed(3).unwrap());
+        assert!(s.get_rank_blob(3, 0, RankBlobKind::State).is_ok());
+        assert!(s.get_rank_blob(2, 0, RankBlobKind::State).is_err());
+    }
+
+    #[test]
+    fn checkpoint_bytes_sums_all_blobs() {
+        let s = store(2);
+        write_full_checkpoint(&s, 1);
+        // 2 ranks x ("state" 5 bytes + "log" 3 bytes), each blob carrying
+        // a 4-byte CRC seal.
+        assert_eq!(s.checkpoint_bytes(1).unwrap(), 2 * (5 + 4 + 3 + 4));
+    }
+
+    #[test]
+    fn corrupted_blob_is_detected_on_read() {
+        let backend = Arc::new(MemoryBackend::new());
+        let s = CheckpointStore::new(backend.clone(), 1);
+        s.put_rank_blob(1, 0, RankBlobKind::State, b"snapshot").unwrap();
+        // Flip one byte behind the store's back (bit rot / torn write).
+        let key = "ckpt/00000001/rank0/state";
+        let mut raw = backend.get(key).unwrap();
+        raw[3] ^= 0x40;
+        backend.put(key, &raw).unwrap();
+        let err = s.get_rank_blob(1, 0, RankBlobKind::State).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt { .. }),
+            "expected Corrupt, got {err}"
+        );
+    }
+
+    #[test]
+    fn mpi_objects_blob_is_optional_for_commit() {
+        let s = store(1);
+        write_full_checkpoint(&s, 1);
+        s.put_rank_blob(1, 0, RankBlobKind::MpiObjects, b"calls").unwrap();
+        s.commit(1).unwrap();
+        assert_eq!(
+            s.get_rank_blob(1, 0, RankBlobKind::MpiObjects).unwrap(),
+            b"calls"
+        );
+    }
+
+    #[test]
+    fn corrupt_commit_record_is_reported() {
+        let backend = Arc::new(MemoryBackend::new());
+        let s = CheckpointStore::new(backend.clone(), 1);
+        backend.put("ckpt/00000007/COMMIT", &[1, 2]).unwrap();
+        assert!(matches!(
+            s.commit_record(7).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+    }
+}

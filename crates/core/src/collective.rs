@@ -1,0 +1,405 @@
+//! Collective communication through the protocol layer (Section 4.5).
+//!
+//! Each data collective is preceded by a *control collective*: an allgather
+//! of `(epoch, amLogging)` words on the communicator's shadow control
+//! communicator (the paper's implementation does exactly this — "each such
+//! data `MPI_Allgather` is preceded by a command `MPI_Allgather`"; it is
+//! the dominant overhead for fine-grained codes like Neurosys). The control
+//! exchange provides:
+//!
+//! * the **conjunction rule**: if any participant has stopped logging, no
+//!   participant logs the call's result, and logging participants stop
+//!   logging (preventing the saved state from depending on unsaved
+//!   events);
+//! * the **barrier epoch alignment**: participants lagging behind the
+//!   maximum epoch take their local checkpoint before entering the
+//!   barrier, so the barrier executes in a single epoch and retains its
+//!   synchronization semantics on recovery.
+//!
+//! While logging, results are appended to the recovery log; during
+//! recovery, re-executed collective calls return the logged result without
+//! touching the library — participants that do not re-execute the call are
+//! simply absent, which is why the log, not communication, must supply the
+//! value.
+
+use ckptstore::codec::{CodecError, Decoder, Encoder};
+use simmpi::{Comm, DType, Mpi, MpiResult, MpiType, ReduceOp};
+use statesave::snapshot::SaveState;
+
+use crate::error::C3Result;
+use crate::logrec::coll_kind;
+use crate::pending::CommHandle;
+use crate::process::Process;
+
+/// Outcome of the pre-collective control exchange.
+struct CollControl {
+    /// True if some participant at the *maximum* epoch has stopped
+    /// logging. Participants in an earlier epoch have simply not
+    /// checkpointed yet (Figure 5's call A — results still get logged);
+    /// only a max-epoch participant with `amLogging == false` has
+    /// *terminated* logging for the current checkpoint (call B), which is
+    /// what forbids logging the result. A logging caller is always at the
+    /// maximum epoch itself — and so is a caller that checkpoints at the
+    /// barrier's alignment step, which is why the reference epoch is the
+    /// max rather than the caller's pre-alignment epoch.
+    stopped_at_max: bool,
+    /// Maximum epoch among participants (drives barrier alignment).
+    max_epoch: u32,
+}
+
+/// Frame a list of per-rank chunks into one loggable byte string.
+fn frame_chunks(chunks: &[Vec<u8>]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_usize(chunks.len());
+    for c in chunks {
+        enc.put_bytes(c);
+    }
+    enc.into_bytes()
+}
+
+fn unframe_chunks(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut dec = Decoder::new(bytes);
+    let n = dec.get_usize()?;
+    let mut out = Vec::with_capacity(n.min(dec.remaining()));
+    for _ in 0..n {
+        out.push(dec.get_bytes()?.to_vec());
+    }
+    if !dec.is_exhausted() {
+        return Err(CodecError::new("trailing bytes in framed chunks"));
+    }
+    Ok(out)
+}
+
+/// Frame an `Option<Vec<u8>>` (rooted collectives return data only at the
+/// root, but the log stores every rank's view uniformly).
+fn frame_option(v: &Option<Vec<u8>>) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    match v {
+        None => enc.put_u8(0),
+        Some(b) => {
+            enc.put_u8(1);
+            enc.put_bytes(b);
+        }
+    }
+    enc.into_bytes()
+}
+
+fn unframe_option(bytes: &[u8]) -> Result<Option<Vec<u8>>, CodecError> {
+    let mut dec = Decoder::new(bytes);
+    let out = match dec.get_u8()? {
+        0 => None,
+        1 => Some(dec.get_bytes()?.to_vec()),
+        k => return Err(CodecError::new(format!("bad option tag {k}"))),
+    };
+    if !dec.is_exhausted() {
+        return Err(CodecError::new("trailing bytes in framed option"));
+    }
+    Ok(out)
+}
+
+impl<'a> Process<'a> {
+    /// The control collective: exchange `(epoch << 1 | amLogging)` words
+    /// among the participants of `comm` and fold them.
+    fn collective_control(&mut self, comm: CommHandle) -> C3Result<CollControl> {
+        let ctrl = self.ctrl_of(comm)?;
+        let word = (u64::from(self.epoch()) << 1)
+            | u64::from(self.is_logging());
+        let words = self.mpi_mut().allgather_t::<u64>(&ctrl, &[word])?;
+        let mut max_epoch = 0u32;
+        for w in words.iter().flatten() {
+            max_epoch = max_epoch.max((w >> 1) as u32);
+        }
+        let stopped_at_max = words
+            .iter()
+            .flatten()
+            .any(|w| (w >> 1) as u32 == max_epoch && w & 1 == 0);
+        Ok(CollControl { stopped_at_max, max_epoch })
+    }
+
+    /// Common wrapper for every data collective: replay from the log if
+    /// recovering; otherwise run the control exchange, the data call, and
+    /// the conjunction-gated logging.
+    fn run_collective<F>(
+        &mut self,
+        kind: u8,
+        comm: CommHandle,
+        f: F,
+    ) -> C3Result<Vec<u8>>
+    where
+        F: FnOnce(&mut Mpi, &Comm) -> MpiResult<Vec<u8>>,
+    {
+        self.pump_public()?;
+        let app = self.app_of(comm)?;
+        if !self.piggybacks() {
+            return f(self.mpi_mut(), &app).map_err(Into::into);
+        }
+        if let Some(result) = self.replay_collective(kind)? {
+            return Ok(result);
+        }
+        let ctl = self.collective_control(comm)?;
+        let result = f(self.mpi_mut(), &app)?;
+        if self.is_logging() {
+            if ctl.stopped_at_max {
+                // A same-epoch participant has terminated logging: do not
+                // log the result, and stop logging ourselves (Section
+                // 4.5's conjunction rule, Figure 5's call B).
+                self.finalize_log_public()?;
+            } else {
+                self.log_collective(kind, result.clone());
+            }
+        }
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier (the special case)
+    // ------------------------------------------------------------------
+
+    /// Barrier with the paper's epoch-alignment rule: the control exchange
+    /// runs first; any participant behind the maximum epoch takes its
+    /// local checkpoint (`state` is what gets saved) before entering the
+    /// data barrier, so every participant executes the barrier in the same
+    /// epoch.
+    pub fn barrier<S: SaveState>(
+        &mut self,
+        comm: CommHandle,
+        state: &S,
+    ) -> C3Result<()> {
+        self.pump_public()?;
+        let app = self.app_of(comm)?;
+        if !self.piggybacks() {
+            self.mpi_mut().barrier(&app)?;
+            return Ok(());
+        }
+        if self.replay_collective(coll_kind::BARRIER)?.is_some() {
+            return Ok(());
+        }
+        let ctl = self.collective_control(comm)?;
+        if ctl.max_epoch > self.epoch() {
+            // The "precompiler-inserted" potential checkpoint before the
+            // barrier: catch up to the epoch of the furthest participant.
+            self.force_local_checkpoint(state)?;
+        }
+        self.mpi_mut().barrier(&app)?;
+        if self.is_logging() {
+            if ctl.stopped_at_max {
+                self.finalize_log_public()?;
+            } else {
+                self.log_collective(coll_kind::BARRIER, Vec::new());
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data collectives
+    // ------------------------------------------------------------------
+
+    /// Broadcast `root`'s payload to all members.
+    pub fn bcast(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        data: &[u8],
+    ) -> C3Result<Vec<u8>> {
+        let payload = bytes::Bytes::copy_from_slice(data);
+        self.run_collective(coll_kind::BCAST, comm, move |mpi, app| {
+            Ok(mpi.bcast(app, root, payload)?.to_vec())
+        })
+    }
+
+    /// Typed broadcast.
+    pub fn bcast_t<T: MpiType>(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        data: &[T],
+    ) -> C3Result<Vec<T>> {
+        let bytes = self.bcast(comm, root, &T::slice_to_bytes(data))?;
+        T::bytes_to_vec(&bytes).map_err(Into::into)
+    }
+
+    /// Element-wise reduction delivered to every member.
+    pub fn allreduce(
+        &mut self,
+        comm: CommHandle,
+        op: ReduceOp,
+        dtype: DType,
+        data: &[u8],
+    ) -> C3Result<Vec<u8>> {
+        let data = data.to_vec();
+        self.run_collective(coll_kind::ALLREDUCE, comm, move |mpi, app| {
+            mpi.allreduce_bytes(app, op, dtype, &data)
+        })
+    }
+
+    /// Typed allreduce.
+    pub fn allreduce_t<T: MpiType>(
+        &mut self,
+        comm: CommHandle,
+        op: ReduceOp,
+        data: &[T],
+    ) -> C3Result<Vec<T>> {
+        let bytes =
+            self.allreduce(comm, op, T::DTYPE, &T::slice_to_bytes(data))?;
+        T::bytes_to_vec(&bytes).map_err(Into::into)
+    }
+
+    /// Reduction to `root`; `Some` at the root, `None` elsewhere.
+    pub fn reduce_t<T: MpiType>(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        op: ReduceOp,
+        data: &[T],
+    ) -> C3Result<Option<Vec<T>>> {
+        let data = T::slice_to_bytes(data);
+        let framed =
+            self.run_collective(coll_kind::REDUCE, comm, move |mpi, app| {
+                let out = mpi.reduce_bytes(app, root, op, T::DTYPE, &data)?;
+                Ok(frame_option(&out))
+            })?;
+        match unframe_option(&framed)? {
+            None => Ok(None),
+            Some(b) => Ok(Some(T::bytes_to_vec(&b)?)),
+        }
+    }
+
+    /// Gather every member's payload at `root` (ragged allowed); chunks
+    /// are indexed by communicator rank.
+    pub fn gather(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        data: &[u8],
+    ) -> C3Result<Option<Vec<Vec<u8>>>> {
+        let data = data.to_vec();
+        let framed =
+            self.run_collective(coll_kind::GATHER, comm, move |mpi, app| {
+                let out = mpi.gather(app, root, &data)?;
+                Ok(frame_option(&out.map(|chunks| frame_chunks(&chunks))))
+            })?;
+        match unframe_option(&framed)? {
+            None => Ok(None),
+            Some(b) => Ok(Some(unframe_chunks(&b)?)),
+        }
+    }
+
+    /// Typed gather.
+    pub fn gather_t<T: MpiType>(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        data: &[T],
+    ) -> C3Result<Option<Vec<Vec<T>>>> {
+        match self.gather(comm, root, &T::slice_to_bytes(data))? {
+            None => Ok(None),
+            Some(chunks) => {
+                let mut out = Vec::with_capacity(chunks.len());
+                for c in &chunks {
+                    out.push(T::bytes_to_vec(c)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Gather every member's payload at every member (ragged allowed).
+    pub fn allgather(
+        &mut self,
+        comm: CommHandle,
+        data: &[u8],
+    ) -> C3Result<Vec<Vec<u8>>> {
+        let data = data.to_vec();
+        let framed =
+            self.run_collective(coll_kind::ALLGATHER, comm, move |mpi, app| {
+                Ok(frame_chunks(&mpi.allgather(app, &data)?))
+            })?;
+        unframe_chunks(&framed).map_err(Into::into)
+    }
+
+    /// Typed allgather (per-rank vectors).
+    pub fn allgather_t<T: MpiType>(
+        &mut self,
+        comm: CommHandle,
+        data: &[T],
+    ) -> C3Result<Vec<Vec<T>>> {
+        let chunks = self.allgather(comm, &T::slice_to_bytes(data))?;
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            out.push(T::bytes_to_vec(c)?);
+        }
+        Ok(out)
+    }
+
+    /// Typed allgather, concatenated in rank order.
+    pub fn allgather_flat_t<T: MpiType>(
+        &mut self,
+        comm: CommHandle,
+        data: &[T],
+    ) -> C3Result<Vec<T>> {
+        Ok(self.allgather_t(comm, data)?.into_iter().flatten().collect())
+    }
+
+    /// Personalized all-to-all exchange (ragged allowed).
+    pub fn alltoall(
+        &mut self,
+        comm: CommHandle,
+        chunks: &[Vec<u8>],
+    ) -> C3Result<Vec<Vec<u8>>> {
+        let chunks = chunks.to_vec();
+        let framed =
+            self.run_collective(coll_kind::ALLTOALL, comm, move |mpi, app| {
+                Ok(frame_chunks(&mpi.alltoall(app, &chunks)?))
+            })?;
+        unframe_chunks(&framed).map_err(Into::into)
+    }
+
+    /// Distribute `root`'s per-rank chunks; non-roots pass `None`.
+    pub fn scatter(
+        &mut self,
+        comm: CommHandle,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> C3Result<Vec<u8>> {
+        let chunks = chunks.map(|c| c.to_vec());
+        self.run_collective(coll_kind::SCATTER, comm, move |mpi, app| {
+            mpi.scatter(app, root, chunks.as_deref())
+        })
+    }
+
+    /// Typed inclusive prefix reduction.
+    pub fn scan_t<T: MpiType>(
+        &mut self,
+        comm: CommHandle,
+        op: ReduceOp,
+        data: &[T],
+    ) -> C3Result<Vec<T>> {
+        let data = data.to_vec();
+        let bytes =
+            self.run_collective(coll_kind::SCAN, comm, move |mpi, app| {
+                Ok(T::slice_to_bytes(&mpi.scan_t(app, op, &data)?))
+            })?;
+        T::bytes_to_vec(&bytes).map_err(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_framing_round_trip() {
+        let chunks = vec![vec![1u8, 2], vec![], vec![3u8; 40]];
+        assert_eq!(unframe_chunks(&frame_chunks(&chunks)).unwrap(), chunks);
+        assert!(unframe_chunks(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn option_framing_round_trip() {
+        assert_eq!(unframe_option(&frame_option(&None)).unwrap(), None);
+        let some = Some(vec![7u8, 8]);
+        assert_eq!(unframe_option(&frame_option(&some)).unwrap(), some);
+        assert!(unframe_option(&[9]).is_err());
+    }
+}

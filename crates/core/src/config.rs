@@ -1,0 +1,194 @@
+//! Job configuration: instrumentation levels, checkpoint triggers, failure
+//! injection plans.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::piggyback::PiggybackMode;
+
+/// How much of the checkpointing machinery is active — the four versions
+/// measured in the paper's Section 6.2:
+///
+/// 1. the unmodified program,
+/// 2. \+ code to piggyback data on messages (and the control collectives
+///    that precede data collectives),
+/// 3. \+ the protocol's logs and saving the MPI library state,
+/// 4. \+ saving the application state (full checkpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InstrumentationLevel {
+    /// Version 1: pure pass-through; no headers, no control traffic, no
+    /// checkpoints.
+    None,
+    /// Version 2: piggybacked control words on every message and control
+    /// collectives before data collectives, but checkpoints are never
+    /// initiated.
+    Piggyback,
+    /// Version 3: the full protocol runs (logs, MPI-state records,
+    /// commits), but application state bytes are *not* written. Recovery
+    /// is impossible at this level; it exists to decompose overhead.
+    ProtocolOnly,
+    /// Version 4: full checkpoints.
+    #[default]
+    Full,
+}
+
+impl InstrumentationLevel {
+    /// Whether message headers / control collectives are active.
+    pub fn piggybacks(self) -> bool {
+        !matches!(self, InstrumentationLevel::None)
+    }
+
+    /// Whether the checkpoint protocol (initiation, logging, commits) runs.
+    pub fn checkpoints(self) -> bool {
+        matches!(
+            self,
+            InstrumentationLevel::ProtocolOnly | InstrumentationLevel::Full
+        )
+    }
+
+    /// Whether application state is written into checkpoints.
+    pub fn saves_app_state(self) -> bool {
+        matches!(self, InstrumentationLevel::Full)
+    }
+}
+
+/// When the initiator (rank 0) starts a new global checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointTrigger {
+    /// Only when the application calls
+    /// [`crate::process::Process::request_checkpoint`].
+    #[default]
+    Manual,
+    /// Every `k` protocol operations observed at rank 0 (deterministic; the
+    /// unit tests and experiments use this).
+    EveryOps(u64),
+    /// Every `ms` milliseconds of wall time (the paper's 30-second
+    /// interval, scaled).
+    EveryMillis(u64),
+}
+
+/// A deterministic injected stopping failure: rank `rank` fail-stops when
+/// its protocol-operation counter reaches `at_op`. Each injection fires at
+/// most once across the attempts of a job.
+#[derive(Debug)]
+pub struct Injection {
+    /// World rank to kill.
+    pub rank: usize,
+    /// Protocol-op count at which to kill it.
+    pub at_op: u64,
+    consumed: AtomicBool,
+}
+
+impl Injection {
+    /// Create an injection.
+    pub fn new(rank: usize, at_op: u64) -> Self {
+        Injection { rank, at_op, consumed: AtomicBool::new(false) }
+    }
+
+    /// Atomically claim this injection if it matches; true = fire now.
+    pub fn try_fire(&self, rank: usize, op: u64) -> bool {
+        self.rank == rank
+            && op >= self.at_op
+            && self
+                .consumed
+                .compare_exchange(
+                    false,
+                    true,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+    }
+
+    /// Whether this injection has already fired.
+    pub fn is_consumed(&self) -> bool {
+        self.consumed.load(Ordering::Acquire)
+    }
+}
+
+/// The failure plan shared across a job's attempts.
+pub type FailurePlan = Arc<Vec<Injection>>;
+
+/// Full job configuration.
+#[derive(Clone)]
+pub struct C3Config {
+    /// Instrumentation level (all ranks use the same one).
+    pub level: InstrumentationLevel,
+    /// Piggyback wire representation.
+    pub piggyback_mode: PiggybackMode,
+    /// Checkpoint initiation policy.
+    pub trigger: CheckpointTrigger,
+    /// Injected stopping failures.
+    pub failures: FailurePlan,
+    /// Simulated failure-detection latency in milliseconds: how long after
+    /// a fail-stop the detector aborts the attempt.
+    pub detection_latency_ms: u64,
+    /// Upper bound on restarts before the job driver gives up.
+    pub max_restarts: usize,
+}
+
+impl Default for C3Config {
+    fn default() -> Self {
+        C3Config {
+            level: InstrumentationLevel::Full,
+            piggyback_mode: PiggybackMode::Packed,
+            trigger: CheckpointTrigger::Manual,
+            failures: Arc::new(Vec::new()),
+            detection_latency_ms: 2,
+            max_restarts: 16,
+        }
+    }
+}
+
+impl C3Config {
+    /// Convenience: a full-instrumentation config checkpointing every
+    /// `ops` operations.
+    pub fn every_ops(ops: u64) -> Self {
+        C3Config { trigger: CheckpointTrigger::EveryOps(ops), ..Self::default() }
+    }
+
+    /// Add an injected failure.
+    pub fn with_failure(mut self, rank: usize, at_op: u64) -> Self {
+        let mut v: Vec<Injection> = match Arc::try_unwrap(self.failures) {
+            Ok(v) => v,
+            Err(shared) => shared
+                .iter()
+                .map(|i| Injection::new(i.rank, i.at_op))
+                .collect(),
+        };
+        v.push(Injection::new(rank, at_op));
+        self.failures = Arc::new(v);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_capabilities() {
+        use InstrumentationLevel::*;
+        assert!(!None.piggybacks() && !None.checkpoints());
+        assert!(Piggyback.piggybacks() && !Piggyback.checkpoints());
+        assert!(ProtocolOnly.checkpoints() && !ProtocolOnly.saves_app_state());
+        assert!(Full.saves_app_state() && Full.checkpoints());
+    }
+
+    #[test]
+    fn injection_fires_exactly_once() {
+        let inj = Injection::new(2, 100);
+        assert!(!inj.try_fire(2, 99), "below threshold");
+        assert!(!inj.try_fire(1, 200), "wrong rank");
+        assert!(inj.try_fire(2, 100));
+        assert!(!inj.try_fire(2, 101), "already consumed");
+        assert!(inj.is_consumed());
+    }
+
+    #[test]
+    fn with_failure_accumulates() {
+        let cfg = C3Config::default().with_failure(0, 10).with_failure(1, 20);
+        assert_eq!(cfg.failures.len(), 2);
+        assert_eq!(cfg.failures[1].rank, 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the protocol layer.
+
+use std::fmt;
+
+use ckptstore::codec::CodecError;
+use ckptstore::error::StoreError;
+use simmpi::MpiError;
+
+/// Errors surfaced by protocol-layer operations.
+#[derive(Debug)]
+pub enum C3Error {
+    /// Underlying MPI failure — including the two control-flow "errors"
+    /// [`MpiError::Aborted`] (roll back) and [`MpiError::FailStop`]
+    /// (injected stopping failure), which the job driver interprets.
+    Mpi(MpiError),
+    /// Stable-storage failure.
+    Store(StoreError),
+    /// A persisted protocol structure failed to decode during recovery.
+    Codec(CodecError),
+    /// Protocol invariant violation (a bug or a misuse of the API).
+    Protocol(String),
+    /// The application returned an error of its own.
+    App(String),
+}
+
+impl C3Error {
+    /// True if this error means "the attempt is being rolled back" rather
+    /// than "something is broken".
+    pub fn is_rollback(&self) -> bool {
+        matches!(
+            self,
+            C3Error::Mpi(MpiError::Aborted) | C3Error::Mpi(MpiError::FailStop)
+        )
+    }
+}
+
+impl fmt::Display for C3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            C3Error::Mpi(e) => write!(f, "mpi: {e}"),
+            C3Error::Store(e) => write!(f, "storage: {e}"),
+            C3Error::Codec(e) => write!(f, "recovery decode: {e}"),
+            C3Error::Protocol(m) => write!(f, "protocol violation: {m}"),
+            C3Error::App(m) => write!(f, "application error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for C3Error {}
+
+impl From<MpiError> for C3Error {
+    fn from(e: MpiError) -> Self {
+        C3Error::Mpi(e)
+    }
+}
+
+impl From<StoreError> for C3Error {
+    fn from(e: StoreError) -> Self {
+        C3Error::Store(e)
+    }
+}
+
+impl From<CodecError> for C3Error {
+    fn from(e: CodecError) -> Self {
+        C3Error::Codec(e)
+    }
+}
+
+/// Convenience alias.
+pub type C3Result<T> = Result<T, C3Error>;

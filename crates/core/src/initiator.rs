@@ -1,0 +1,267 @@
+//! The initiator's phase machine (Section 4.1).
+//!
+//! A distinguished process (rank 0 in this implementation) orchestrates
+//! each global checkpoint:
+//!
+//! 1. send `pleaseCheckpoint` to every process;
+//! 2. collect `readyToStopLogging` from every process — at that point every
+//!    process has taken its local checkpoint, so no further message can be
+//!    early;
+//! 3. send `stopLogging` to every process;
+//! 4. collect `stoppedLogging` from every process, then record on stable
+//!    storage that this checkpoint is the recovery line (the commit).
+//!
+//! The machine is pure bookkeeping — it *returns* the actions the caller
+//! must perform (sends, commit), which keeps it independently testable and
+//! keeps all I/O in the protocol layer proper.
+
+/// Where the initiator is in the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Phase {
+    /// No global checkpoint in progress.
+    Idle,
+    /// `pleaseCheckpoint` sent; collecting `readyToStopLogging`.
+    CollectingReady {
+        /// Which ranks have reported `readyToStopLogging`.
+        ready: Vec<bool>,
+    },
+    /// `stopLogging` sent; collecting `stoppedLogging`.
+    CollectingStopped {
+        /// Which ranks have reported `stoppedLogging`.
+        stopped: Vec<bool>,
+    },
+}
+
+/// Actions the protocol layer must perform on behalf of the initiator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send `pleaseCheckpoint(ckpt)` to every rank (including rank 0).
+    BroadcastPleaseCheckpoint {
+        /// The checkpoint number being created.
+        ckpt: u64,
+    },
+    /// Send `stopLogging` to every rank.
+    BroadcastStopLogging,
+    /// Commit checkpoint `ckpt` on stable storage and garbage-collect
+    /// older checkpoints.
+    Commit {
+        /// The checkpoint number to commit.
+        ckpt: u64,
+    },
+}
+
+/// The initiator state machine.
+#[derive(Debug)]
+pub struct Initiator {
+    nranks: usize,
+    phase: Phase,
+    /// Number of the checkpoint currently being created (valid unless
+    /// idle).
+    ckpt: u64,
+    /// Completed (committed) checkpoints.
+    committed: u64,
+    /// Ranks whose recovery replay is not yet drained. While any remain,
+    /// no new checkpoint may be initiated: a fresh checkpoint would reset
+    /// message-id numbering before all suppressed early re-sends have been
+    /// issued, breaking suppression matching.
+    recovery_pending: Vec<bool>,
+}
+
+impl Initiator {
+    /// A fresh initiator for a job of `nranks`. `next_ckpt` is the number
+    /// the *next* global checkpoint will get (1 on a fresh start, `N + 1`
+    /// when recovering from checkpoint `N`). `recovering` gates initiation
+    /// on per-rank `RecoveryComplete` reports.
+    pub fn new(nranks: usize, next_ckpt: u64, recovering: bool) -> Self {
+        assert!(nranks > 0);
+        assert!(next_ckpt > 0, "checkpoint numbers start at 1");
+        Initiator {
+            nranks,
+            phase: Phase::Idle,
+            ckpt: next_ckpt,
+            committed: next_ckpt - 1,
+            recovery_pending: vec![recovering; nranks],
+        }
+    }
+
+    /// Handle a `RecoveryComplete` report from `rank`.
+    pub fn on_recovery_complete(&mut self, rank: usize) {
+        if let Some(flag) = self.recovery_pending.get_mut(rank) {
+            *flag = false;
+        }
+    }
+
+    /// True while any rank has not finished its recovery replay.
+    pub fn recovery_gated(&self) -> bool {
+        self.recovery_pending.iter().any(|&p| p)
+    }
+
+    /// True if no checkpoint is being created right now. The paper assumes
+    /// a new global checkpoint is not initiated before the previous one
+    /// commits; [`Initiator::initiate`] enforces it.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle)
+    }
+
+    /// Checkpoints committed so far.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Begin a new global checkpoint; returns the broadcast action, or
+    /// `None` if one is already in progress or recovery is still draining.
+    pub fn initiate(&mut self) -> Option<Action> {
+        if !self.is_idle() || self.recovery_gated() {
+            return None;
+        }
+        self.phase =
+            Phase::CollectingReady { ready: vec![false; self.nranks] };
+        Some(Action::BroadcastPleaseCheckpoint { ckpt: self.ckpt })
+    }
+
+    /// Handle `readyToStopLogging` from `rank`; may yield the
+    /// `stopLogging` broadcast when the last straggler reports.
+    pub fn on_ready_to_stop_logging(&mut self, rank: usize) -> Option<Action> {
+        let Phase::CollectingReady { ready } = &mut self.phase else {
+            // Late/duplicate control messages are ignorable: the protocol
+            // tolerates them because each phase transition happens once.
+            return None;
+        };
+        if rank >= ready.len() || ready[rank] {
+            return None;
+        }
+        ready[rank] = true;
+        if ready.iter().all(|&r| r) {
+            self.phase = Phase::CollectingStopped {
+                stopped: vec![false; self.nranks],
+            };
+            Some(Action::BroadcastStopLogging)
+        } else {
+            None
+        }
+    }
+
+    /// Handle `stoppedLogging` from `rank`; may yield the commit action
+    /// when the last process finishes, after which the machine is idle and
+    /// the next checkpoint number is armed.
+    pub fn on_stopped_logging(&mut self, rank: usize) -> Option<Action> {
+        let Phase::CollectingStopped { stopped } = &mut self.phase else {
+            return None;
+        };
+        if rank >= stopped.len() || stopped[rank] {
+            return None;
+        }
+        stopped[rank] = true;
+        if stopped.iter().all(|&s| s) {
+            let ckpt = self.ckpt;
+            self.committed = ckpt;
+            self.ckpt += 1;
+            self.phase = Phase::Idle;
+            Some(Action::Commit { ckpt })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_protocol_round() {
+        let mut ini = Initiator::new(3, 1, false);
+        assert!(ini.is_idle());
+        assert_eq!(
+            ini.initiate(),
+            Some(Action::BroadcastPleaseCheckpoint { ckpt: 1 })
+        );
+        assert!(!ini.is_idle());
+        // A second initiation while busy is refused.
+        assert_eq!(ini.initiate(), None);
+
+        assert_eq!(ini.on_ready_to_stop_logging(0), None);
+        assert_eq!(ini.on_ready_to_stop_logging(2), None);
+        assert_eq!(
+            ini.on_ready_to_stop_logging(1),
+            Some(Action::BroadcastStopLogging)
+        );
+
+        assert_eq!(ini.on_stopped_logging(1), None);
+        assert_eq!(ini.on_stopped_logging(0), None);
+        assert_eq!(
+            ini.on_stopped_logging(2),
+            Some(Action::Commit { ckpt: 1 })
+        );
+        assert!(ini.is_idle());
+        assert_eq!(ini.committed(), 1);
+
+        // Next round gets the next number.
+        assert_eq!(
+            ini.initiate(),
+            Some(Action::BroadcastPleaseCheckpoint { ckpt: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicate_and_out_of_phase_messages_are_ignored() {
+        let mut ini = Initiator::new(2, 1, false);
+        // Out of phase: nothing in progress.
+        assert_eq!(ini.on_ready_to_stop_logging(0), None);
+        assert_eq!(ini.on_stopped_logging(0), None);
+
+        ini.initiate().unwrap();
+        assert_eq!(ini.on_ready_to_stop_logging(0), None);
+        // Duplicate from rank 0 must not complete the phase.
+        assert_eq!(ini.on_ready_to_stop_logging(0), None);
+        // stoppedLogging in the wrong phase is ignored.
+        assert_eq!(ini.on_stopped_logging(1), None);
+        assert_eq!(
+            ini.on_ready_to_stop_logging(1),
+            Some(Action::BroadcastStopLogging)
+        );
+        // Out-of-range ranks are inert.
+        assert_eq!(ini.on_stopped_logging(99), None);
+    }
+
+    #[test]
+    fn resumes_numbering_after_recovery() {
+        // Recovering from committed checkpoint 4: next is 5.
+        let mut ini = Initiator::new(1, 5, false);
+        assert_eq!(ini.committed(), 4);
+        assert_eq!(
+            ini.initiate(),
+            Some(Action::BroadcastPleaseCheckpoint { ckpt: 5 })
+        );
+        ini.on_ready_to_stop_logging(0);
+        assert_eq!(ini.on_stopped_logging(0), Some(Action::Commit { ckpt: 5 }));
+    }
+
+    #[test]
+    fn recovery_gate_blocks_initiation_until_all_report() {
+        let mut ini = Initiator::new(2, 3, true);
+        assert!(ini.recovery_gated());
+        assert_eq!(ini.initiate(), None, "gated while recovering");
+        ini.on_recovery_complete(0);
+        assert_eq!(ini.initiate(), None, "rank 1 still draining");
+        ini.on_recovery_complete(1);
+        assert!(!ini.recovery_gated());
+        assert_eq!(
+            ini.initiate(),
+            Some(Action::BroadcastPleaseCheckpoint { ckpt: 3 })
+        );
+        // Out-of-range reports are inert.
+        ini.on_recovery_complete(42);
+    }
+
+    #[test]
+    fn single_rank_job_degenerates_cleanly() {
+        let mut ini = Initiator::new(1, 1, false);
+        ini.initiate().unwrap();
+        assert_eq!(
+            ini.on_ready_to_stop_logging(0),
+            Some(Action::BroadcastStopLogging)
+        );
+        assert_eq!(ini.on_stopped_logging(0), Some(Action::Commit { ckpt: 1 }));
+    }
+}

@@ -1,0 +1,238 @@
+//! The fault-tolerant job driver: run attempts, detect stopping failures,
+//! roll back to the last committed global checkpoint, restart.
+//!
+//! This is the runtime half of the paper's problem statement (Section 1.1):
+//! given a reliable transport, unreliable processes, and a failure
+//! detector, make the program complete despite stopping failures. Each
+//! *attempt* spawns all ranks; an injected stopping failure silences one
+//! rank, the simulated detector notices after a configurable latency and
+//! aborts the attempt, and the driver restarts every rank from the latest
+//! committed checkpoint (or from scratch if none committed yet).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ckptstore::{CheckpointStore, MemoryBackend, StorageBackend};
+use simmpi::{JobControl, MpiError, World};
+use statesave::snapshot::SaveState;
+
+use crate::config::C3Config;
+use crate::error::{C3Error, C3Result};
+use crate::process::{ProcStats, Process};
+
+/// A fault-tolerant application: initialization builds the state, the body
+/// runs (and resumes) it. The body must be written to resume correctly
+/// from a restored state — typically a main loop over an iteration counter
+/// kept in the state, with a `potential_checkpoint` call per iteration
+/// (this is precisely the paper's application-level checkpointing
+/// contract).
+pub trait C3App: Sync {
+    /// Checkpointable application state.
+    type State: SaveState;
+    /// Per-rank output of a completed run.
+    type Output: Send;
+
+    /// Build the initial state (fresh starts only).
+    fn init(&self, p: &mut Process<'_>) -> C3Result<Self::State>;
+
+    /// Run (or resume) the application to completion.
+    fn run(
+        &self,
+        p: &mut Process<'_>,
+        state: &mut Self::State,
+    ) -> C3Result<Self::Output>;
+}
+
+/// What a completed fault-tolerant job reports.
+#[derive(Debug)]
+pub struct JobReport<O> {
+    /// Per-rank outputs of the final (successful) attempt.
+    pub outputs: Vec<O>,
+    /// Number of rollback/restart cycles performed.
+    pub restarts: usize,
+    /// For each restart, the checkpoint recovered from (0 = from scratch).
+    pub recovered_from: Vec<u64>,
+    /// Per-rank protocol statistics of the final attempt.
+    pub stats: Vec<ProcStats>,
+    /// Wall-clock duration of the whole job (all attempts).
+    pub elapsed: Duration,
+    /// Total bytes written to stable storage across the job.
+    pub storage_bytes_written: u64,
+    /// Highest committed checkpoint number at the end, if any.
+    pub last_committed: Option<u64>,
+}
+
+impl<O> JobReport<O> {
+    /// One-paragraph human-readable summary (used by examples and tools).
+    pub fn summary(&self) -> String {
+        let ckpt_counts: Vec<u64> =
+            self.stats.iter().map(|s| s.checkpoints).collect();
+        let late: u64 = self.stats.iter().map(|s| s.late_logged).sum();
+        let early: u64 = self.stats.iter().map(|s| s.early_recorded).sum();
+        let suppressed: u64 =
+            self.stats.iter().map(|s| s.suppressed_sends).sum();
+        format!(
+            "{} rank(s), {} restart(s) (recovered from {:?}), \
+last committed checkpoint {:?}, per-rank local checkpoints {:?}; \
+logged {late} late message(s), recorded {early} early id(s), \
+suppressed {suppressed} re-send(s); \
+{} bytes to stable storage in {:.3}s",
+            self.outputs.len(),
+            self.restarts,
+            self.recovered_from,
+            self.last_committed,
+            ckpt_counts,
+            self.storage_bytes_written,
+            self.elapsed.as_secs_f64(),
+        )
+    }
+}
+
+/// Run `app` on `nprocs` ranks under configuration `cfg`, writing
+/// checkpoints to `backend` (an in-memory backend is used if `None`).
+pub fn run_job<A: C3App>(
+    nprocs: usize,
+    cfg: &C3Config,
+    backend: Option<Arc<dyn StorageBackend>>,
+    app: &A,
+) -> C3Result<JobReport<A::Output>> {
+    let backend: Arc<dyn StorageBackend> =
+        backend.unwrap_or_else(|| Arc::new(MemoryBackend::new()));
+    let store = cfg
+        .level
+        .checkpoints()
+        .then(|| CheckpointStore::new(backend.clone(), nprocs));
+
+    let started = Instant::now();
+    let mut restarts = 0usize;
+    let mut recovered_from = Vec::new();
+
+    for attempt in 1.. {
+        if attempt > cfg.max_restarts + 1 {
+            return Err(C3Error::Protocol(format!(
+                "job did not complete within {} restarts",
+                cfg.max_restarts
+            )));
+        }
+        let recover = match &store {
+            Some(s) => s.latest_committed()?,
+            None => None,
+        };
+        if attempt > 1 {
+            restarts += 1;
+            recovered_from.push(recover.unwrap_or(0));
+        }
+
+        let control = JobControl::new(nprocs);
+        let detector = spawn_detector(
+            control.clone(),
+            Duration::from_millis(cfg.detection_latency_ms),
+        );
+
+        type Inner<O> = C3Result<(O, ProcStats)>;
+        let results: Vec<Result<Inner<A::Output>, MpiError>> =
+            World::run_collect(nprocs, control.clone(), |mpi| {
+                let mut body = || -> Inner<A::Output> {
+                    let mut p = Process::new(
+                        mpi,
+                        cfg.clone(),
+                        store.clone(),
+                        attempt as u64,
+                        recover,
+                    )?;
+                    let mut state =
+                        match p.take_recovered_state::<A::State>()? {
+                            Some(s) => s,
+                            None => app.init(&mut p)?,
+                        };
+                    let out = app.run(&mut p, &mut state)?;
+                    p.finalize()?;
+                    Ok((out, p.stats().clone()))
+                };
+                match body() {
+                    Err(e) if e.is_rollback() => Err(match e {
+                        C3Error::Mpi(m) => m,
+                        _ => unreachable!("is_rollback implies Mpi"),
+                    }),
+                    other => {
+                        if other.is_err() {
+                            // A genuine error (bug, storage failure, app
+                            // failure): unblock peers so the attempt ends.
+                            mpi.control().abort();
+                        }
+                        Ok(other)
+                    }
+                }
+            });
+        detector.stop();
+
+        // Genuine errors dominate: report the first one.
+        let mut rollback = false;
+        let mut outputs = Vec::with_capacity(nprocs);
+        let mut stats = Vec::with_capacity(nprocs);
+        let mut genuine: Option<C3Error> = None;
+        for r in results {
+            match r {
+                Ok(Ok((out, st))) => {
+                    outputs.push(out);
+                    stats.push(st);
+                }
+                Ok(Err(e)) => genuine = genuine.or(Some(e)),
+                Err(_mpi) => rollback = true,
+            }
+        }
+        if let Some(e) = genuine {
+            return Err(e);
+        }
+        if rollback {
+            continue;
+        }
+        let last_committed = match &store {
+            Some(s) => s.latest_committed()?,
+            None => None,
+        };
+        return Ok(JobReport {
+            outputs,
+            restarts,
+            recovered_from,
+            stats,
+            elapsed: started.elapsed(),
+            storage_bytes_written: backend.bytes_written(),
+            last_committed,
+        });
+    }
+    unreachable!("loop returns or errors")
+}
+
+/// A simulated distributed failure detector: polls the fail-stop flags
+/// and, `latency` after the first failure, declares the attempt dead.
+struct Detector {
+    done: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Detector {
+    fn stop(mut self) {
+        self.done.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_detector(control: JobControl, latency: Duration) -> Detector {
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = done.clone();
+    let handle = std::thread::spawn(move || {
+        while !done2.load(Ordering::Acquire) {
+            if control.any_failed() {
+                std::thread::sleep(latency);
+                control.abort();
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    Detector { done, handle: Some(handle) }
+}

@@ -1,0 +1,236 @@
+//! The per-process recovery log (Section 4.1, phase 2).
+//!
+//! Between taking its local checkpoint and terminating logging, a process
+//! writes three kinds of records:
+//!
+//! * **late messages** — full payloads of messages sent in the previous
+//!   epoch, so they can be re-delivered during recovery (the senders will
+//!   not re-send them);
+//! * **non-deterministic decisions** — so a recovering execution reproduces
+//!   exactly the values the checkpointed global state causally depends on;
+//! * **collective-call results** — so processes that re-execute a
+//!   collective during recovery read its result from the log instead of
+//!   communicating with peers that will not re-execute it (Section 4.5).
+//!
+//! The log is finalized (written to stable storage) at `finalizeLog`; on
+//! recovery it is reloaded and consumed through per-kind cursors by
+//! [`crate::recovery`].
+
+use ckptstore::codec::{CodecError, Decoder, Encoder, SaveLoad};
+
+/// One logged late message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LateMessage {
+    /// Pseudo-handle index of the communicator the message arrived on —
+    /// replay must never cross-match messages between communicators whose
+    /// rank/tag spaces overlap. Stable across restarts because
+    /// communicator creation is journaled and replayed deterministically.
+    pub comm: usize,
+    /// Sender's rank (application-communicator frame).
+    pub src: usize,
+    /// Piggybacked per-epoch message id at the sender.
+    pub message_id: u32,
+    /// Application tag.
+    pub tag: i32,
+    /// Application payload (header already stripped).
+    pub payload: Vec<u8>,
+}
+
+impl SaveLoad for LateMessage {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_usize(self.comm);
+        enc.put_usize(self.src);
+        enc.put_u32(self.message_id);
+        enc.put_i32(self.tag);
+        enc.put_bytes(&self.payload);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(LateMessage {
+            comm: dec.get_usize()?,
+            src: dec.get_usize()?,
+            message_id: dec.get_u32()?,
+            tag: dec.get_i32()?,
+            payload: dec.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// One logged collective result: the bytes this process's collective call
+/// returned. `kind` is a sanity tag so a replay mismatch (program drift)
+/// is detected instead of silently returning the wrong bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveRecord {
+    /// Which collective produced this (see the [`coll_kind`] constants).
+    pub kind: u8,
+    /// The result returned to the application.
+    pub result: Vec<u8>,
+}
+
+impl SaveLoad for CollectiveRecord {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u8(self.kind);
+        enc.put_bytes(&self.result);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CollectiveRecord {
+            kind: dec.get_u8()?,
+            result: dec.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Collective kinds used in [`CollectiveRecord::kind`].
+pub mod coll_kind {
+    /// `barrier`.
+    pub const BARRIER: u8 = 0;
+    /// `bcast`.
+    pub const BCAST: u8 = 1;
+    /// `gather`.
+    pub const GATHER: u8 = 2;
+    /// `allgather`.
+    pub const ALLGATHER: u8 = 3;
+    /// `reduce`.
+    pub const REDUCE: u8 = 4;
+    /// `allreduce`.
+    pub const ALLREDUCE: u8 = 5;
+    /// `alltoall`.
+    pub const ALLTOALL: u8 = 6;
+    /// `scatter`.
+    pub const SCATTER: u8 = 7;
+    /// `scan`.
+    pub const SCAN: u8 = 8;
+}
+
+/// The in-memory recovery log being written while `amLogging` is true.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryLog {
+    /// Late messages in delivery order.
+    pub late: Vec<LateMessage>,
+    /// Non-deterministic draws in occurrence order.
+    pub nondet: Vec<u64>,
+    /// Collective results in call order.
+    pub collectives: Vec<CollectiveRecord>,
+}
+
+impl RecoveryLog {
+    /// An empty log (opened at the local checkpoint).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a late message delivery.
+    pub fn push_late(&mut self, m: LateMessage) {
+        self.late.push(m);
+    }
+
+    /// Record a non-deterministic decision.
+    pub fn push_nondet(&mut self, v: u64) {
+        self.nondet.push(v);
+    }
+
+    /// Record a collective-call result.
+    pub fn push_collective(&mut self, kind: u8, result: Vec<u8>) {
+        self.collectives.push(CollectiveRecord { kind, result });
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.late.is_empty()
+            && self.nondet.is_empty()
+            && self.collectives.is_empty()
+    }
+
+    /// Approximate stored size in bytes (reporting/benchmarks).
+    pub fn byte_size(&self) -> usize {
+        self.late
+            .iter()
+            .map(|m| 32 + m.payload.len())
+            .sum::<usize>()
+            + self.nondet.len() * 8
+            + self
+                .collectives
+                .iter()
+                .map(|c| 9 + c.result.len())
+                .sum::<usize>()
+    }
+}
+
+impl SaveLoad for RecoveryLog {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put(&self.late);
+        enc.put_u64_slice(&self.nondet);
+        enc.put(&self.collectives);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(RecoveryLog {
+            late: dec.get()?,
+            nondet: dec.get_u64_vec()?,
+            collectives: dec.get()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut log = RecoveryLog::new();
+        log.push_late(LateMessage {
+            comm: 0,
+            src: 3,
+            message_id: 17,
+            tag: -5,
+            payload: vec![1, 2, 3],
+        });
+        log.push_nondet(0xdead_beef);
+        log.push_nondet(42);
+        log.push_collective(coll_kind::ALLREDUCE, vec![9; 16]);
+        assert!(!log.is_empty());
+
+        let mut enc = Encoder::new();
+        log.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = RecoveryLog::load(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn empty_log_round_trip() {
+        let log = RecoveryLog::new();
+        assert!(log.is_empty());
+        let mut enc = Encoder::new();
+        log.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = RecoveryLog::load(&mut Decoder::new(&bytes)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn byte_size_tracks_content() {
+        let mut log = RecoveryLog::new();
+        let empty = log.byte_size();
+        log.push_late(LateMessage {
+            comm: 0,
+            src: 0,
+            message_id: 0,
+            tag: 0,
+            payload: vec![0; 100],
+        });
+        assert!(log.byte_size() >= empty + 100);
+    }
+
+    #[test]
+    fn truncated_log_blob_errors() {
+        let mut log = RecoveryLog::new();
+        log.push_nondet(7);
+        let mut enc = Encoder::new();
+        log.save(&mut enc);
+        let bytes = enc.into_bytes();
+        assert!(
+            RecoveryLog::load(&mut Decoder::new(&bytes[..bytes.len() - 1]))
+                .is_err()
+        );
+    }
+}

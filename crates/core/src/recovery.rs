@@ -1,0 +1,245 @@
+//! Recovery-time state: checkpoint blob formats and the replay engine.
+//!
+//! On restart from committed global checkpoint `N`, each rank:
+//!
+//! 1. loads its [`RankCheckpoint`] (state blob) — application state bytes,
+//!    the early-message id sets recorded before the checkpoint, and the
+//!    pending-request pseudo-handle table (Section 5.2);
+//! 2. replays its persistent-object journal, recreating communicators;
+//! 3. exchanges suppression lists: the recorded early ids are sent to their
+//!    *senders*, which drop the matching re-sends (Section 3.2);
+//! 4. replays its recovery log through [`Replay`]: logged late messages
+//!    satisfy matching receives, logged non-deterministic draws are
+//!    returned in order, logged collective results are returned without
+//!    communication (Sections 4.1 and 4.5).
+//!
+//! A new global checkpoint is not initiated until every rank reports its
+//! replay fully drained (see `RecoveryComplete` handling in the process
+//! layer) — this preserves the invariant that suppressed re-sends carry the
+//! message ids the receivers recorded.
+
+use ckptstore::codec::{CodecError, Decoder, Encoder, SaveLoad};
+
+use crate::error::{C3Error, C3Result};
+use crate::logrec::{LateMessage, RecoveryLog};
+use crate::pending::PendingTable;
+
+/// The per-rank state blob written at `potentialCheckpoint`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankCheckpoint {
+    /// The checkpoint number (equals the epoch the process enters).
+    pub ckpt: u64,
+    /// `earlyIDs[q]`: per sender, the piggybacked ids of early messages
+    /// received from `q` before this checkpoint.
+    pub early_ids: Vec<Vec<u32>>,
+    /// Live non-blocking request pseudo-handles at checkpoint time.
+    pub pending: PendingTable,
+    /// Application state envelope (empty at `ProtocolOnly` instrumentation).
+    pub app_state: Vec<u8>,
+}
+
+impl SaveLoad for RankCheckpoint {
+    fn save(&self, enc: &mut Encoder) {
+        enc.put_u64(self.ckpt);
+        enc.put(&self.early_ids);
+        enc.put(&self.pending);
+        enc.put_bytes(&self.app_state);
+    }
+    fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(RankCheckpoint {
+            ckpt: dec.get_u64()?,
+            early_ids: dec.get()?,
+            pending: dec.get()?,
+            app_state: dec.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Replay engine over a reloaded [`RecoveryLog`].
+#[derive(Debug)]
+pub struct Replay {
+    log: RecoveryLog,
+    late_taken: Vec<bool>,
+    late_remaining: usize,
+    nondet_cursor: usize,
+    coll_cursor: usize,
+}
+
+impl Replay {
+    /// Build a replay over a log loaded from stable storage.
+    pub fn new(log: RecoveryLog) -> Self {
+        let n = log.late.len();
+        Replay {
+            late_taken: vec![false; n],
+            late_remaining: n,
+            nondet_cursor: 0,
+            coll_cursor: 0,
+            log,
+        }
+    }
+
+    /// Satisfy a receive from the log if an unconsumed late message on
+    /// communicator `comm` matches the `(src, tag)` pattern (`None`
+    /// components are wildcards; the communicator is always exact).
+    /// Matches the earliest logged entry, preserving per-channel delivery
+    /// order.
+    pub fn take_late(
+        &mut self,
+        comm: usize,
+        src: Option<usize>,
+        tag: Option<i32>,
+    ) -> Option<LateMessage> {
+        if self.late_remaining == 0 {
+            return None;
+        }
+        let idx = self.log.late.iter().enumerate().position(|(i, m)| {
+            !self.late_taken[i]
+                && m.comm == comm
+                && src.is_none_or(|s| s == m.src)
+                && tag.is_none_or(|t| t == m.tag)
+        })?;
+        self.late_taken[idx] = true;
+        self.late_remaining -= 1;
+        Some(self.log.late[idx].clone())
+    }
+
+    /// Next logged non-deterministic draw, if any remain.
+    pub fn next_nondet(&mut self) -> Option<u64> {
+        let v = self.log.nondet.get(self.nondet_cursor).copied();
+        if v.is_some() {
+            self.nondet_cursor += 1;
+        }
+        v
+    }
+
+    /// Next logged collective result, if any remain. Validates the call
+    /// kind so a re-execution that drifted from the original call sequence
+    /// fails loudly instead of returning the wrong bytes.
+    pub fn next_collective(&mut self, kind: u8) -> C3Result<Option<Vec<u8>>> {
+        match self.log.collectives.get(self.coll_cursor) {
+            None => Ok(None),
+            Some(rec) if rec.kind == kind => {
+                self.coll_cursor += 1;
+                Ok(Some(rec.result.clone()))
+            }
+            Some(rec) => Err(C3Error::Protocol(format!(
+                "collective replay mismatch: log has kind {}, re-execution \
+                 called kind {kind}",
+                rec.kind
+            ))),
+        }
+    }
+
+    /// True once every logged record has been consumed.
+    pub fn is_drained(&self) -> bool {
+        self.late_remaining == 0
+            && self.nondet_cursor >= self.log.nondet.len()
+            && self.coll_cursor >= self.log.collectives.len()
+    }
+
+    /// Unconsumed late messages (diagnostics).
+    pub fn late_remaining(&self) -> usize {
+        self.late_remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logrec::coll_kind;
+
+    fn late(src: usize, id: u32, tag: i32, byte: u8) -> LateMessage {
+        LateMessage { comm: 0, src, message_id: id, tag, payload: vec![byte] }
+    }
+
+    #[test]
+    fn rank_checkpoint_round_trip() {
+        let rc = RankCheckpoint {
+            ckpt: 4,
+            early_ids: vec![vec![], vec![0, 3], vec![7]],
+            pending: PendingTable::new(),
+            app_state: vec![9, 9, 9],
+        };
+        let mut enc = Encoder::new();
+        rc.save(&mut enc);
+        let bytes = enc.into_bytes();
+        assert_eq!(
+            RankCheckpoint::load(&mut Decoder::new(&bytes)).unwrap(),
+            rc
+        );
+    }
+
+    #[test]
+    fn late_replay_matches_by_pattern_in_order() {
+        let mut log = RecoveryLog::new();
+        log.push_late(late(1, 0, 5, b'a'));
+        log.push_late(late(2, 0, 5, b'b'));
+        log.push_late(late(1, 1, 5, b'c'));
+        let mut rep = Replay::new(log);
+
+        // Specific source: earliest from rank 1.
+        let m = rep.take_late(0, Some(1), Some(5)).unwrap();
+        assert_eq!(m.payload, vec![b'a']);
+        // Wildcard source: earliest remaining overall (rank 2's).
+        let m = rep.take_late(0, None, Some(5)).unwrap();
+        assert_eq!(m.payload, vec![b'b']);
+        // Non-matching tag: nothing.
+        assert!(rep.take_late(0, Some(1), Some(9)).is_none());
+        // Channel order preserved: rank 1's second message last.
+        let m = rep.take_late(0, Some(1), None).unwrap();
+        assert_eq!(m.payload, vec![b'c']);
+        assert_eq!(rep.late_remaining(), 0);
+        assert!(rep.take_late(0, None, None).is_none());
+    }
+
+    #[test]
+    fn nondet_replays_in_order_then_runs_dry() {
+        let mut log = RecoveryLog::new();
+        log.push_nondet(10);
+        log.push_nondet(20);
+        let mut rep = Replay::new(log);
+        assert_eq!(rep.next_nondet(), Some(10));
+        assert_eq!(rep.next_nondet(), Some(20));
+        assert_eq!(rep.next_nondet(), None);
+    }
+
+    #[test]
+    fn collective_replay_checks_kind() {
+        let mut log = RecoveryLog::new();
+        log.push_collective(coll_kind::ALLREDUCE, vec![1]);
+        log.push_collective(coll_kind::BARRIER, vec![]);
+        let mut rep = Replay::new(log);
+        assert_eq!(
+            rep.next_collective(coll_kind::ALLREDUCE).unwrap(),
+            Some(vec![1])
+        );
+        // Wrong kind next: loud failure.
+        assert!(rep.next_collective(coll_kind::ALLGATHER).is_err());
+        assert_eq!(
+            rep.next_collective(coll_kind::BARRIER).unwrap(),
+            Some(vec![])
+        );
+        assert_eq!(rep.next_collective(coll_kind::BARRIER).unwrap(), None);
+    }
+
+    #[test]
+    fn drained_reflects_all_three_streams() {
+        let mut log = RecoveryLog::new();
+        log.push_late(late(0, 0, 1, 0));
+        log.push_nondet(1);
+        log.push_collective(coll_kind::BCAST, vec![]);
+        let mut rep = Replay::new(log);
+        assert!(!rep.is_drained());
+        rep.take_late(0, Some(0), Some(1)).unwrap();
+        assert!(!rep.is_drained());
+        rep.next_nondet().unwrap();
+        assert!(!rep.is_drained());
+        rep.next_collective(coll_kind::BCAST).unwrap();
+        assert!(rep.is_drained());
+    }
+
+    #[test]
+    fn empty_log_is_immediately_drained() {
+        assert!(Replay::new(RecoveryLog::new()).is_drained());
+    }
+}

@@ -1,0 +1,408 @@
+//! End-to-end fault-tolerance tests: jobs complete correctly despite
+//! injected stopping failures, with results identical to failure-free
+//! runs (the core guarantee of the paper's protocol).
+
+use std::sync::Arc;
+
+use c3_core::{
+    run_job, C3App, C3Config, C3Result, CheckpointTrigger,
+    InstrumentationLevel, Process, ReduceOp,
+};
+use ckptstore::{impl_saveload_struct, MemoryBackend, StorageBackend};
+
+/// A deterministic ring-reduction app: every iteration each rank sends its
+/// accumulator right, receives from the left, folds, and allreduces a
+/// checksum every few iterations. State = (iteration, accumulator).
+struct RingApp {
+    iters: u64,
+}
+
+struct RingState {
+    i: u64,
+    acc: u64,
+}
+impl_saveload_struct!(RingState { i: u64, acc: u64 });
+
+impl C3App for RingApp {
+    type State = RingState;
+    type Output = u64;
+
+    fn init(&self, p: &mut Process<'_>) -> C3Result<RingState> {
+        Ok(RingState { i: 0, acc: p.rank() as u64 + 1 })
+    }
+
+    fn run(
+        &self,
+        p: &mut Process<'_>,
+        s: &mut RingState,
+    ) -> C3Result<u64> {
+        let world = p.world();
+        let n = p.size();
+        let right = (p.rank() + 1) % n;
+        let left = (p.rank() + n - 1) % n;
+        while s.i < self.iters {
+            let got = p.sendrecv(
+                world,
+                right,
+                7,
+                &s.acc.to_le_bytes(),
+                left,
+                7,
+            )?;
+            let v = u64::from_le_bytes(got.payload[..8].try_into().unwrap());
+            s.acc = s.acc.wrapping_mul(31).wrapping_add(v);
+            if s.i % 4 == 3 {
+                let sum =
+                    p.allreduce_t::<u64>(world, ReduceOp::Sum, &[s.acc])?;
+                s.acc = s.acc.wrapping_add(sum[0] >> 32);
+            }
+            s.i += 1;
+            p.potential_checkpoint(s)?;
+        }
+        Ok(s.acc)
+    }
+}
+
+fn reference_outputs(n: usize, iters: u64) -> Vec<u64> {
+    // Failure-free run at full instrumentation = ground truth.
+    let cfg = C3Config::every_ops(64);
+    run_job(n, &cfg, None, &RingApp { iters }).unwrap().outputs
+}
+
+#[test]
+fn failure_free_run_matches_uninstrumented_run() {
+    let n = 4;
+    let iters = 24;
+    let plain = run_job(
+        n,
+        &C3Config {
+            level: InstrumentationLevel::None,
+            ..C3Config::default()
+        },
+        None,
+        &RingApp { iters },
+    )
+    .unwrap();
+    let full = run_job(n, &C3Config::every_ops(32), None, &RingApp { iters })
+        .unwrap();
+    assert_eq!(plain.outputs, full.outputs);
+    assert_eq!(plain.restarts, 0);
+    assert_eq!(full.restarts, 0);
+    assert!(full.last_committed.is_some(), "checkpoints were committed");
+}
+
+#[test]
+fn single_failure_recovers_to_identical_result() {
+    let n = 4;
+    let iters = 30;
+    let expect = reference_outputs(n, iters);
+    // Kill rank 2 deep into the run; checkpoints every 24 ops.
+    let cfg = C3Config::every_ops(24).with_failure(2, 120);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    assert_eq!(report.restarts, 1);
+    assert!(
+        report.recovered_from[0] >= 1,
+        "expected recovery from a committed checkpoint, got {:?}",
+        report.recovered_from
+    );
+}
+
+#[test]
+fn failure_before_any_commit_restarts_from_scratch() {
+    let n = 3;
+    let iters = 12;
+    let expect = reference_outputs(n, iters);
+    // Fail rank 1 almost immediately; no checkpoint can have committed.
+    let cfg = C3Config::every_ops(1_000_000).with_failure(1, 5);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    assert_eq!(report.restarts, 1);
+    assert_eq!(report.recovered_from, vec![0], "0 = from scratch");
+}
+
+#[test]
+fn multiple_failures_across_attempts_all_recover() {
+    let n = 4;
+    let iters = 40;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(20)
+        .with_failure(1, 60)
+        .with_failure(3, 110)
+        .with_failure(0, 90);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    // Ops counters are per attempt, so an injection deep enough may never
+    // fire on a shortened (recovered) attempt; every one that fired caused
+    // exactly one restart.
+    let fired = cfg.failures.iter().filter(|i| i.is_consumed()).count();
+    assert_eq!(report.restarts, fired);
+    assert!(fired >= 2, "at least two injections must have fired");
+    // Later recoveries come from monotonically advancing checkpoints.
+    let rf = &report.recovered_from;
+    assert!(rf.windows(2).all(|w| w[0] <= w[1]), "{rf:?}");
+}
+
+#[test]
+fn failure_of_the_initiator_rank_is_tolerated() {
+    let n = 3;
+    let iters = 20;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(16).with_failure(0, 70);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    assert_eq!(report.restarts, 1);
+}
+
+#[test]
+fn progress_is_made_not_just_restarted() {
+    // With a checkpoint interval much shorter than the failure spacing,
+    // the second recovery must come from a *later* checkpoint than the
+    // first — the job makes forward progress across failures.
+    let n = 3;
+    let iters = 60;
+    let cfg = C3Config::every_ops(12)
+        .with_failure(1, 80)
+        .with_failure(2, 150);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.restarts, 2);
+    assert!(
+        report.recovered_from[1] > report.recovered_from[0],
+        "second recovery should use a later checkpoint: {:?}",
+        report.recovered_from
+    );
+    assert_eq!(report.outputs, reference_outputs(n, iters));
+}
+
+#[test]
+fn manual_trigger_checkpoints_on_request() {
+    struct ManualApp;
+    struct S {
+        i: u64,
+    }
+    impl_saveload_struct!(S { i: u64 });
+    impl C3App for ManualApp {
+        type State = S;
+        type Output = u64;
+        fn init(&self, _p: &mut Process<'_>) -> C3Result<S> {
+            Ok(S { i: 0 })
+        }
+        fn run(&self, p: &mut Process<'_>, s: &mut S) -> C3Result<u64> {
+            let world = p.world();
+            while s.i < 10 {
+                p.allreduce_t::<u64>(world, ReduceOp::Sum, &[s.i])?;
+                if s.i == 4 {
+                    p.request_checkpoint()?;
+                }
+                s.i += 1;
+                p.potential_checkpoint(s)?;
+            }
+            Ok(s.i)
+        }
+    }
+    let cfg = C3Config {
+        trigger: CheckpointTrigger::Manual,
+        ..C3Config::default()
+    };
+    let report = run_job(3, &cfg, None, &ManualApp).unwrap();
+    assert_eq!(report.last_committed, Some(1));
+    for st in &report.stats {
+        assert_eq!(st.checkpoints, 1);
+    }
+}
+
+#[test]
+fn storage_bytes_reflect_state_size() {
+    let n = 2;
+    let backend = Arc::new(MemoryBackend::new());
+    let cfg = C3Config::every_ops(16);
+    let report = run_job(
+        n,
+        &cfg,
+        Some(backend.clone()),
+        &RingApp { iters: 20 },
+    )
+    .unwrap();
+    assert!(report.storage_bytes_written > 0);
+    assert!(backend.bytes_written() >= report.storage_bytes_written);
+    let app_bytes: u64 =
+        report.stats.iter().map(|s| s.app_state_bytes).sum();
+    assert!(app_bytes > 0, "full level writes application state");
+    assert!(report.storage_bytes_written >= app_bytes);
+}
+
+#[test]
+fn protocol_only_level_runs_but_saves_no_app_state() {
+    let cfg = C3Config {
+        level: InstrumentationLevel::ProtocolOnly,
+        trigger: CheckpointTrigger::EveryOps(16),
+        ..C3Config::default()
+    };
+    let report = run_job(3, &cfg, None, &RingApp { iters: 16 }).unwrap();
+    assert_eq!(report.outputs, reference_outputs(3, 16));
+    assert!(report.last_committed.is_some());
+    for st in &report.stats {
+        assert!(st.checkpoints > 0);
+        assert_eq!(st.app_state_bytes, 0);
+    }
+}
+
+#[test]
+fn piggyback_level_never_checkpoints() {
+    let cfg = C3Config {
+        level: InstrumentationLevel::Piggyback,
+        trigger: CheckpointTrigger::EveryOps(4),
+        ..C3Config::default()
+    };
+    let report = run_job(3, &cfg, None, &RingApp { iters: 12 }).unwrap();
+    assert_eq!(report.outputs, reference_outputs(3, 12));
+    assert_eq!(report.last_committed, None);
+    for st in &report.stats {
+        assert_eq!(st.checkpoints, 0);
+    }
+}
+
+#[test]
+fn too_many_failures_exhaust_restart_budget() {
+    // Injections outnumber the allowed restarts and fire immediately on
+    // every attempt, so the driver gives up.
+    let mut cfg = C3Config::every_ops(1_000_000);
+    for _ in 0..4 {
+        cfg = cfg.with_failure(0, 3);
+    }
+    cfg.max_restarts = 2;
+    let err = run_job(2, &cfg, None, &RingApp { iters: 50 }).unwrap_err();
+    assert!(matches!(err, c3_core::C3Error::Protocol(_)), "{err}");
+}
+
+#[test]
+fn single_rank_job_checkpoints_and_recovers() {
+    let expect = reference_outputs(1, 20);
+    let cfg = C3Config::every_ops(10).with_failure(0, 35);
+    let report = run_job(1, &cfg, None, &RingApp { iters: 20 }).unwrap();
+    assert_eq!(report.outputs, expect);
+    assert_eq!(report.restarts, 1);
+    assert!(report.recovered_from[0] >= 1);
+}
+
+#[test]
+fn explicit_piggyback_mode_is_equivalent_end_to_end() {
+    // The paper's "simple implementation" (full triple) and the optimized
+    // packed word must drive identical protocol behavior, including
+    // through a failure and recovery.
+    use c3_core::PiggybackMode;
+    let n = 3;
+    let iters = 24;
+    let expect = reference_outputs(n, iters);
+    for mode in [PiggybackMode::Packed, PiggybackMode::Explicit] {
+        let cfg = C3Config {
+            piggyback_mode: mode,
+            ..C3Config::every_ops(18).with_failure(1, 60)
+        };
+        let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+        assert_eq!(report.outputs, expect, "mode {mode:?}");
+        assert_eq!(report.restarts, 1, "mode {mode:?}");
+    }
+}
+
+#[test]
+fn time_based_trigger_commits_checkpoints() {
+    // The paper's 30-second interval, scaled: wall-clock-driven initiation.
+    let cfg = C3Config {
+        trigger: CheckpointTrigger::EveryMillis(5),
+        ..C3Config::default()
+    };
+    // Slow the app slightly so several intervals elapse.
+    struct SlowApp;
+    struct S {
+        i: u64,
+    }
+    impl_saveload_struct!(S { i: u64 });
+    impl C3App for SlowApp {
+        type State = S;
+        type Output = u64;
+        fn init(&self, _p: &mut Process<'_>) -> C3Result<S> {
+            Ok(S { i: 0 })
+        }
+        fn run(&self, p: &mut Process<'_>, s: &mut S) -> C3Result<u64> {
+            let world = p.world();
+            while s.i < 40 {
+                p.allreduce_t::<u64>(world, ReduceOp::Sum, &[s.i])?;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                s.i += 1;
+                p.potential_checkpoint(s)?;
+            }
+            Ok(s.i)
+        }
+    }
+    let report = run_job(2, &cfg, None, &SlowApp).unwrap();
+    assert!(
+        report.last_committed.unwrap_or(0) >= 2,
+        "expected several time-triggered checkpoints, got {:?}",
+        report.last_committed
+    );
+}
+
+#[test]
+fn sixteen_ranks_scale_with_failure() {
+    // The paper's cluster size. Time-sliced on the test machine, but the
+    // protocol phases (16 readyToStopLogging, 16 stoppedLogging, the full
+    // suppression exchange) all run at this scale.
+    let n = 16;
+    let iters = 10;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(14).with_failure(11, 30);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    assert_eq!(report.restarts, 1);
+    assert!(report.last_committed.is_some());
+}
+
+#[test]
+fn corrupt_committed_checkpoint_fails_loudly_not_wrongly() {
+    use ckptstore::{CheckpointStore, StorageBackend};
+    // Run once to produce a committed checkpoint, corrupt it, then force a
+    // recovery: the job must surface a Corrupt error, never restart from
+    // garbage.
+    let backend = Arc::new(MemoryBackend::new());
+    let cfg = C3Config::every_ops(16);
+    run_job(2, &cfg, Some(backend.clone()), &RingApp { iters: 20 }).unwrap();
+
+    let store = CheckpointStore::new(
+        backend.clone() as Arc<dyn StorageBackend>,
+        2,
+    );
+    let latest = store.latest_committed().unwrap().unwrap();
+    // Corrupt rank 0's state blob of the committed checkpoint.
+    let key = format!("ckpt/{latest:08}/rank0/state");
+    let mut raw = backend.get(&key).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0xFF;
+    backend.put(&key, &raw).unwrap();
+
+    let cfg = C3Config::every_ops(16).with_failure(1, 10);
+    let err = run_job(2, &cfg, Some(backend), &RingApp { iters: 20 })
+        .unwrap_err();
+    assert!(
+        matches!(err, c3_core::C3Error::Store(_)),
+        "expected a storage error, got {err}"
+    );
+}
+
+#[test]
+fn failure_during_recovery_replay_recovers_again() {
+    // The second injection fires very early in the recovered attempt — in
+    // the middle of suppression/replay — forcing a rollback *of a
+    // recovery*. The protocol must come back to the same answer.
+    let n = 3;
+    let iters = 40;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(15)
+        .with_failure(1, 90) // first failure, deep in attempt 1
+        .with_failure(2, 18); // fires almost immediately in attempt 2
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    let fired = cfg.failures.iter().filter(|i| i.is_consumed()).count();
+    assert_eq!(fired, 2, "both injections must fire");
+    assert_eq!(report.restarts, 2);
+}

@@ -1,0 +1,147 @@
+//! Chaos harness: run an application under many failure schedules and
+//! verify output equivalence with a failure-free reference run.
+
+use c3_core::{run_job, C3App, C3Config, C3Result};
+
+use crate::schedule::FailureSchedule;
+
+/// Outcome of a chaos campaign.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// Schedules exercised.
+    pub runs: usize,
+    /// Total restarts observed across all runs.
+    pub total_restarts: usize,
+    /// Per-run recovery checkpoint ids (flattened).
+    pub recoveries: Vec<u64>,
+}
+
+/// Run `app` once failure-free as the reference, then once per schedule,
+/// asserting every run reproduces the reference outputs exactly.
+///
+/// Returns the campaign report; errors if any run fails to complete, and
+/// panics (with context) if outputs diverge — divergence is a protocol
+/// correctness bug, not an operational error.
+pub fn chaos_check<A>(
+    nprocs: usize,
+    base_cfg: &C3Config,
+    app: &A,
+    schedules: &[FailureSchedule],
+) -> C3Result<ChaosReport>
+where
+    A: C3App,
+    A::Output: PartialEq + std::fmt::Debug,
+{
+    let reference = run_job(nprocs, base_cfg, None, app)?;
+    assert_eq!(
+        reference.restarts, 0,
+        "reference run must be failure-free"
+    );
+    let mut total_restarts = 0;
+    let mut recoveries = Vec::new();
+    for (idx, schedule) in schedules.iter().enumerate() {
+        let cfg = schedule.apply(base_cfg.clone());
+        let report = run_job(nprocs, &cfg, None, app)?;
+        assert_eq!(
+            report.outputs, reference.outputs,
+            "schedule #{idx} ({schedule:?}) diverged from the reference"
+        );
+        total_restarts += report.restarts;
+        recoveries.extend(report.recovered_from.iter().copied());
+    }
+    Ok(ChaosReport { runs: schedules.len(), total_restarts, recoveries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3_core::{C3Result, Process, ReduceOp};
+    use ckptstore::impl_saveload_struct;
+
+    struct StencilApp {
+        iters: u64,
+    }
+    struct St {
+        i: u64,
+        x: Vec<f64>,
+    }
+    impl_saveload_struct!(St { i: u64, x: Vec<f64> });
+
+    impl C3App for StencilApp {
+        type State = St;
+        type Output = u64;
+
+        fn init(&self, p: &mut Process<'_>) -> C3Result<St> {
+            Ok(St {
+                i: 0,
+                x: (0..16).map(|k| (k + p.rank()) as f64).collect(),
+            })
+        }
+
+        fn run(&self, p: &mut Process<'_>, s: &mut St) -> C3Result<u64> {
+            let world = p.world();
+            let n = p.size();
+            let right = (p.rank() + 1) % n;
+            let left = (p.rank() + n - 1) % n;
+            while s.i < self.iters {
+                let edge = [s.x[0], s.x[15]];
+                let got = p.sendrecv(
+                    world,
+                    right,
+                    4,
+                    &simmpi::MpiType::slice_to_bytes(&edge),
+                    left,
+                    4,
+                )?;
+                let halo: Vec<f64> =
+                    simmpi::MpiType::bytes_to_vec(&got.payload).unwrap();
+                for k in 0..16 {
+                    s.x[k] = 0.5 * s.x[k] + 0.25 * halo[0] + 0.25 * halo[1];
+                }
+                if s.i.is_multiple_of(5) {
+                    let norm: f64 = s.x.iter().map(|v| v * v).sum();
+                    let total =
+                        p.allreduce_t::<f64>(world, ReduceOp::Sum, &[norm])?;
+                    s.x[0] += total[0].sqrt() * 1e-6;
+                }
+                s.i += 1;
+                p.potential_checkpoint(s)?;
+            }
+            // Bit-stable digest of the state.
+            Ok(s
+                .x
+                .iter()
+                .fold(0u64, |h, v| h.wrapping_mul(31) ^ v.to_bits()))
+        }
+    }
+
+    #[test]
+    fn chaos_campaign_small() {
+        let schedules: Vec<FailureSchedule> = (0..4)
+            .map(|seed| FailureSchedule::random(seed, 3, 1, 20..80))
+            .collect();
+        let report = chaos_check(
+            3,
+            &C3Config::every_ops(15),
+            &StencilApp { iters: 25 },
+            &schedules,
+        )
+        .unwrap();
+        assert_eq!(report.runs, 4);
+        assert!(report.total_restarts >= 1);
+    }
+
+    #[test]
+    fn chaos_with_double_failures() {
+        let schedules: Vec<FailureSchedule> = (10..13)
+            .map(|seed| FailureSchedule::random(seed, 3, 2, 20..120))
+            .collect();
+        chaos_check(
+            3,
+            &C3Config::every_ops(12),
+            &StencilApp { iters: 30 },
+            &schedules,
+        )
+        .unwrap();
+    }
+}

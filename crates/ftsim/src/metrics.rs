@@ -1,0 +1,81 @@
+//! Recovery accounting for the fault-tolerance experiments.
+
+use std::time::Duration;
+
+use c3_core::JobReport;
+
+/// Derived metrics comparing a faulty run against a failure-free baseline.
+#[derive(Debug, Clone)]
+pub struct RecoveryMetrics {
+    /// Restarts performed.
+    pub restarts: usize,
+    /// Checkpoints the final attempt recovered from.
+    pub recovered_from: Vec<u64>,
+    /// Wall-clock time of the faulty run.
+    pub faulty_elapsed: Duration,
+    /// Wall-clock time of the baseline run.
+    pub baseline_elapsed: Duration,
+    /// `faulty / baseline` wall-clock ratio (≥ 1 in expectation).
+    pub slowdown: f64,
+    /// Bytes written to stable storage during the faulty run.
+    pub storage_bytes: u64,
+}
+
+impl RecoveryMetrics {
+    /// Compute metrics from a faulty-run report and a baseline report.
+    pub fn from_reports<O>(
+        faulty: &JobReport<O>,
+        baseline: &JobReport<O>,
+    ) -> Self {
+        let slowdown = faulty.elapsed.as_secs_f64()
+            / baseline.elapsed.as_secs_f64().max(1e-9);
+        RecoveryMetrics {
+            restarts: faulty.restarts,
+            recovered_from: faulty.recovered_from.clone(),
+            faulty_elapsed: faulty.elapsed,
+            baseline_elapsed: baseline.elapsed,
+            slowdown,
+            storage_bytes: faulty.storage_bytes_written,
+        }
+    }
+
+    /// One-line human-readable summary (used by the benchmark binaries).
+    pub fn summary(&self) -> String {
+        format!(
+            "restarts={} recovered_from={:?} elapsed={:.3}s baseline={:.3}s \
+             slowdown={:.2}x storage={}B",
+            self.restarts,
+            self.recovered_from,
+            self.faulty_elapsed.as_secs_f64(),
+            self.baseline_elapsed.as_secs_f64(),
+            self.slowdown,
+            self.storage_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c3_core::ProcStats;
+
+    fn report(elapsed_ms: u64, restarts: usize) -> JobReport<u64> {
+        JobReport {
+            outputs: vec![0],
+            restarts,
+            recovered_from: vec![1; restarts],
+            stats: vec![ProcStats::default()],
+            elapsed: Duration::from_millis(elapsed_ms),
+            storage_bytes_written: 1024,
+            last_committed: Some(3),
+        }
+    }
+
+    #[test]
+    fn slowdown_ratio() {
+        let m = RecoveryMetrics::from_reports(&report(300, 2), &report(100, 0));
+        assert_eq!(m.restarts, 2);
+        assert!((m.slowdown - 3.0).abs() < 0.05);
+        assert!(m.summary().contains("restarts=2"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Checkpoint-interval analysis: Young's approximation and empirical
+//! efficiency.
+//!
+//! The paper's configuration fixes a 30-second interval; the classic
+//! follow-up question — *what interval minimizes expected lost time?* — is
+//! answered to first order by Young's 1974 approximation
+//! `τ* ≈ sqrt(2 · C · MTBF)` for checkpoint cost `C`. This module provides
+//! the formula, the corresponding expected-efficiency model, and a helper
+//! that sweeps measured runs across intervals so the model can be compared
+//! against the simulator (used by the recovery benchmarks).
+
+/// Young's first-order optimal checkpoint interval: `sqrt(2 · C · MTBF)`.
+///
+/// `checkpoint_cost` and `mtbf` may be in any single consistent unit
+/// (seconds, protocol operations, ...); the result is in the same unit.
+pub fn young_interval(checkpoint_cost: f64, mtbf: f64) -> f64 {
+    assert!(checkpoint_cost >= 0.0 && mtbf > 0.0);
+    (2.0 * checkpoint_cost * mtbf).sqrt()
+}
+
+/// First-order expected efficiency (useful work / wall time) of periodic
+/// checkpointing with interval `tau`, checkpoint cost `c`, restart cost
+/// `r`, and exponential failures with the given `mtbf`:
+///
+/// * checkpoint overhead: `c / (tau + c)` of every period is non-work;
+/// * failure loss: a failure costs on average `tau / 2` of redone work
+///   plus `r` of restart, and failures arrive every `mtbf`.
+pub fn expected_efficiency(tau: f64, c: f64, r: f64, mtbf: f64) -> f64 {
+    assert!(tau > 0.0 && c >= 0.0 && r >= 0.0 && mtbf > 0.0);
+    let ckpt_overhead = c / (tau + c);
+    let failure_loss = (tau / 2.0 + r) / mtbf;
+    (1.0 - ckpt_overhead) * (1.0 - failure_loss).max(0.0)
+}
+
+/// Sweep [`expected_efficiency`] over candidate intervals and return the
+/// best `(tau, efficiency)` pair.
+pub fn best_interval(
+    candidates: &[f64],
+    c: f64,
+    r: f64,
+    mtbf: f64,
+) -> (f64, f64) {
+    assert!(!candidates.is_empty());
+    candidates
+        .iter()
+        .map(|&tau| (tau, expected_efficiency(tau, c, r, mtbf)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_matches_hand_values() {
+        // C = 2 s, MTBF = 3600 s → τ* = sqrt(14400) = 120 s.
+        assert_eq!(young_interval(2.0, 3600.0), 120.0);
+        // Zero-cost checkpoints → checkpoint continuously.
+        assert_eq!(young_interval(0.0, 1000.0), 0.0);
+    }
+
+    #[test]
+    fn efficiency_is_maximized_near_youngs_interval() {
+        let (c, r, mtbf) = (2.0, 5.0, 3600.0);
+        let tau_star = young_interval(c, mtbf);
+        let e_star = expected_efficiency(tau_star, c, r, mtbf);
+        // Efficiency at τ*/4 and 4τ* must both be worse.
+        assert!(expected_efficiency(tau_star / 4.0, c, r, mtbf) < e_star);
+        assert!(expected_efficiency(tau_star * 4.0, c, r, mtbf) < e_star);
+        // And a dense sweep's argmax lands within a factor of ~2 of τ*
+        // (Young's formula is a first-order approximation).
+        let candidates: Vec<f64> = (1..400).map(|k| k as f64).collect();
+        let (best_tau, _) = best_interval(&candidates, c, r, mtbf);
+        assert!(
+            best_tau > tau_star / 2.0 && best_tau < tau_star * 2.0,
+            "sweep argmax {best_tau} vs Young {tau_star}"
+        );
+    }
+
+    #[test]
+    fn efficiency_degrades_toward_zero_under_heavy_failures() {
+        // MTBF comparable to the interval: almost no useful work.
+        let e = expected_efficiency(100.0, 5.0, 20.0, 90.0);
+        assert!(e < 0.4, "got {e}");
+        // Failure-free limit: efficiency approaches 1 - c/(tau+c).
+        let e = expected_efficiency(100.0, 5.0, 20.0, 1e12);
+        assert!((e - (1.0 - 5.0 / 105.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,135 @@
+//! Seeded random failure schedules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use c3_core::C3Config;
+
+/// A reproducible plan of stopping failures for a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureSchedule {
+    /// `(rank, at_op)` pairs; each fires at most once across attempts.
+    pub injections: Vec<(usize, u64)>,
+}
+
+impl FailureSchedule {
+    /// No failures.
+    pub fn none() -> Self {
+        FailureSchedule { injections: Vec::new() }
+    }
+
+    /// A single failure.
+    pub fn single(rank: usize, at_op: u64) -> Self {
+        FailureSchedule { injections: vec![(rank, at_op)] }
+    }
+
+    /// `count` failures at random ranks and operation counts drawn
+    /// uniformly from `op_range`, reproducible from `seed`.
+    pub fn random(
+        seed: u64,
+        nranks: usize,
+        count: usize,
+        op_range: std::ops::Range<u64>,
+    ) -> Self {
+        assert!(nranks > 0 && !op_range.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut injections: Vec<(usize, u64)> = (0..count)
+            .map(|_| {
+                (
+                    rng.random_range(0..nranks),
+                    rng.random_range(op_range.clone()),
+                )
+            })
+            .collect();
+        // Sort by op so earlier failures fire on earlier attempts; a rank
+        // can appear multiple times (repeated failures of one node).
+        injections.sort_by_key(|&(_, op)| op);
+        FailureSchedule { injections }
+    }
+
+    /// Geometric inter-failure gaps with the given expected spacing in
+    /// protocol operations — a discrete stand-in for an exponential MTBF.
+    /// Failures keep arriving until `horizon_ops`.
+    pub fn mtbf(
+        seed: u64,
+        nranks: usize,
+        mean_ops_between_failures: u64,
+        horizon_ops: u64,
+    ) -> Self {
+        assert!(mean_ops_between_failures > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut injections = Vec::new();
+        let mut t = 0u64;
+        loop {
+            // Geometric draw via inverse CDF on a uniform.
+            let u: f64 = rng.random();
+            let gap = ((1.0 - u).ln()
+                / (1.0 - 1.0 / mean_ops_between_failures as f64).ln())
+            .ceil()
+            .max(1.0) as u64;
+            t = t.saturating_add(gap);
+            if t >= horizon_ops {
+                break;
+            }
+            injections.push((rng.random_range(0..nranks), t));
+        }
+        FailureSchedule { injections }
+    }
+
+    /// Apply this schedule to a configuration.
+    pub fn apply(&self, mut cfg: C3Config) -> C3Config {
+        for &(rank, at_op) in &self.injections {
+            cfg = cfg.with_failure(rank, at_op);
+        }
+        cfg
+    }
+
+    /// Number of injections.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = FailureSchedule::random(42, 4, 5, 10..100);
+        let b = FailureSchedule::random(42, 4, 5, 10..100);
+        assert_eq!(a, b);
+        let c = FailureSchedule::random(43, 4, 5, 10..100);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn random_respects_bounds() {
+        let s = FailureSchedule::random(7, 3, 50, 10..20);
+        assert_eq!(s.len(), 50);
+        for &(rank, op) in &s.injections {
+            assert!(rank < 3);
+            assert!((10..20).contains(&op));
+        }
+        assert!(s.injections.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn mtbf_spacing_is_roughly_mean() {
+        let s = FailureSchedule::mtbf(1, 4, 100, 100_000);
+        assert!(s.len() > 500, "expect ~1000 failures, got {}", s.len());
+        assert!(s.len() < 2000);
+    }
+
+    #[test]
+    fn apply_builds_config() {
+        let cfg = FailureSchedule::single(2, 30).apply(C3Config::default());
+        assert_eq!(cfg.failures.len(), 1);
+        assert_eq!(cfg.failures[0].rank, 2);
+    }
+}

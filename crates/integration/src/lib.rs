@@ -1,0 +1,2 @@
+//! Host package for the workspace-level integration tests in the
+//! repository-root `tests/` directory. Contains no library code.

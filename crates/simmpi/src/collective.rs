@@ -1,0 +1,591 @@
+//! Collective operations and communicator creation.
+//!
+//! All collectives are implemented with internal point-to-point messages on
+//! the communicator's collective plane (context bit set), so they are
+//! invisible to application receives — and, crucially for the paper's
+//! architecture, the checkpointing protocol layer above intercepts
+//! collectives as *whole calls*, never seeing these internals (Section 4.5:
+//! "Had the layer been implemented between MPI and the operating
+//! system/hardware layer, the protocol would have had to deal with all
+//! these low-level point-to-point messages").
+//!
+//! Algorithms are chosen for determinism and simplicity at simulator scale
+//! (≤ 64 ranks): binomial-tree broadcast, linear gather/reduce with
+//! ascending-rank combination order (deterministic floating-point results),
+//! dissemination barrier, pairwise all-to-all, linear-chain scan.
+
+use bytes::Bytes;
+
+use crate::comm::{Comm, COLLECTIVE_BIT};
+use crate::datatype::{DType, MpiType, ReduceOp};
+use crate::error::{MpiError, MpiResult};
+use crate::rank::{Mpi, Plane};
+
+/// Opcode nibble mixed into internal collective tags.
+#[derive(Clone, Copy)]
+enum CollOp {
+    Barrier = 0,
+    Bcast = 1,
+    Gather = 2,
+    Scatter = 3,
+    // 4 reserved: reductions ride on Gather/Bcast internally.
+    Alltoall = 5,
+    Scan = 6,
+    CtxAgree = 7,
+}
+
+fn coll_tag(seq: u32, op: CollOp, round: u32) -> i32 {
+    // seq: 20 bits, round: 8 bits, op: 4 bits — all positive i32 values.
+    (((seq & 0xF_FFFF) << 12) | ((round & 0xFF) << 4) | (op as u32)) as i32
+}
+
+/// Frame a list of byte chunks into one payload (used when a gathered
+/// result is re-broadcast).
+fn frame_chunks(chunks: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize =
+        8 + chunks.iter().map(|c| 8 + c.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&(chunks.len() as u64).to_le_bytes());
+    for c in chunks {
+        out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+        out.extend_from_slice(c);
+    }
+    out
+}
+
+fn unframe_chunks(payload: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
+    let err = || MpiError::BadPayload("malformed framed chunks".into());
+    let mut pos = 0;
+    let take = |pos: &mut usize, n: usize| -> MpiResult<&[u8]> {
+        if payload.len() - *pos < n {
+            return Err(err());
+        }
+        let s = &payload[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let count =
+        u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let mut chunks = Vec::with_capacity(count.min(payload.len()));
+    for _ in 0..count {
+        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())
+            as usize;
+        chunks.push(take(&mut pos, len)?.to_vec());
+    }
+    if pos != payload.len() {
+        return Err(err());
+    }
+    Ok(chunks)
+}
+
+impl Mpi {
+    fn csend(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        tag: i32,
+        payload: Bytes,
+    ) -> MpiResult<()> {
+        self.send_on(comm, Plane::Coll, dst, tag, payload)
+    }
+
+    fn crecv(&mut self, comm: &Comm, src: usize, tag: i32) -> MpiResult<Bytes> {
+        Ok(self.recv_on(comm, Plane::Coll, src, tag)?.payload)
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// Synchronize all members (the `MPI_Barrier` analogue); dissemination
+    /// algorithm, ⌈log₂ n⌉ rounds.
+    pub fn barrier(&mut self, comm: &Comm) -> MpiResult<()> {
+        let n = comm.size();
+        if n == 1 {
+            return Ok(());
+        }
+        let me = comm.rank();
+        let seq = comm.next_coll_seq();
+        let mut round = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            let dst = (me + dist) % n;
+            let src = (me + n - dist) % n;
+            let tag = coll_tag(seq, CollOp::Barrier, round);
+            self.csend(comm, dst, tag, Bytes::new())?;
+            self.crecv(comm, src, tag)?;
+            dist *= 2;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast
+    // ------------------------------------------------------------------
+
+    /// Broadcast `root`'s payload to all members (the `MPI_Bcast`
+    /// analogue). Non-root callers' `data` is ignored; everyone receives
+    /// the root's bytes. Binomial tree.
+    pub fn bcast(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Bytes,
+    ) -> MpiResult<Bytes> {
+        let n = comm.size();
+        if root >= n {
+            return Err(MpiError::InvalidRank { rank: root, size: n });
+        }
+        if n == 1 {
+            return Ok(data);
+        }
+        let me = comm.rank();
+        let vr = (me + n - root) % n; // rank relative to root
+        let seq = comm.next_coll_seq();
+        let tag = coll_tag(seq, CollOp::Bcast, 0);
+
+        let mut buf = if me == root { data } else { Bytes::new() };
+
+        // Receive phase: find the bit where our subtree was reached.
+        let mut mask = 1usize;
+        while mask < n {
+            if vr & mask != 0 {
+                let src = (vr - mask + root) % n;
+                buf = self.crecv(comm, src, tag)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to subtrees below our bit.
+        mask >>= 1;
+        while mask > 0 {
+            if vr + mask < n {
+                let dst = (vr + mask + root) % n;
+                self.csend(comm, dst, tag, buf.clone())?;
+            }
+            mask >>= 1;
+        }
+        Ok(buf)
+    }
+
+    /// Typed broadcast; returns the root's slice at every rank.
+    pub fn bcast_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: &[T],
+    ) -> MpiResult<Vec<T>> {
+        let payload = if comm.rank() == root {
+            Bytes::from(T::slice_to_bytes(data))
+        } else {
+            Bytes::new()
+        };
+        let out = self.bcast(comm, root, payload)?;
+        T::bytes_to_vec(&out)
+    }
+
+    // ------------------------------------------------------------------
+    // Gather / Scatter
+    // ------------------------------------------------------------------
+
+    /// Gather every member's payload at `root` (the `MPI_Gather` analogue,
+    /// ragged payloads allowed). Returns `Some(chunks)` — indexed by
+    /// communicator rank — at the root, `None` elsewhere.
+    pub fn gather(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: &[u8],
+    ) -> MpiResult<Option<Vec<Vec<u8>>>> {
+        let n = comm.size();
+        if root >= n {
+            return Err(MpiError::InvalidRank { rank: root, size: n });
+        }
+        let me = comm.rank();
+        let seq = comm.next_coll_seq();
+        let tag = coll_tag(seq, CollOp::Gather, 0);
+        if me == root {
+            let mut chunks = vec![Vec::new(); n];
+            chunks[me].extend_from_slice(data);
+            for (src, chunk) in chunks.iter_mut().enumerate() {
+                if src != me {
+                    *chunk = self.crecv(comm, src, tag)?.to_vec();
+                }
+            }
+            Ok(Some(chunks))
+        } else {
+            self.csend(comm, root, tag, Bytes::copy_from_slice(data))?;
+            Ok(None)
+        }
+    }
+
+    /// Typed gather.
+    pub fn gather_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: &[T],
+    ) -> MpiResult<Option<Vec<Vec<T>>>> {
+        match self.gather(comm, root, &T::slice_to_bytes(data))? {
+            None => Ok(None),
+            Some(chunks) => {
+                let mut out = Vec::with_capacity(chunks.len());
+                for c in &chunks {
+                    out.push(T::bytes_to_vec(c)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Gather every member's payload at every member (the `MPI_Allgather`
+    /// analogue, ragged payloads allowed). `chunks[r]` is rank `r`'s data.
+    pub fn allgather(
+        &mut self,
+        comm: &Comm,
+        data: &[u8],
+    ) -> MpiResult<Vec<Vec<u8>>> {
+        let gathered = self.gather(comm, 0, data)?;
+        let framed = match gathered {
+            Some(chunks) => Bytes::from(frame_chunks(&chunks)),
+            None => Bytes::new(),
+        };
+        let bcasted = self.bcast(comm, 0, framed)?;
+        unframe_chunks(&bcasted)
+    }
+
+    /// Typed allgather returning per-rank vectors.
+    pub fn allgather_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        data: &[T],
+    ) -> MpiResult<Vec<Vec<T>>> {
+        let chunks = self.allgather(comm, &T::slice_to_bytes(data))?;
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in &chunks {
+            out.push(T::bytes_to_vec(c)?);
+        }
+        Ok(out)
+    }
+
+    /// Typed allgather returning the concatenation in rank order (the
+    /// contiguous-buffer shape of `MPI_Allgather`).
+    pub fn allgather_flat_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        data: &[T],
+    ) -> MpiResult<Vec<T>> {
+        Ok(self.allgather_t(comm, data)?.into_iter().flatten().collect())
+    }
+
+    /// Distribute `root`'s per-rank chunks (the `MPI_Scatter` analogue,
+    /// ragged chunks allowed). Non-roots pass `None` for `chunks`.
+    pub fn scatter(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        chunks: Option<&[Vec<u8>]>,
+    ) -> MpiResult<Vec<u8>> {
+        let n = comm.size();
+        if root >= n {
+            return Err(MpiError::InvalidRank { rank: root, size: n });
+        }
+        let me = comm.rank();
+        // Validate arguments *before* consuming a collective sequence
+        // number: a local error must not desynchronize this rank's
+        // sequence counter from its peers'.
+        if me == root {
+            let chunks = chunks.ok_or_else(|| {
+                MpiError::CollectiveMismatch(
+                    "scatter root must supply chunks".into(),
+                )
+            })?;
+            if chunks.len() != n {
+                return Err(MpiError::CollectiveMismatch(format!(
+                    "scatter root supplied {} chunks for {n} ranks",
+                    chunks.len()
+                )));
+            }
+        }
+        let seq = comm.next_coll_seq();
+        let tag = coll_tag(seq, CollOp::Scatter, 0);
+        if me == root {
+            let chunks = chunks.expect("validated above");
+            for (dst, chunk) in chunks.iter().enumerate() {
+                if dst != me {
+                    self.csend(
+                        comm,
+                        dst,
+                        tag,
+                        Bytes::copy_from_slice(chunk),
+                    )?;
+                }
+            }
+            Ok(chunks[me].clone())
+        } else {
+            Ok(self.crecv(comm, root, tag)?.to_vec())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Element-wise reduction to `root` (the `MPI_Reduce` analogue).
+    /// Contributions are combined in ascending communicator-rank order, so
+    /// floating-point results are deterministic. Returns `Some` at root.
+    pub fn reduce_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        op: ReduceOp,
+        data: &[T],
+    ) -> MpiResult<Option<Vec<T>>> {
+        let bytes =
+            self.reduce_bytes(comm, root, op, T::DTYPE, &T::slice_to_bytes(data))?;
+        match bytes {
+            None => Ok(None),
+            Some(b) => Ok(Some(T::bytes_to_vec(&b)?)),
+        }
+    }
+
+    /// Byte-level reduction to `root`.
+    pub fn reduce_bytes(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        op: ReduceOp,
+        dtype: DType,
+        data: &[u8],
+    ) -> MpiResult<Option<Vec<u8>>> {
+        dtype.check(data)?;
+        let chunks = self.gather(comm, root, data)?;
+        match chunks {
+            None => Ok(None),
+            Some(chunks) => {
+                let mut iter = chunks.into_iter();
+                let mut acc = iter.next().ok_or_else(|| {
+                    MpiError::CollectiveMismatch("empty reduce group".into())
+                })?;
+                for chunk in iter {
+                    op.combine(dtype, &mut acc, &chunk)?;
+                }
+                Ok(Some(acc))
+            }
+        }
+    }
+
+    /// Element-wise reduction delivered to every member (the
+    /// `MPI_Allreduce` analogue). Reduce-to-0 followed by broadcast.
+    pub fn allreduce_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        op: ReduceOp,
+        data: &[T],
+    ) -> MpiResult<Vec<T>> {
+        let bytes =
+            self.allreduce_bytes(comm, op, T::DTYPE, &T::slice_to_bytes(data))?;
+        T::bytes_to_vec(&bytes)
+    }
+
+    /// Byte-level allreduce.
+    pub fn allreduce_bytes(
+        &mut self,
+        comm: &Comm,
+        op: ReduceOp,
+        dtype: DType,
+        data: &[u8],
+    ) -> MpiResult<Vec<u8>> {
+        let reduced = self.reduce_bytes(comm, 0, op, dtype, data)?;
+        let payload = match reduced {
+            Some(b) => Bytes::from(b),
+            None => Bytes::new(),
+        };
+        Ok(self.bcast(comm, 0, payload)?.to_vec())
+    }
+
+    /// Inclusive prefix reduction (the `MPI_Scan` analogue): rank `r`
+    /// receives `op(data_0, …, data_r)`. Linear chain.
+    pub fn scan_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        op: ReduceOp,
+        data: &[T],
+    ) -> MpiResult<Vec<T>> {
+        let n = comm.size();
+        let me = comm.rank();
+        let seq = comm.next_coll_seq();
+        let tag = coll_tag(seq, CollOp::Scan, 0);
+        let mut acc = T::slice_to_bytes(data);
+        T::DTYPE.check(&acc)?;
+        if me > 0 {
+            let prev = self.crecv(comm, me - 1, tag)?;
+            let mut combined = prev.to_vec();
+            op.combine(T::DTYPE, &mut combined, &acc)?;
+            acc = combined;
+        }
+        if me + 1 < n {
+            self.csend(comm, me + 1, tag, Bytes::copy_from_slice(&acc))?;
+        }
+        T::bytes_to_vec(&acc)
+    }
+
+    // ------------------------------------------------------------------
+    // All-to-all
+    // ------------------------------------------------------------------
+
+    /// Personalized all-to-all exchange (the `MPI_Alltoall` analogue,
+    /// ragged chunks allowed). `chunks[d]` goes to rank `d`; the result's
+    /// entry `s` came from rank `s`.
+    pub fn alltoall(
+        &mut self,
+        comm: &Comm,
+        chunks: &[Vec<u8>],
+    ) -> MpiResult<Vec<Vec<u8>>> {
+        let n = comm.size();
+        let me = comm.rank();
+        if chunks.len() != n {
+            return Err(MpiError::CollectiveMismatch(format!(
+                "alltoall supplied {} chunks for {n} ranks",
+                chunks.len()
+            )));
+        }
+        let seq = comm.next_coll_seq();
+        let tag = coll_tag(seq, CollOp::Alltoall, 0);
+        // Post every receive first, then send — deadlock-free regardless of
+        // transport buffering.
+        let mut reqs = Vec::with_capacity(n - 1);
+        for src in (0..n).filter(|&s| s != me) {
+            reqs.push((src, self.irecv_on(comm, Plane::Coll, src, tag)?));
+        }
+        for dst in (0..n).filter(|&d| d != me) {
+            self.csend(comm, dst, tag, Bytes::copy_from_slice(&chunks[dst]))?;
+        }
+        let mut out = vec![Vec::new(); n];
+        out[me] = chunks[me].clone();
+        for (src, mut req) in reqs {
+            let msg = self.wait_recv(comm, &mut req)?;
+            out[src] = msg.payload.to_vec();
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator creation (collective context agreement)
+    // ------------------------------------------------------------------
+
+    /// Agree on a fresh context id across the members of `comm`.
+    fn agree_context(&mut self, comm: &Comm) -> MpiResult<u32> {
+        let n = comm.size();
+        let me = comm.rank();
+        let seq = comm.next_coll_seq();
+        let tag = coll_tag(seq, CollOp::CtxAgree, 0);
+        // Small hand-rolled max-allreduce (cannot reuse reduce_bytes: that
+        // would recurse through gather's own seq accounting — fine, but the
+        // explicit version keeps context agreement independent and simple).
+        let mut max = self.next_ctx_hint;
+        if me == 0 {
+            for src in 1..n {
+                let b = self.crecv(comm, src, tag)?;
+                let v = u32::from_le_bytes(b[..4].try_into().map_err(|_| {
+                    MpiError::BadPayload("short ctx hint".into())
+                })?);
+                max = max.max(v);
+            }
+        } else {
+            self.csend(
+                comm,
+                0,
+                tag,
+                Bytes::copy_from_slice(&self.next_ctx_hint.to_le_bytes()),
+            )?;
+        }
+        let agreed = self.bcast(
+            comm,
+            0,
+            Bytes::copy_from_slice(&max.to_le_bytes()),
+        )?;
+        let ctx = u32::from_le_bytes(agreed[..4].try_into().map_err(|_| {
+            MpiError::BadPayload("short agreed ctx".into())
+        })?);
+        assert!(
+            ctx < COLLECTIVE_BIT,
+            "communicator context space exhausted"
+        );
+        self.next_ctx_hint = ctx + 1;
+        Ok(ctx)
+    }
+
+    /// Duplicate a communicator: same membership, fresh isolated context
+    /// (the `MPI_Comm_dup` analogue). Collective over `comm`.
+    pub fn comm_dup(&mut self, comm: &Comm) -> MpiResult<Comm> {
+        let ctx = self.agree_context(comm)?;
+        Comm::from_parts(ctx, comm.members().to_vec(), self.rank())
+    }
+
+    /// Partition a communicator by `color` (the `MPI_Comm_split`
+    /// analogue). Members passing the same non-negative color form a new
+    /// communicator, ordered by `(key, old rank)`; a negative color opts
+    /// out and yields `None`. Collective over `comm`.
+    pub fn comm_split(
+        &mut self,
+        comm: &Comm,
+        color: i32,
+        key: i32,
+    ) -> MpiResult<Option<Comm>> {
+        let ctx = self.agree_context(comm)?;
+        // Exchange (color, key, world_rank) triples.
+        let mine = [color as i64, key as i64, self.rank() as i64];
+        let all = self.allgather_t::<i64>(comm, &mine)?;
+        if color < 0 {
+            return Ok(None);
+        }
+        let mut group: Vec<(i64, i64, i64)> = all
+            .iter()
+            .filter(|t| t.len() == 3 && t[0] == color as i64)
+            .map(|t| (t[1], t[2], t[0]))
+            .collect();
+        group.sort();
+        let members: Vec<usize> =
+            group.iter().map(|&(_, w, _)| w as usize).collect();
+        Ok(Some(Comm::from_parts(ctx, members, self.rank())?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let chunks =
+            vec![vec![1u8, 2, 3], vec![], vec![9u8; 100], vec![42]];
+        let framed = frame_chunks(&chunks);
+        assert_eq!(unframe_chunks(&framed).unwrap(), chunks);
+    }
+
+    #[test]
+    fn unframe_rejects_garbage() {
+        assert!(unframe_chunks(&[1, 2, 3]).is_err());
+        let mut framed = frame_chunks(&[vec![1, 2, 3]]);
+        framed.truncate(framed.len() - 1);
+        assert!(unframe_chunks(&framed).is_err());
+        // Trailing junk is also rejected.
+        let mut framed = frame_chunks(&[vec![1, 2, 3]]);
+        framed.push(0);
+        assert!(unframe_chunks(&framed).is_err());
+    }
+
+    #[test]
+    fn coll_tags_are_positive_and_distinct_across_ops() {
+        let t1 = coll_tag(0, CollOp::Barrier, 0);
+        let t2 = coll_tag(0, CollOp::Bcast, 0);
+        let t3 = coll_tag(1, CollOp::Barrier, 0);
+        let t4 = coll_tag(0, CollOp::Barrier, 1);
+        assert!(t1 >= 0 && t2 >= 0 && t3 >= 0 && t4 >= 0);
+        assert_ne!(t1, t2);
+        assert_ne!(t1, t3);
+        assert_ne!(t1, t4);
+    }
+}

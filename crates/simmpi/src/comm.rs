@@ -1,0 +1,193 @@
+//! Communicators (the `MPI_Comm` analogue).
+//!
+//! A communicator is a membership list plus a *context identifier* that
+//! isolates its traffic from every other communicator's. Collective traffic
+//! runs in a shadow context ([`COLLECTIVE_BIT`]) so application
+//! point-to-point receives — even wildcard ones — can never match the
+//! internal messages of a collective.
+//!
+//! New contexts are allocated **collectively** (see [`crate::Mpi::comm_dup`]
+//! and [`crate::Mpi::comm_split`]): participants agree on
+//! `max(next-context-hint) + 1` via an internal allreduce, which keeps
+//! identifiers consistent across members and unique among communicators
+//! that share any rank — the property required for isolation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crate::error::{MpiError, MpiResult};
+
+/// Context bit distinguishing a communicator's collective plane from its
+/// point-to-point plane.
+pub const COLLECTIVE_BIT: u32 = 0x8000_0000;
+
+/// Context id of the world communicator. Ids below this are reserved.
+pub const WORLD_CONTEXT: u32 = 1;
+
+/// Handle to a communicator, specific to one rank (it knows the holder's
+/// position in the group). Cloning shares the underlying state, so the
+/// per-communicator collective sequence counter stays consistent across
+/// clones held by the same rank.
+#[derive(Clone)]
+pub struct Comm {
+    inner: Arc<CommInner>,
+}
+
+struct CommInner {
+    context: u32,
+    /// World ranks of the members, indexed by communicator rank.
+    members: Vec<usize>,
+    /// Inverse of `members`.
+    world_to_comm: HashMap<usize, usize>,
+    /// Holder's rank within this communicator.
+    my_comm_rank: usize,
+    /// Per-collective-call sequence number, mixed into internal tags as a
+    /// guard against cross-call matching.
+    coll_seq: AtomicU32,
+}
+
+impl Comm {
+    /// The world communicator for a rank in a job of `size`.
+    pub(crate) fn world(rank: usize, size: usize) -> Comm {
+        Self::from_parts(WORLD_CONTEXT, (0..size).collect(), rank)
+            .expect("world comm construction cannot fail")
+    }
+
+    /// Build a communicator from raw parts. `members` lists world ranks in
+    /// communicator-rank order; `my_world_rank` must appear in it.
+    pub(crate) fn from_parts(
+        context: u32,
+        members: Vec<usize>,
+        my_world_rank: usize,
+    ) -> MpiResult<Comm> {
+        let world_to_comm: HashMap<usize, usize> =
+            members.iter().enumerate().map(|(c, &w)| (w, c)).collect();
+        if world_to_comm.len() != members.len() {
+            return Err(MpiError::CollectiveMismatch(
+                "duplicate world rank in communicator group".into(),
+            ));
+        }
+        let my_comm_rank = *world_to_comm
+            .get(&my_world_rank)
+            .ok_or(MpiError::NotInComm)?;
+        Ok(Comm {
+            inner: Arc::new(CommInner {
+                context,
+                members,
+                world_to_comm,
+                my_comm_rank,
+                coll_seq: AtomicU32::new(0),
+            }),
+        })
+    }
+
+    /// Number of member ranks.
+    pub fn size(&self) -> usize {
+        self.inner.members.len()
+    }
+
+    /// Holder's rank within this communicator.
+    pub fn rank(&self) -> usize {
+        self.inner.my_comm_rank
+    }
+
+    /// The point-to-point context identifier.
+    pub fn context(&self) -> u32 {
+        self.inner.context
+    }
+
+    /// The collective-plane context identifier.
+    pub fn coll_context(&self) -> u32 {
+        self.inner.context | COLLECTIVE_BIT
+    }
+
+    /// World ranks of the members, in communicator-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.inner.members
+    }
+
+    /// Translate a communicator rank to a world rank.
+    pub fn world_rank(&self, comm_rank: usize) -> MpiResult<usize> {
+        self.inner.members.get(comm_rank).copied().ok_or(
+            MpiError::InvalidRank { rank: comm_rank, size: self.size() },
+        )
+    }
+
+    /// Translate a world rank to a communicator rank, if a member.
+    pub fn comm_rank_of_world(&self, world_rank: usize) -> Option<usize> {
+        self.inner.world_to_comm.get(&world_rank).copied()
+    }
+
+    /// Holder's world rank.
+    pub fn my_world_rank(&self) -> usize {
+        self.inner.members[self.inner.my_comm_rank]
+    }
+
+    /// Advance and return the collective sequence number (used to salt the
+    /// tags of internal collective messages).
+    pub(crate) fn next_coll_seq(&self) -> u32 {
+        self.inner.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("context", &self.inner.context)
+            .field("size", &self.size())
+            .field("rank", &self.rank())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_comm_layout() {
+        let c = Comm::world(2, 4);
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.rank(), 2);
+        assert_eq!(c.context(), WORLD_CONTEXT);
+        assert_eq!(c.coll_context(), WORLD_CONTEXT | COLLECTIVE_BIT);
+        assert_eq!(c.members(), &[0, 1, 2, 3]);
+        assert_eq!(c.world_rank(3).unwrap(), 3);
+        assert_eq!(c.my_world_rank(), 2);
+    }
+
+    #[test]
+    fn subgroup_rank_translation() {
+        // Members are world ranks {5, 2, 9}; holder is world rank 9.
+        let c = Comm::from_parts(7, vec![5, 2, 9], 9).unwrap();
+        assert_eq!(c.size(), 3);
+        assert_eq!(c.rank(), 2);
+        assert_eq!(c.world_rank(0).unwrap(), 5);
+        assert_eq!(c.comm_rank_of_world(2), Some(1));
+        assert_eq!(c.comm_rank_of_world(7), None);
+        assert!(c.world_rank(3).is_err());
+    }
+
+    #[test]
+    fn non_member_holder_is_rejected() {
+        assert!(matches!(
+            Comm::from_parts(7, vec![0, 1], 5),
+            Err(MpiError::NotInComm)
+        ));
+    }
+
+    #[test]
+    fn duplicate_member_is_rejected() {
+        assert!(Comm::from_parts(7, vec![0, 1, 0], 0).is_err());
+    }
+
+    #[test]
+    fn clones_share_collective_sequence() {
+        let a = Comm::world(0, 2);
+        let b = a.clone();
+        assert_eq!(a.next_coll_seq(), 0);
+        assert_eq!(b.next_coll_seq(), 1);
+        assert_eq!(a.next_coll_seq(), 2);
+    }
+}

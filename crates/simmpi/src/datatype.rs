@@ -1,0 +1,341 @@
+//! Datatypes and reduction operators.
+//!
+//! Payloads travel as raw bytes; typed views are provided by the [`MpiType`]
+//! trait (the analogue of `MPI_Datatype` for the small set of types the
+//! evaluation applications need) and reductions interpret byte payloads
+//! element-wise according to a [`DType`].
+
+use crate::error::{MpiError, MpiResult};
+
+/// Element type of a reduction payload (the analogue of `MPI_Datatype` as
+/// used by `MPI_Reduce`-family calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Signed 32-bit integer.
+    I32,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Signed 64-bit integer.
+    I64,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// IEEE-754 single-precision float.
+    F32,
+    /// IEEE-754 double-precision float.
+    F64,
+}
+
+impl DType {
+    /// Width of one element in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::I32 | DType::U32 | DType::F32 => 4,
+            DType::I64 | DType::U64 | DType::F64 => 8,
+        }
+    }
+
+    /// Validate that `payload` is a whole number of elements.
+    pub fn check(self, payload: &[u8]) -> MpiResult<usize> {
+        let w = self.width();
+        if !payload.len().is_multiple_of(w) {
+            return Err(MpiError::BadPayload(format!(
+                "payload of {} bytes is not a multiple of {w}-byte {:?}",
+                payload.len(),
+                self
+            )));
+        }
+        Ok(payload.len() / w)
+    }
+}
+
+/// Reduction operators (the analogue of `MPI_Op`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// Element-wise sum (wrapping for integers).
+    Sum,
+    /// Element-wise product (wrapping for integers).
+    Prod,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Logical AND (nonzero = true); result elements are 0 or 1.
+    Land,
+    /// Logical OR (nonzero = true); result elements are 0 or 1.
+    Lor,
+    /// Bitwise AND.
+    Band,
+    /// Bitwise OR.
+    Bor,
+}
+
+macro_rules! combine_as {
+    ($t:ty, $op:expr, $acc:expr, $other:expr) => {{
+        let a = <$t>::from_le_bytes($acc.try_into().unwrap());
+        let b = <$t>::from_le_bytes($other.try_into().unwrap());
+        let r: $t = match $op {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Prod => a * b,
+            ReduceOp::Min => if b < a { b } else { a },
+            ReduceOp::Max => if b > a { b } else { a },
+            ReduceOp::Land | ReduceOp::Lor | ReduceOp::Band | ReduceOp::Bor => {
+                unreachable!("logical/bitwise ops handled integrally")
+            }
+        };
+        $acc.copy_from_slice(&r.to_le_bytes());
+    }};
+}
+
+macro_rules! combine_int {
+    ($t:ty, $op:expr, $acc:expr, $other:expr) => {{
+        let a = <$t>::from_le_bytes($acc.try_into().unwrap());
+        let b = <$t>::from_le_bytes($other.try_into().unwrap());
+        let r: $t = match $op {
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Prod => a.wrapping_mul(b),
+            ReduceOp::Min => if b < a { b } else { a },
+            ReduceOp::Max => if b > a { b } else { a },
+            ReduceOp::Land => ((a != 0) && (b != 0)) as $t,
+            ReduceOp::Lor => ((a != 0) || (b != 0)) as $t,
+            ReduceOp::Band => a & b,
+            ReduceOp::Bor => a | b,
+        };
+        $acc.copy_from_slice(&r.to_le_bytes());
+    }};
+}
+
+impl ReduceOp {
+    /// Combine `other` into `acc`, element-wise: `acc[i] = op(acc[i], other[i])`.
+    ///
+    /// Both slices must be the same length and a whole number of `dtype`
+    /// elements. Reductions are applied in ascending-rank order by the
+    /// collectives, so floating-point results are deterministic for a given
+    /// communicator size.
+    pub fn combine(
+        self,
+        dtype: DType,
+        acc: &mut [u8],
+        other: &[u8],
+    ) -> MpiResult<()> {
+        if acc.len() != other.len() {
+            return Err(MpiError::BadPayload(format!(
+                "reduce length mismatch: {} vs {} bytes",
+                acc.len(),
+                other.len()
+            )));
+        }
+        dtype.check(acc)?;
+        let w = dtype.width();
+        if matches!(self, ReduceOp::Land | ReduceOp::Lor) {
+            // Logical ops: interpret floats via "nonzero" too.
+            for (a, b) in acc.chunks_exact_mut(w).zip(other.chunks_exact(w)) {
+                let an = a.iter().any(|&x| x != 0);
+                let bn = match dtype {
+                    DType::F32 => {
+                        f32::from_le_bytes(b.try_into().unwrap()) != 0.0
+                    }
+                    DType::F64 => {
+                        f64::from_le_bytes(b.try_into().unwrap()) != 0.0
+                    }
+                    _ => b.iter().any(|&x| x != 0),
+                };
+                let an = match dtype {
+                    DType::F32 => {
+                        f32::from_le_bytes(a[..].try_into().unwrap()) != 0.0
+                    }
+                    DType::F64 => {
+                        f64::from_le_bytes(a[..].try_into().unwrap()) != 0.0
+                    }
+                    _ => an,
+                };
+                let r = match self {
+                    ReduceOp::Land => an && bn,
+                    ReduceOp::Lor => an || bn,
+                    _ => unreachable!(),
+                };
+                a.fill(0);
+                a[0] = r as u8;
+                // Re-encode as the dtype's representation of 1/0.
+                match dtype {
+                    DType::F32 => a.copy_from_slice(
+                        &(if r { 1.0f32 } else { 0.0 }).to_le_bytes(),
+                    ),
+                    DType::F64 => a.copy_from_slice(
+                        &(if r { 1.0f64 } else { 0.0 }).to_le_bytes(),
+                    ),
+                    _ => {}
+                }
+            }
+            return Ok(());
+        }
+        if matches!(self, ReduceOp::Band | ReduceOp::Bor)
+            && matches!(dtype, DType::F32 | DType::F64)
+        {
+            return Err(MpiError::BadPayload(
+                "bitwise reduction on floating-point dtype".into(),
+            ));
+        }
+        for (a, b) in acc.chunks_exact_mut(w).zip(other.chunks_exact(w)) {
+            match dtype {
+                DType::U8 => combine_int!(u8, self, a, b),
+                DType::I32 => combine_int!(i32, self, a, b),
+                DType::U32 => combine_int!(u32, self, a, b),
+                DType::I64 => combine_int!(i64, self, a, b),
+                DType::U64 => combine_int!(u64, self, a, b),
+                DType::F32 => combine_as!(f32, self, a, b),
+                DType::F64 => combine_as!(f64, self, a, b),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Rust types that map onto a [`DType`] and can be shipped as payloads.
+///
+/// This is the typed convenience layer; the wire format is always
+/// little-endian bytes, so blobs are stable across save/restore.
+pub trait MpiType: Copy + Send + 'static {
+    /// The wire dtype for this Rust type.
+    const DTYPE: DType;
+    /// Append this value's little-endian encoding.
+    fn write_to(self, out: &mut Vec<u8>);
+    /// Decode one value from exactly `Self::DTYPE.width()` bytes.
+    fn read_from(bytes: &[u8]) -> Self;
+
+    /// Encode a slice of values to bytes.
+    fn slice_to_bytes(vals: &[Self]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(vals.len() * Self::DTYPE.width());
+        for &v in vals {
+            v.write_to(&mut out);
+        }
+        out
+    }
+
+    /// Decode a byte payload into values; errors if the length is ragged.
+    fn bytes_to_vec(bytes: &[u8]) -> MpiResult<Vec<Self>> {
+        let n = Self::DTYPE.check(bytes)?;
+        let w = Self::DTYPE.width();
+        Ok((0..n).map(|i| Self::read_from(&bytes[i * w..(i + 1) * w])).collect())
+    }
+}
+
+macro_rules! impl_mpi_type {
+    ($t:ty, $dt:expr) => {
+        impl MpiType for $t {
+            const DTYPE: DType = $dt;
+            fn write_to(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_from(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().unwrap())
+            }
+        }
+    };
+}
+
+impl_mpi_type!(u8, DType::U8);
+impl_mpi_type!(i32, DType::I32);
+impl_mpi_type!(u32, DType::U32);
+impl_mpi_type!(i64, DType::I64);
+impl_mpi_type!(u64, DType::U64);
+impl_mpi_type!(f32, DType::F32);
+impl_mpi_type!(f64, DType::F64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_check() {
+        assert_eq!(DType::F64.width(), 8);
+        assert_eq!(DType::U8.width(), 1);
+        assert_eq!(DType::F64.check(&[0u8; 24]).unwrap(), 3);
+        assert!(DType::F64.check(&[0u8; 20]).is_err());
+    }
+
+    #[test]
+    fn sum_f64() {
+        let mut acc = f64::slice_to_bytes(&[1.0, 2.0, 3.0]);
+        let other = f64::slice_to_bytes(&[10.0, 20.0, 30.0]);
+        ReduceOp::Sum.combine(DType::F64, &mut acc, &other).unwrap();
+        assert_eq!(f64::bytes_to_vec(&acc).unwrap(), vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn min_max_i64() {
+        let mut acc = i64::slice_to_bytes(&[5, -2]);
+        let other = i64::slice_to_bytes(&[3, 7]);
+        ReduceOp::Min.combine(DType::I64, &mut acc, &other).unwrap();
+        assert_eq!(i64::bytes_to_vec(&acc).unwrap(), vec![3, -2]);
+        let mut acc = i64::slice_to_bytes(&[5, -2]);
+        ReduceOp::Max.combine(DType::I64, &mut acc, &other).unwrap();
+        assert_eq!(i64::bytes_to_vec(&acc).unwrap(), vec![5, 7]);
+    }
+
+    #[test]
+    fn prod_u32_wraps() {
+        let mut acc = u32::slice_to_bytes(&[u32::MAX]);
+        let other = u32::slice_to_bytes(&[2]);
+        ReduceOp::Prod.combine(DType::U32, &mut acc, &other).unwrap();
+        assert_eq!(u32::bytes_to_vec(&acc).unwrap(), vec![u32::MAX.wrapping_mul(2)]);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let mut acc = u8::slice_to_bytes(&[1, 0, 5]);
+        let other = u8::slice_to_bytes(&[1, 0, 0]);
+        ReduceOp::Land.combine(DType::U8, &mut acc, &other).unwrap();
+        assert_eq!(u8::bytes_to_vec(&acc).unwrap(), vec![1, 0, 0]);
+
+        let mut acc = u8::slice_to_bytes(&[1, 0, 5]);
+        ReduceOp::Lor.combine(DType::U8, &mut acc, &other).unwrap();
+        assert_eq!(u8::bytes_to_vec(&acc).unwrap(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn logical_ops_on_f64() {
+        let mut acc = f64::slice_to_bytes(&[1.5, 0.0]);
+        let other = f64::slice_to_bytes(&[2.0, 0.0]);
+        ReduceOp::Land.combine(DType::F64, &mut acc, &other).unwrap();
+        assert_eq!(f64::bytes_to_vec(&acc).unwrap(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut acc = u64::slice_to_bytes(&[0b1100]);
+        let other = u64::slice_to_bytes(&[0b1010]);
+        ReduceOp::Band.combine(DType::U64, &mut acc, &other).unwrap();
+        assert_eq!(u64::bytes_to_vec(&acc).unwrap(), vec![0b1000]);
+        let mut acc = u64::slice_to_bytes(&[0b1100]);
+        ReduceOp::Bor.combine(DType::U64, &mut acc, &other).unwrap();
+        assert_eq!(u64::bytes_to_vec(&acc).unwrap(), vec![0b1110]);
+    }
+
+    #[test]
+    fn bitwise_on_float_is_an_error() {
+        let mut acc = f64::slice_to_bytes(&[1.0]);
+        let other = f64::slice_to_bytes(&[2.0]);
+        assert!(ReduceOp::Band.combine(DType::F64, &mut acc, &other).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let mut acc = vec![0u8; 8];
+        assert!(ReduceOp::Sum.combine(DType::F64, &mut acc, &[0u8; 16]).is_err());
+    }
+
+    #[test]
+    fn typed_round_trips() {
+        let xs = [1.5f64, -2.25, 0.0];
+        let bytes = f64::slice_to_bytes(&xs);
+        assert_eq!(f64::bytes_to_vec(&bytes).unwrap(), xs);
+        assert!(f64::bytes_to_vec(&bytes[..7]).is_err());
+
+        let ys = [i32::MIN, 0, i32::MAX];
+        let bytes = i32::slice_to_bytes(&ys);
+        assert_eq!(i32::bytes_to_vec(&bytes).unwrap(), ys);
+    }
+}

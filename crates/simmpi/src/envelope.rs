@@ -1,0 +1,46 @@
+//! Wire-level message representation.
+
+use bytes::Bytes;
+
+/// A message in flight between two ranks.
+///
+/// `context` scopes the message to a communicator (and, for internal
+/// collective traffic, to the collective plane of that communicator), so
+/// application point-to-point traffic can never match collective internals.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// Sender's world rank.
+    pub src: usize,
+    /// Destination's world rank.
+    pub dst: usize,
+    /// Communicator context identifier.
+    pub context: u32,
+    /// Application-visible tag.
+    pub tag: i32,
+    /// Opaque payload. The protocol layer above prepends its piggybacked
+    /// control word here; this crate never inspects payloads.
+    pub payload: Bytes,
+    /// Per-(src, dst, context) sequence number assigned at send time; used
+    /// by the matcher to preserve MPI's non-overtaking guarantee.
+    pub seq: u64,
+}
+
+/// What a completed receive hands back to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecvMsg {
+    /// World rank of the sender (useful after an `ANY_SOURCE` receive).
+    pub src: usize,
+    /// Tag of the matched message (useful after an `ANY_TAG` receive).
+    pub tag: i32,
+    /// The payload.
+    pub payload: Bytes,
+}
+
+impl RecvMsg {
+    /// Decode the payload as a typed slice.
+    pub fn to_vec<T: crate::datatype::MpiType>(
+        &self,
+    ) -> crate::error::MpiResult<Vec<T>> {
+        T::bytes_to_vec(&self.payload)
+    }
+}

@@ -1,0 +1,254 @@
+//! Receiver-side message matching with MPI semantics.
+//!
+//! MPI's matching rules are the reason the paper's protocol cannot assume
+//! FIFO behaviour at the application level (Section 3.3): a receiver that
+//! posts recvs with specific tags can consume messages from one sender in a
+//! different order than they were sent. This module implements those rules:
+//!
+//! * an incoming message matches the **earliest-posted** pending receive
+//!   whose `(source, tag, context)` pattern accepts it;
+//! * a newly posted receive matches the **earliest-arrived** unexpected
+//!   message it accepts;
+//! * within one `(sender, pattern)` pair, messages are never overtaken
+//!   (MPI's non-overtaking guarantee), which falls out of FIFO arrival order
+//!   plus in-order queue scans.
+//!
+//! The engine is owned by its rank's thread and needs no synchronization;
+//! all traffic reaches it through the rank's mailbox drain.
+
+use std::collections::VecDeque;
+
+use crate::envelope::Message;
+
+/// Identifier of a pending posted receive, unique within one rank.
+pub type RecvId = u64;
+
+/// A posted receive waiting for a matching message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostedRecv {
+    /// Handle by which the completion is reported.
+    pub id: RecvId,
+    /// Required sender world rank, or `None` for `ANY_SOURCE`.
+    pub src: Option<usize>,
+    /// Communicator context (always exact; contexts never wildcard).
+    pub context: u32,
+    /// Required tag, or `None` for `ANY_TAG`.
+    pub tag: Option<i32>,
+}
+
+impl PostedRecv {
+    fn accepts(&self, msg: &Message) -> bool {
+        self.context == msg.context
+            && self.src.is_none_or(|s| s == msg.src)
+            && self.tag.is_none_or(|t| t == msg.tag)
+    }
+}
+
+/// Result of posting a receive.
+#[derive(Debug)]
+pub enum PostOutcome {
+    /// An unexpected message was already waiting; the receive is complete.
+    Matched(Message),
+    /// No message yet; completion will be reported by a later `deliver`.
+    Pending(RecvId),
+}
+
+/// Receiver-side matching engine.
+#[derive(Default)]
+pub struct MatchEngine {
+    unexpected: VecDeque<Message>,
+    posted: VecDeque<PostedRecv>,
+    next_id: RecvId,
+}
+
+impl MatchEngine {
+    /// Create an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Post a receive with the given pattern.
+    pub fn post(
+        &mut self,
+        src: Option<usize>,
+        context: u32,
+        tag: Option<i32>,
+    ) -> PostOutcome {
+        let probe = PostedRecv { id: 0, src, context, tag };
+        if let Some(pos) =
+            self.unexpected.iter().position(|m| probe.accepts(m))
+        {
+            return PostOutcome::Matched(self.unexpected.remove(pos).unwrap());
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.posted.push_back(PostedRecv { id, src, context, tag });
+        PostOutcome::Pending(id)
+    }
+
+    /// Feed an arriving message in; if it completes a posted receive, the
+    /// receive's id and the message are returned for the caller to record.
+    pub fn deliver(&mut self, msg: Message) -> Option<(RecvId, Message)> {
+        if let Some(pos) = self.posted.iter().position(|p| p.accepts(&msg)) {
+            let posted = self.posted.remove(pos).unwrap();
+            return Some((posted.id, msg));
+        }
+        self.unexpected.push_back(msg);
+        None
+    }
+
+    /// Remove a pending posted receive (used when a request is dropped
+    /// without being waited on). Returns true if it was still pending.
+    pub fn cancel(&mut self, id: RecvId) -> bool {
+        if let Some(pos) = self.posted.iter().position(|p| p.id == id) {
+            self.posted.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Non-destructively look for an unexpected message matching a pattern
+    /// (the `MPI_Iprobe` analogue).
+    pub fn probe(
+        &self,
+        src: Option<usize>,
+        context: u32,
+        tag: Option<i32>,
+    ) -> Option<&Message> {
+        let probe = PostedRecv { id: 0, src, context, tag };
+        self.unexpected.iter().find(|m| probe.accepts(m))
+    }
+
+    /// Number of unexpected (arrived, unmatched) messages buffered.
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Number of posted receives still pending.
+    pub fn pending_len(&self) -> usize {
+        self.posted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn msg(src: usize, tag: i32, body: &'static [u8]) -> Message {
+        Message {
+            src,
+            dst: 0,
+            context: 7,
+            tag,
+            payload: Bytes::from_static(body),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn tag_matching_reorders_messages_from_one_sender() {
+        // The Section 3.3 scenario: sender sends tag 1 then tag 2; receiver
+        // consumes tag 2 first. This is the non-FIFO behaviour at the
+        // application level that the protocol must tolerate.
+        let mut eng = MatchEngine::new();
+        assert!(eng.deliver(msg(1, 1, b"first")).is_none());
+        assert!(eng.deliver(msg(1, 2, b"second")).is_none());
+
+        match eng.post(Some(1), 7, Some(2)) {
+            PostOutcome::Matched(m) => assert_eq!(&m.payload[..], b"second"),
+            PostOutcome::Pending(_) => panic!("tag 2 should match"),
+        }
+        match eng.post(Some(1), 7, Some(1)) {
+            PostOutcome::Matched(m) => assert_eq!(&m.payload[..], b"first"),
+            PostOutcome::Pending(_) => panic!("tag 1 should match"),
+        }
+    }
+
+    #[test]
+    fn non_overtaking_for_identical_patterns() {
+        let mut eng = MatchEngine::new();
+        eng.deliver(msg(1, 5, b"a"));
+        eng.deliver(msg(1, 5, b"b"));
+        let first = match eng.post(Some(1), 7, Some(5)) {
+            PostOutcome::Matched(m) => m,
+            _ => panic!(),
+        };
+        let second = match eng.post(Some(1), 7, Some(5)) {
+            PostOutcome::Matched(m) => m,
+            _ => panic!(),
+        };
+        assert_eq!(&first.payload[..], b"a");
+        assert_eq!(&second.payload[..], b"b");
+    }
+
+    #[test]
+    fn earliest_posted_receive_wins() {
+        let mut eng = MatchEngine::new();
+        let id_a = match eng.post(Some(1), 7, Some(5)) {
+            PostOutcome::Pending(id) => id,
+            _ => panic!(),
+        };
+        let _id_b = match eng.post(Some(1), 7, Some(5)) {
+            PostOutcome::Pending(id) => id,
+            _ => panic!(),
+        };
+        let (done, m) = eng.deliver(msg(1, 5, b"x")).unwrap();
+        assert_eq!(done, id_a);
+        assert_eq!(&m.payload[..], b"x");
+        assert_eq!(eng.pending_len(), 1);
+    }
+
+    #[test]
+    fn any_source_and_any_tag_wildcards() {
+        let mut eng = MatchEngine::new();
+        let id = match eng.post(None, 7, None) {
+            PostOutcome::Pending(id) => id,
+            _ => panic!(),
+        };
+        let (done, m) = eng.deliver(msg(3, 42, b"wild")).unwrap();
+        assert_eq!(done, id);
+        assert_eq!(m.src, 3);
+        assert_eq!(m.tag, 42);
+    }
+
+    #[test]
+    fn contexts_isolate_traffic() {
+        let mut eng = MatchEngine::new();
+        let pending = match eng.post(Some(1), 7, Some(5)) {
+            PostOutcome::Pending(id) => id,
+            _ => panic!(),
+        };
+        let mut other = msg(1, 5, b"other-context");
+        other.context = 8;
+        assert!(eng.deliver(other).is_none(), "wrong context must not match");
+        assert_eq!(eng.unexpected_len(), 1);
+        let (done, _) = eng.deliver(msg(1, 5, b"right")).unwrap();
+        assert_eq!(done, pending);
+    }
+
+    #[test]
+    fn cancel_removes_pending_receive() {
+        let mut eng = MatchEngine::new();
+        let id = match eng.post(Some(1), 7, Some(5)) {
+            PostOutcome::Pending(id) => id,
+            _ => panic!(),
+        };
+        assert!(eng.cancel(id));
+        assert!(!eng.cancel(id));
+        assert!(eng.deliver(msg(1, 5, b"x")).is_none());
+        assert_eq!(eng.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn probe_is_non_destructive() {
+        let mut eng = MatchEngine::new();
+        eng.deliver(msg(2, 9, b"peek"));
+        assert!(eng.probe(Some(2), 7, Some(9)).is_some());
+        assert!(eng.probe(Some(2), 7, Some(9)).is_some());
+        assert!(eng.probe(Some(2), 7, Some(8)).is_none());
+        assert!(eng.probe(Some(9), 7, None).is_none());
+        assert_eq!(eng.unexpected_len(), 1);
+    }
+}

@@ -1,0 +1,515 @@
+//! Per-rank MPI handle: point-to-point operations and request completion.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+
+use crate::comm::Comm;
+use crate::datatype::MpiType;
+use crate::envelope::{Message, RecvMsg};
+use crate::error::{MpiError, MpiResult};
+use crate::matching::{MatchEngine, PostOutcome, RecvId};
+use crate::request::{ReqState, Request};
+use crate::transport::Fabric;
+use crate::world::JobControl;
+
+/// Wildcard source for receives (the `MPI_ANY_SOURCE` analogue).
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Wildcard tag for receives (the `MPI_ANY_TAG` analogue).
+pub const ANY_TAG: i32 = i32::MIN;
+
+/// Which message plane of a communicator an operation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Plane {
+    /// Application point-to-point traffic.
+    P2p,
+    /// Internal collective traffic (invisible to application receives).
+    Coll,
+}
+
+/// A rank's handle to the message-passing runtime. One per rank thread;
+/// every operation takes `&mut self` because the matching engine is
+/// single-threaded by design.
+pub struct Mpi {
+    rank: usize,
+    size: usize,
+    world: Comm,
+    fabric: Fabric,
+    inbox: Receiver<Message>,
+    engine: MatchEngine,
+    /// Receives completed by a drain while their owner was waiting on a
+    /// different request.
+    completed: HashMap<RecvId, Message>,
+    /// Per-destination send sequence numbers (diagnostics / ordering).
+    send_seq: Vec<u64>,
+    /// Total operations issued through this handle (used by failure
+    /// injection layers to trigger deterministic fail-stops).
+    ops: u64,
+    /// Local hint for the next free communicator context id; new contexts
+    /// are agreed collectively as `max(hints) + 0` across participants.
+    pub(crate) next_ctx_hint: u32,
+}
+
+impl Mpi {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        fabric: Fabric,
+        inbox: Receiver<Message>,
+    ) -> Self {
+        Mpi {
+            rank,
+            size,
+            world: crate::world::world_comm(rank, size),
+            fabric,
+            inbox,
+            engine: MatchEngine::new(),
+            completed: HashMap::new(),
+            send_seq: vec![0; size],
+            ops: 0,
+            next_ctx_hint: crate::comm::WORLD_CONTEXT + 1,
+        }
+    }
+
+    /// This rank's world rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// A handle to the world communicator.
+    pub fn world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// The job control block (abort / fail-stop flags).
+    pub fn control(&self) -> &JobControl {
+        self.fabric.control()
+    }
+
+    /// Number of operations issued so far through this handle.
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Check the stopping-failure and abort flags; every operation calls
+    /// this first so a failed rank goes silent at its next MPI call.
+    fn liveness(&self) -> MpiResult<()> {
+        let control = self.fabric.control();
+        if control.is_failed(self.rank) {
+            return Err(MpiError::FailStop);
+        }
+        if control.is_aborted() {
+            return Err(MpiError::Aborted);
+        }
+        Ok(())
+    }
+
+    /// Move every message waiting in the mailbox into the matching engine.
+    fn drain(&mut self) {
+        while let Ok(msg) = self.inbox.try_recv() {
+            if let Some((id, msg)) = self.engine.deliver(msg) {
+                self.completed.insert(id, msg);
+            }
+        }
+    }
+
+    fn resolve_dst(comm: &Comm, dst: usize) -> MpiResult<usize> {
+        comm.world_rank(dst)
+    }
+
+    fn resolve_src(comm: &Comm, src: usize) -> MpiResult<Option<usize>> {
+        if src == ANY_SOURCE {
+            Ok(None)
+        } else {
+            comm.world_rank(src).map(Some)
+        }
+    }
+
+    fn resolve_tag(tag: i32) -> Option<i32> {
+        if tag == ANY_TAG {
+            None
+        } else {
+            Some(tag)
+        }
+    }
+
+    fn plane_context(comm: &Comm, plane: Plane) -> u32 {
+        match plane {
+            Plane::P2p => comm.context(),
+            Plane::Coll => comm.coll_context(),
+        }
+    }
+
+    fn recv_msg(comm: &Comm, msg: Message) -> RecvMsg {
+        // Translate the sender's world rank into the communicator's frame;
+        // a message can only arrive here through this communicator's
+        // context, so the sender is always a member.
+        let src = comm
+            .comm_rank_of_world(msg.src)
+            .expect("sender must be a communicator member");
+        RecvMsg { src, tag: msg.tag, payload: msg.payload }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal (plane-aware) operations; collectives use the Coll plane.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn send_on(
+        &mut self,
+        comm: &Comm,
+        plane: Plane,
+        dst: usize,
+        tag: i32,
+        payload: Bytes,
+    ) -> MpiResult<()> {
+        self.liveness()?;
+        self.ops += 1;
+        let dst_world = Self::resolve_dst(comm, dst)?;
+        let seq = self.send_seq[dst_world];
+        self.send_seq[dst_world] += 1;
+        self.fabric.send(Message {
+            src: self.rank,
+            dst: dst_world,
+            context: Self::plane_context(comm, plane),
+            tag,
+            payload,
+            seq,
+        })
+    }
+
+    pub(crate) fn irecv_on(
+        &mut self,
+        comm: &Comm,
+        plane: Plane,
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<Request> {
+        self.liveness()?;
+        self.ops += 1;
+        let src_world = Self::resolve_src(comm, src)?;
+        let tag = Self::resolve_tag(tag);
+        self.drain();
+        let context = Self::plane_context(comm, plane);
+        match self.engine.post(src_world, context, tag) {
+            PostOutcome::Matched(msg) => {
+                Ok(Request::recv_ready(self.rank, Self::recv_msg(comm, msg)))
+            }
+            PostOutcome::Pending(id) => Ok(Request::recv_pending(self.rank, id)),
+        }
+    }
+
+    pub(crate) fn recv_on(
+        &mut self,
+        comm: &Comm,
+        plane: Plane,
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<RecvMsg> {
+        let mut req = self.irecv_on(comm, plane, src, tag)?;
+        self.wait_recv_in(comm, &mut req)
+    }
+
+    fn wait_recv_in(
+        &mut self,
+        comm: &Comm,
+        req: &mut Request,
+    ) -> MpiResult<RecvMsg> {
+        match self.wait_in(comm, req)? {
+            Some(msg) => Ok(msg),
+            None => Err(MpiError::BadRequest(
+                "wait_recv called on a send request".into(),
+            )),
+        }
+    }
+
+    fn wait_in(
+        &mut self,
+        comm: &Comm,
+        req: &mut Request,
+    ) -> MpiResult<Option<RecvMsg>> {
+        if req.owner != self.rank {
+            return Err(MpiError::BadRequest(format!(
+                "request owned by rank {} waited on by rank {}",
+                req.owner, self.rank
+            )));
+        }
+        loop {
+            match std::mem::replace(&mut req.state, ReqState::Consumed) {
+                ReqState::SendDone => return Ok(None),
+                ReqState::RecvReady(msg) => return Ok(Some(msg)),
+                ReqState::Consumed => {
+                    return Err(MpiError::BadRequest(
+                        "request waited on twice".into(),
+                    ))
+                }
+                ReqState::RecvPending(id) => {
+                    if let Some(msg) = self.completed.remove(&id) {
+                        return Ok(Some(Self::recv_msg(comm, msg)));
+                    }
+                    // Not complete: restore state and block for traffic.
+                    req.state = ReqState::RecvPending(id);
+                    self.liveness()?;
+                    match self.inbox.recv_timeout(Duration::from_millis(1)) {
+                        Ok(msg) => {
+                            if let Some((done, msg)) = self.engine.deliver(msg)
+                            {
+                                self.completed.insert(done, msg);
+                            }
+                            self.drain();
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            // Fabric holds a sender for every rank including
+                            // ourselves, so this cannot happen while `self`
+                            // is alive; treat defensively as an abort.
+                            return Err(MpiError::Aborted);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Public point-to-point API (application plane).
+    // ------------------------------------------------------------------
+
+    /// Blocking send of a byte payload to `dst` (a communicator rank).
+    ///
+    /// Sends buffer in the transport and complete immediately, like a
+    /// buffered-mode MPI send on a machine with ample memory.
+    pub fn send(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        tag: i32,
+        payload: &[u8],
+    ) -> MpiResult<()> {
+        self.send_on(comm, Plane::P2p, dst, tag, Bytes::copy_from_slice(payload))
+    }
+
+    /// Blocking send of an owned payload (zero-copy).
+    pub fn send_bytes(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        tag: i32,
+        payload: Bytes,
+    ) -> MpiResult<()> {
+        self.send_on(comm, Plane::P2p, dst, tag, payload)
+    }
+
+    /// Blocking typed send.
+    pub fn send_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        tag: i32,
+        data: &[T],
+    ) -> MpiResult<()> {
+        self.send_bytes(comm, dst, tag, T::slice_to_bytes(data).into())
+    }
+
+    /// Non-blocking send; complete with [`Mpi::wait`].
+    pub fn isend(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        tag: i32,
+        payload: &[u8],
+    ) -> MpiResult<Request> {
+        self.send_on(comm, Plane::P2p, dst, tag, Bytes::copy_from_slice(payload))?;
+        Ok(Request::send_done(self.rank))
+    }
+
+    /// Non-blocking receive; complete with [`Mpi::wait`] or
+    /// [`Mpi::wait_recv`]. `src` may be [`ANY_SOURCE`], `tag` may be
+    /// [`ANY_TAG`].
+    pub fn irecv(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<Request> {
+        self.irecv_on(comm, Plane::P2p, src, tag)
+    }
+
+    /// Blocking receive.
+    pub fn recv(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<RecvMsg> {
+        self.recv_on(comm, Plane::P2p, src, tag)
+    }
+
+    /// Blocking typed receive.
+    pub fn recv_t<T: MpiType>(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<Vec<T>> {
+        self.recv(comm, src, tag)?.to_vec()
+    }
+
+    /// Complete a request. Returns `Some` message for receives, `None` for
+    /// sends. The request must belong to `comm`'s rank frame (i.e. have
+    /// been created through operations on `comm`).
+    pub fn wait(
+        &mut self,
+        comm: &Comm,
+        req: &mut Request,
+    ) -> MpiResult<Option<RecvMsg>> {
+        self.wait_in(comm, req)
+    }
+
+    /// Complete a receive request, erroring on send requests.
+    pub fn wait_recv(
+        &mut self,
+        comm: &Comm,
+        req: &mut Request,
+    ) -> MpiResult<RecvMsg> {
+        self.wait_recv_in(comm, req)
+    }
+
+    /// Non-blocking completion check. After `test` returns `true`, `wait`
+    /// will not block.
+    pub fn test(&mut self, req: &mut Request) -> MpiResult<bool> {
+        if req.owner != self.rank {
+            return Err(MpiError::BadRequest(
+                "request tested by a different rank".into(),
+            ));
+        }
+        self.liveness()?;
+        self.drain();
+        match &req.state {
+            ReqState::SendDone | ReqState::RecvReady(_) => Ok(true),
+            ReqState::Consumed => Err(MpiError::BadRequest(
+                "request tested after completion".into(),
+            )),
+            ReqState::RecvPending(id) => Ok(self.completed.contains_key(id)),
+        }
+    }
+
+    /// Complete all requests, in order. Returns one entry per request.
+    pub fn waitall(
+        &mut self,
+        comm: &Comm,
+        reqs: &mut [Request],
+    ) -> MpiResult<Vec<Option<RecvMsg>>> {
+        let mut out = Vec::with_capacity(reqs.len());
+        for req in reqs.iter_mut() {
+            out.push(self.wait_in(comm, req)?);
+        }
+        Ok(out)
+    }
+
+    /// Complete any one not-yet-consumed request; returns its index and
+    /// result. Errors if every request is already consumed.
+    pub fn waitany(
+        &mut self,
+        comm: &Comm,
+        reqs: &mut [Request],
+    ) -> MpiResult<(usize, Option<RecvMsg>)> {
+        loop {
+            self.liveness()?;
+            self.drain();
+            let mut any_live = false;
+            for (i, req) in reqs.iter_mut().enumerate() {
+                match &req.state {
+                    ReqState::Consumed => continue,
+                    ReqState::SendDone | ReqState::RecvReady(_) => {
+                        let r = self.wait_in(comm, req)?;
+                        return Ok((i, r));
+                    }
+                    ReqState::RecvPending(id) => {
+                        any_live = true;
+                        if self.completed.contains_key(id) {
+                            let r = self.wait_in(comm, req)?;
+                            return Ok((i, r));
+                        }
+                    }
+                }
+            }
+            if !any_live {
+                return Err(MpiError::BadRequest(
+                    "waitany with no live requests".into(),
+                ));
+            }
+            match self.inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok(msg) => {
+                    if let Some((done, msg)) = self.engine.deliver(msg) {
+                        self.completed.insert(done, msg);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(MpiError::Aborted)
+                }
+            }
+        }
+    }
+
+    /// Abandon a pending receive request (the `MPI_Cancel` analogue).
+    pub fn cancel(&mut self, req: &mut Request) -> MpiResult<()> {
+        if req.owner != self.rank {
+            return Err(MpiError::BadRequest(
+                "request cancelled by a different rank".into(),
+            ));
+        }
+        if let ReqState::RecvPending(id) =
+            std::mem::replace(&mut req.state, ReqState::Consumed)
+        {
+            if !self.engine.cancel(id) {
+                self.completed.remove(&id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Combined send + receive (the `MPI_Sendrecv` analogue); deadlock-free
+    /// for neighbor exchanges because the receive is posted first.
+    pub fn sendrecv(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        send_tag: i32,
+        payload: &[u8],
+        src: usize,
+        recv_tag: i32,
+    ) -> MpiResult<RecvMsg> {
+        let mut req = self.irecv(comm, src, recv_tag)?;
+        self.send(comm, dst, send_tag, payload)?;
+        self.wait_recv(comm, &mut req)
+    }
+
+    /// Non-destructive check for a matching unexpected message; returns
+    /// `(comm_src, tag, payload_len)`.
+    pub fn iprobe(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<Option<(usize, i32, usize)>> {
+        self.liveness()?;
+        self.drain();
+        let src_world = Self::resolve_src(comm, src)?;
+        let tag = Self::resolve_tag(tag);
+        Ok(self.engine.probe(src_world, comm.context(), tag).map(|m| {
+            let s = comm
+                .comm_rank_of_world(m.src)
+                .expect("sender must be a member");
+            (s, m.tag, m.payload.len())
+        }))
+    }
+}

@@ -1,0 +1,176 @@
+//! Job lifecycle: spawn ranks, run them, and coordinate abort/fail-stop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::error::MpiResult;
+#[cfg(test)]
+use crate::error::MpiError;
+use crate::rank::Mpi;
+use crate::transport::Fabric;
+
+/// Shared job control block.
+///
+/// * `abort()` — the failure detector (or recovery harness) declares the
+///   current execution attempt dead; every blocking MPI call in every rank
+///   returns [`crate::MpiError::Aborted`] so rank functions unwind promptly.
+/// * `fail_rank(r)` — inject a stopping failure at rank `r`: its next MPI
+///   call returns [`crate::MpiError::FailStop`] and it must go silent, mimicking a
+///   hung process under the paper's stopping-failure model.
+///
+/// A fresh `JobControl` is created per execution attempt; it is cheap to
+/// clone (shared interior).
+#[derive(Clone)]
+pub struct JobControl {
+    inner: Arc<ControlInner>,
+}
+
+struct ControlInner {
+    aborted: AtomicBool,
+    failed: Vec<AtomicBool>,
+}
+
+impl JobControl {
+    /// Control block for a job of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        JobControl {
+            inner: Arc::new(ControlInner {
+                aborted: AtomicBool::new(false),
+                failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            }),
+        }
+    }
+
+    /// Declare the attempt dead; unblocks every rank with `Aborted`.
+    pub fn abort(&self) {
+        self.inner.aborted.store(true, Ordering::Release);
+    }
+
+    /// Whether the attempt has been aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.inner.aborted.load(Ordering::Acquire)
+    }
+
+    /// Inject a stopping failure at `rank`.
+    pub fn fail_rank(&self, rank: usize) {
+        if let Some(flag) = self.inner.failed.get(rank) {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether `rank` has fail-stopped.
+    pub fn is_failed(&self, rank: usize) -> bool {
+        self.inner
+            .failed
+            .get(rank)
+            .is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Whether any rank has fail-stopped (what a perfect distributed
+    /// failure detector would eventually report to the runtime).
+    pub fn any_failed(&self) -> bool {
+        self.inner.failed.iter().any(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Number of ranks this control block covers.
+    pub fn size(&self) -> usize {
+        self.inner.failed.len()
+    }
+}
+
+/// Entry point for running an `n`-rank job.
+pub struct World;
+
+impl World {
+    /// Run `f` once per rank on its own thread and collect per-rank results.
+    ///
+    /// Unlike [`World::run`], individual rank errors (including injected
+    /// `FailStop` and rollback `Aborted`) are returned per rank instead of
+    /// failing the whole call — this is what the recovery harness uses.
+    pub fn run_collect<T, F>(
+        n: usize,
+        control: JobControl,
+        f: F,
+    ) -> Vec<MpiResult<T>>
+    where
+        T: Send,
+        F: Fn(&mut Mpi) -> MpiResult<T> + Send + Sync,
+    {
+        assert!(n > 0, "a job has at least one rank");
+        assert_eq!(control.size(), n, "control block sized for wrong job");
+        let (fabric, receivers) = Fabric::new(n, control);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, inbox) in receivers.into_iter().enumerate() {
+                let fabric = fabric.clone();
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut mpi = Mpi::new(rank, n, fabric, inbox);
+                    f(&mut mpi)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+
+    /// Run `f` once per rank; returns every rank's output, or the first
+    /// rank error encountered (in rank order).
+    pub fn run<T, F>(n: usize, f: F) -> MpiResult<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Mpi) -> MpiResult<T> + Send + Sync,
+    {
+        let control = JobControl::new(n);
+        let mut out = Vec::with_capacity(n);
+        for r in Self::run_collect(n, control, f) {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+}
+
+/// Give the world communicator for a freshly spawned rank. Used by `Mpi`.
+pub(crate) fn world_comm(rank: usize, size: usize) -> Comm {
+    Comm::world(rank, size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_flags() {
+        let c = JobControl::new(3);
+        assert!(!c.is_aborted());
+        assert!(!c.any_failed());
+        c.fail_rank(1);
+        assert!(c.is_failed(1));
+        assert!(!c.is_failed(0));
+        assert!(c.any_failed());
+        c.abort();
+        assert!(c.is_aborted());
+        // Out-of-range ranks are inert.
+        c.fail_rank(99);
+        assert!(!c.is_failed(99));
+    }
+
+    #[test]
+    fn run_propagates_rank_results() {
+        let out = World::run(3, |mpi| Ok(mpi.rank() * 10)).unwrap();
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn run_surfaces_first_error_in_rank_order() {
+        let err = World::run(3, |mpi| {
+            if mpi.rank() >= 1 {
+                Err(MpiError::FailStop)
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, MpiError::FailStop);
+    }
+}

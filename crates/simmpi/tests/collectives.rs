@@ -1,0 +1,284 @@
+//! Collective operations across real rank threads, at several job sizes
+//! (including non-powers of two, which exercise the tree edge cases).
+
+use bytes::Bytes;
+use simmpi::{DType, MpiError, ReduceOp, World};
+
+const SIZES: &[usize] = &[1, 2, 3, 4, 7, 8];
+
+#[test]
+fn barrier_all_sizes() {
+    for &n in SIZES {
+        World::run(n, |mpi| {
+            let comm = mpi.world();
+            for _ in 0..5 {
+                mpi.barrier(&comm)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn bcast_from_every_root() {
+    for &n in SIZES {
+        for root in 0..n {
+            World::run(n, |mpi| {
+                let comm = mpi.world();
+                let data = if mpi.rank() == root {
+                    Bytes::from(vec![root as u8; 17])
+                } else {
+                    Bytes::new()
+                };
+                let out = mpi.bcast(&comm, root, data)?;
+                assert_eq!(&out[..], &vec![root as u8; 17][..]);
+                Ok(())
+            })
+            .unwrap();
+        }
+    }
+}
+
+#[test]
+fn bcast_typed() {
+    World::run(4, |mpi| {
+        let comm = mpi.world();
+        let data = if mpi.rank() == 2 { vec![3.5f64, -1.0] } else { vec![] };
+        let out = mpi.bcast_t::<f64>(&comm, 2, &data)?;
+        assert_eq!(out, vec![3.5, -1.0]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn gather_ragged_chunks() {
+    World::run(4, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank();
+        let mine = vec![me as u8; me + 1]; // ragged: rank r sends r+1 bytes
+        let out = mpi.gather(&comm, 1, &mine)?;
+        if me == 1 {
+            let chunks = out.unwrap();
+            for (r, c) in chunks.iter().enumerate() {
+                assert_eq!(c, &vec![r as u8; r + 1]);
+            }
+        } else {
+            assert!(out.is_none());
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn allgather_all_sizes() {
+    for &n in SIZES {
+        World::run(n, |mpi| {
+            let comm = mpi.world();
+            let me = mpi.rank();
+            let chunks = mpi.allgather(&comm, &[me as u8, 0xFF])?;
+            assert_eq!(chunks.len(), n);
+            for (r, c) in chunks.iter().enumerate() {
+                assert_eq!(c, &vec![r as u8, 0xFF]);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn allgather_flat_typed_matches_rank_order() {
+    World::run(3, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank() as u64;
+        let flat = mpi.allgather_flat_t::<u64>(&comm, &[me * 10, me * 10 + 1])?;
+        assert_eq!(flat, vec![0, 1, 10, 11, 20, 21]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn scatter_distributes_root_chunks() {
+    World::run(4, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank();
+        let chunks: Option<Vec<Vec<u8>>> = if me == 0 {
+            Some((0..4).map(|r| vec![r as u8; 3]).collect())
+        } else {
+            None
+        };
+        let mine = mpi.scatter(&comm, 0, chunks.as_deref())?;
+        assert_eq!(mine, vec![me as u8; 3]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn scatter_wrong_chunk_count_errors_at_root() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            let chunks = vec![vec![1u8]; 3]; // wrong: 3 chunks for 2 ranks
+            match mpi.scatter(&comm, 0, Some(&chunks)) {
+                Err(MpiError::CollectiveMismatch(_)) => {}
+                other => panic!("expected mismatch, got {other:?}"),
+            }
+            // Unblock rank 1, which is waiting for its chunk.
+            let good = vec![vec![7u8], vec![8u8]];
+            let mine = mpi.scatter(&comm, 0, Some(&good))?;
+            assert_eq!(mine, vec![7]);
+        } else {
+            let mine = mpi.scatter(&comm, 0, None)?;
+            assert_eq!(mine, vec![8]);
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn reduce_sum_at_root() {
+    for &n in SIZES {
+        World::run(n, |mpi| {
+            let comm = mpi.world();
+            let me = mpi.rank() as i64;
+            let out = mpi.reduce_t::<i64>(&comm, 0, ReduceOp::Sum, &[me, 1])?;
+            if mpi.rank() == 0 {
+                let expect: i64 = (0..n as i64).sum();
+                assert_eq!(out.unwrap(), vec![expect, n as i64]);
+            } else {
+                assert!(out.is_none());
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn allreduce_ops() {
+    World::run(5, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank() as i64;
+        let sum = mpi.allreduce_t::<i64>(&comm, ReduceOp::Sum, &[me])?;
+        assert_eq!(sum, vec![1 + 2 + 3 + 4]);
+        let min = mpi.allreduce_t::<i64>(&comm, ReduceOp::Min, &[me])?;
+        assert_eq!(min, vec![0]);
+        let max = mpi.allreduce_t::<i64>(&comm, ReduceOp::Max, &[me])?;
+        assert_eq!(max, vec![4]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn allreduce_f64_is_deterministic_across_calls() {
+    // Combination order is ascending rank, so repeated calls agree exactly.
+    World::run(4, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank();
+        let x = [0.1 * (me as f64 + 1.0), 7.25];
+        let a = mpi.allreduce_t::<f64>(&comm, ReduceOp::Sum, &x)?;
+        let b = mpi.allreduce_t::<f64>(&comm, ReduceOp::Sum, &x)?;
+        assert_eq!(a, b);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert_eq!(a[1], 29.0);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn allreduce_bytes_interface() {
+    World::run(3, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank() as u64;
+        let bytes = me.to_le_bytes();
+        let out =
+            mpi.allreduce_bytes(&comm, ReduceOp::Sum, DType::U64, &bytes)?;
+        assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), 3);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn scan_inclusive_prefix_sums() {
+    World::run(5, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank() as i64;
+        let out = mpi.scan_t::<i64>(&comm, ReduceOp::Sum, &[me, 1])?;
+        let expect: i64 = (0..=me).sum();
+        assert_eq!(out, vec![expect, me + 1]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn alltoall_personalized_exchange() {
+    for &n in &[2usize, 3, 5] {
+        World::run(n, |mpi| {
+            let comm = mpi.world();
+            let me = mpi.rank();
+            // chunk for dst d: [me, d]
+            let chunks: Vec<Vec<u8>> =
+                (0..n).map(|d| vec![me as u8, d as u8]).collect();
+            let out = mpi.alltoall(&comm, &chunks)?;
+            for (s, c) in out.iter().enumerate() {
+                assert_eq!(c, &vec![s as u8, me as u8]);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+}
+
+#[test]
+fn consecutive_collectives_do_not_cross_talk() {
+    World::run(4, |mpi| {
+        let comm = mpi.world();
+        for round in 0..20u64 {
+            let s = mpi.allreduce_t::<u64>(&comm, ReduceOp::Sum, &[round])?;
+            assert_eq!(s, vec![4 * round]);
+            let g = mpi.allgather(&comm, &[mpi.rank() as u8])?;
+            assert_eq!(g.len(), 4);
+            mpi.barrier(&comm)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn collectives_do_not_disturb_pending_p2p_receives() {
+    // A wildcard application receive must never match collective internals.
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            let mut req =
+                mpi.irecv(&comm, simmpi::ANY_SOURCE, simmpi::ANY_TAG)?;
+            // Run a pile of collectives while the wildcard recv is posted.
+            for _ in 0..5 {
+                mpi.barrier(&comm)?;
+                mpi.allreduce_t::<u64>(&comm, ReduceOp::Sum, &[1])?;
+            }
+            // Only now does rank 1 send the real application message.
+            let msg = mpi.wait_recv(&comm, &mut req)?;
+            assert_eq!(&msg.payload[..], b"app");
+        } else {
+            for _ in 0..5 {
+                mpi.barrier(&comm)?;
+                mpi.allreduce_t::<u64>(&comm, ReduceOp::Sum, &[1])?;
+            }
+            mpi.send(&comm, 0, 0, b"app")?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}

@@ -1,0 +1,250 @@
+//! Point-to-point semantics across real rank threads.
+
+use bytes::Bytes;
+use simmpi::{MpiError, World, ANY_SOURCE, ANY_TAG};
+
+#[test]
+fn ping_pong() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            mpi.send(&comm, 1, 7, b"ping")?;
+            let msg = mpi.recv(&comm, 1, 8)?;
+            assert_eq!(&msg.payload[..], b"pong");
+            assert_eq!(msg.src, 1);
+            assert_eq!(msg.tag, 8);
+        } else {
+            let msg = mpi.recv(&comm, 0, 7)?;
+            assert_eq!(&msg.payload[..], b"ping");
+            mpi.send(&comm, 0, 8, b"pong")?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn typed_send_recv() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            mpi.send_t::<f64>(&comm, 1, 1, &[1.5, -2.5, 3.25])?;
+        } else {
+            let v = mpi.recv_t::<f64>(&comm, 0, 1)?;
+            assert_eq!(v, vec![1.5, -2.5, 3.25]);
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn tag_matching_out_of_send_order() {
+    // Receiver takes tag 2 before tag 1 although they were sent 1-then-2:
+    // the application-level non-FIFO behaviour of Section 3.3.
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            mpi.send(&comm, 1, 1, b"first")?;
+            mpi.send(&comm, 1, 2, b"second")?;
+        } else {
+            let second = mpi.recv(&comm, 0, 2)?;
+            let first = mpi.recv(&comm, 0, 1)?;
+            assert_eq!(&second.payload[..], b"second");
+            assert_eq!(&first.payload[..], b"first");
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn any_source_any_tag() {
+    World::run(4, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            let mut seen = vec![false; 4];
+            for _ in 0..3 {
+                let msg = mpi.recv(&comm, ANY_SOURCE, ANY_TAG)?;
+                assert_eq!(msg.tag, 100 + msg.src as i32);
+                assert!(!seen[msg.src]);
+                seen[msg.src] = true;
+            }
+            assert_eq!(seen, vec![false, true, true, true]);
+        } else {
+            let me = mpi.rank();
+            mpi.send(&comm, 0, 100 + me as i32, &[me as u8])?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn nonblocking_requests_complete_out_of_order() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            // Post both receives up front, then wait in reverse.
+            let mut r1 = mpi.irecv(&comm, 1, 1)?;
+            let mut r2 = mpi.irecv(&comm, 1, 2)?;
+            let m2 = mpi.wait_recv(&comm, &mut r2)?;
+            let m1 = mpi.wait_recv(&comm, &mut r1)?;
+            assert_eq!(&m1.payload[..], b"a");
+            assert_eq!(&m2.payload[..], b"b");
+        } else {
+            mpi.send(&comm, 0, 1, b"a")?;
+            mpi.send(&comm, 0, 2, b"b")?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn waitany_returns_a_ready_request() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            let mut reqs = vec![
+                mpi.irecv(&comm, 1, 10)?,
+                mpi.irecv(&comm, 1, 11)?,
+            ];
+            let (idx, msg) = mpi.waitany(&comm, &mut reqs)?;
+            let msg = msg.unwrap();
+            assert_eq!(idx, 1, "only tag 11 was sent");
+            assert_eq!(&msg.payload[..], b"only");
+            // The other request is still pending; cancel it.
+            mpi.cancel(&mut reqs[0])?;
+        } else {
+            mpi.send(&comm, 0, 11, b"only")?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn double_wait_is_an_error() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            let mut req = mpi.irecv(&comm, 1, 1)?;
+            mpi.wait_recv(&comm, &mut req)?;
+            match mpi.wait(&comm, &mut req) {
+                Err(MpiError::BadRequest(_)) => {}
+                other => panic!("expected BadRequest, got {other:?}"),
+            }
+        } else {
+            mpi.send(&comm, 0, 1, b"x")?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn test_polls_without_blocking() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            let mut req = mpi.irecv(&comm, 1, 1)?;
+            // Eventually the message arrives; poll until test says ready.
+            while !mpi.test(&mut req)? {
+                std::thread::yield_now();
+            }
+            let msg = mpi.wait_recv(&comm, &mut req)?;
+            assert_eq!(&msg.payload[..], b"polled");
+        } else {
+            mpi.send(&comm, 0, 1, b"polled")?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn sendrecv_halo_exchange_ring() {
+    let n = 5;
+    World::run(n, |mpi| {
+        let comm = mpi.world();
+        let me = mpi.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let msg = mpi.sendrecv(
+            &comm,
+            right,
+            3,
+            &[me as u8],
+            left,
+            3,
+        )?;
+        assert_eq!(msg.src, left);
+        assert_eq!(&msg.payload[..], &[left as u8]);
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn iprobe_sees_pending_message() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        if mpi.rank() == 0 {
+            loop {
+                if let Some((src, tag, len)) = mpi.iprobe(&comm, 1, 9)? {
+                    assert_eq!((src, tag, len), (1, 9, 4));
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            let msg = mpi.recv(&comm, 1, 9)?;
+            assert_eq!(&msg.payload[..], b"prob");
+        } else {
+            mpi.send(&comm, 0, 9, b"prob")?;
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn large_payload_round_trip() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        let big: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        if mpi.rank() == 0 {
+            mpi.send_bytes(&comm, 1, 1, Bytes::from(big.clone()))?;
+        } else {
+            let msg = mpi.recv(&comm, 0, 1)?;
+            assert_eq!(msg.payload.len(), big.len());
+            assert_eq!(&msg.payload[..], &big[..]);
+        }
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn self_send_works() {
+    World::run(1, |mpi| {
+        let comm = mpi.world();
+        mpi.send(&comm, 0, 1, b"me")?;
+        let msg = mpi.recv(&comm, 0, 1)?;
+        assert_eq!(&msg.payload[..], b"me");
+        Ok(())
+    })
+    .unwrap();
+}
+
+#[test]
+fn invalid_destination_rank_errors() {
+    World::run(2, |mpi| {
+        let comm = mpi.world();
+        match mpi.send(&comm, 5, 1, b"x") {
+            Err(MpiError::InvalidRank { rank: 5, size: 2 }) => Ok(()),
+            other => panic!("expected InvalidRank, got {other:?}"),
+        }
+    })
+    .unwrap();
+}

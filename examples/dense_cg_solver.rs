@@ -1,0 +1,65 @@
+//! Dense conjugate gradient under failures — the paper's first benchmark
+//! as a runnable scenario.
+//!
+//! Solves a 256×256 dense SPD system on 4 ranks, checkpointing every 200
+//! protocol operations, while a failure schedule kills two different ranks
+//! mid-solve. The solver converges to the same residual as the
+//! failure-free run.
+//!
+//! ```sh
+//! cargo run --release --example dense_cg_solver
+//! ```
+
+use c3_apps::DenseCg;
+use c3_core::{run_job, C3Config};
+use ftsim::{FailureSchedule, RecoveryMetrics};
+
+fn main() {
+    let app = DenseCg::new(256, 60);
+    let nprocs = 4;
+    let cfg = C3Config::every_ops(200);
+
+    println!(
+        "dense CG: n={} iters={} ranks={} (state ≈ {} KiB/rank)",
+        app.n,
+        app.iters,
+        nprocs,
+        app.state_bytes_per_rank(nprocs) / 1024
+    );
+
+    let baseline = run_job(nprocs, &cfg, None, &app).expect("baseline");
+    let rho0 = f64::from_bits(baseline.outputs[0].1);
+    println!(
+        "baseline: residual ρ = {rho0:.3e}, {} checkpoints, {:.3}s",
+        baseline.last_committed.unwrap_or(0),
+        baseline.elapsed.as_secs_f64()
+    );
+
+    // Two failures at different points of the solve.
+    let schedule = FailureSchedule {
+        injections: vec![(1, 900), (3, 2200)],
+    };
+    let faulty_cfg = schedule.apply(cfg);
+    let report = run_job(nprocs, &faulty_cfg, None, &app).expect("faulty run");
+    let rho = f64::from_bits(report.outputs[0].1);
+
+    let metrics = RecoveryMetrics::from_reports(&report, &baseline);
+    println!("faulty:   residual ρ = {rho:.3e}");
+    println!("          {}", metrics.summary());
+    for (rank, st) in report.stats.iter().enumerate() {
+        println!(
+            "          rank {rank}: ckpts={} late_logged={} \
+             early_recorded={} suppressed={} replayed={}",
+            st.checkpoints,
+            st.late_logged,
+            st.early_recorded,
+            st.suppressed_sends,
+            st.late_replayed
+        );
+    }
+
+    assert_eq!(report.outputs, baseline.outputs);
+    let fired =
+        faulty_cfg.failures.iter().filter(|i| i.is_consumed()).count();
+    println!("\nconverged identically despite {fired} failure(s) ✓");
+}

@@ -1,0 +1,102 @@
+//! The precompiler's state-saving machinery, standalone (paper Section 5.1).
+//!
+//! This example drives the `statesave` crate directly — no MPI, no
+//! protocol — to show the Position Stack / Variable Descriptor Stack /
+//! managed-heap mechanism that CCIFT's generated code uses: a program is
+//! interrupted at a `potentialCheckpoint` site deep inside nested calls
+//! and a loop, then a *fresh* execution restores the snapshot and resumes
+//! from exactly that site.
+//!
+//! ```sh
+//! cargo run --release --example precompiler_resume
+//! ```
+
+use statesave::heap::HPtr;
+use statesave::{CkptCtx, CkptProgram};
+
+/// Heap layout: cell 0 = accumulator, cell 1 = i, cell 2 = N.
+const CELLS: u32 = 0;
+
+fn cells() -> HPtr<u64> {
+    HPtr::from_raw(CELLS)
+}
+
+fn build_program() -> CkptProgram {
+    let mut p = CkptProgram::new();
+
+    // Function 2: "inner work" — one unit of work with a frame variable
+    // proving VDS save/restore across the resume.
+    p.define(2)
+        .init(|ctx| {
+            ctx.declare::<u64>("scratch", 0);
+        })
+        .block(|ctx| {
+            let i = ctx.heap.get(cells(), 1).unwrap();
+            let id = ctx.frame().id_of("scratch").unwrap();
+            ctx.set::<u64>(id, i * i);
+        })
+        .potential_checkpoint(21)
+        .block(|ctx| {
+            let id = ctx.frame().id_of("scratch").unwrap();
+            let sq = ctx.get::<u64>(id);
+            let acc = ctx.heap.get(cells(), 0).unwrap();
+            let i = ctx.heap.get(cells(), 1).unwrap();
+            ctx.heap.set(cells(), 0, acc + sq).unwrap();
+            ctx.heap.set(cells(), 1, i + 1).unwrap();
+        })
+        .build()
+        .unwrap();
+
+    // Function 1: loop body — calls the inner function.
+    p.define(1).call(11, 2).build().unwrap();
+
+    // Function 0: main — allocate state, run the loop.
+    p.define(0)
+        .block(|ctx| {
+            let c = ctx.heap.alloc_array::<u64>(3).unwrap();
+            assert_eq!(c.raw(), CELLS);
+            ctx.heap.set(c, 0, 0).unwrap(); // acc
+            ctx.heap.set(c, 1, 1).unwrap(); // i
+            ctx.heap.set(c, 2, 12).unwrap(); // N
+        })
+        .while_loop(
+            1,
+            |ctx| {
+                ctx.heap.get(cells(), 1).unwrap()
+                    <= ctx.heap.get(cells(), 2).unwrap()
+            },
+            1,
+        )
+        .build()
+        .unwrap();
+    p
+}
+
+fn main() {
+    let program = build_program();
+
+    // Run with a checkpoint request pending: the first
+    // potentialCheckpoint site (inside call depth 3, mid-loop) snapshots.
+    let mut ctx = CkptCtx::new(4096);
+    ctx.request_checkpoint();
+    program.run(0, &mut ctx).unwrap();
+    let full_result = ctx.heap.get(cells(), 0).unwrap();
+    let snapshot = ctx.snapshots()[0].clone();
+    println!(
+        "original run finished: Σ i² for i=1..=12 = {full_result} \
+         (snapshot taken at i=1, {} bytes)",
+        snapshot.len()
+    );
+
+    // "Crash" — and restart a brand new context from the snapshot. The PS
+    // re-enters main → loop → inner, jumps past the checkpoint label, and
+    // resumes with the VDS-restored frame and heap.
+    let mut fresh = CkptCtx::new(1);
+    program.restart(0, &mut fresh, &snapshot).unwrap();
+    let resumed_result = fresh.heap.get(cells(), 0).unwrap();
+    println!("resumed run finished:  Σ i² for i=1..=12 = {resumed_result}");
+
+    assert_eq!(full_result, resumed_result);
+    assert_eq!(full_result, (1..=12u64).map(|i| i * i).sum::<u64>());
+    println!("identical — position stack resume works ✓");
+}

@@ -1,0 +1,179 @@
+//! Chaos matrix: many random failure schedules across rank counts and
+//! checkpoint intervals — the protocol's equivalence guarantee must hold
+//! for every cell.
+
+use c3_apps::Laplace;
+use c3_core::{C3Config, C3Result, Process, ReduceOp};
+use ckptstore::impl_saveload_struct;
+use ftsim::{chaos_check, FailureSchedule};
+
+/// A compact mixed-communication app: p2p ring + collectives, fully
+/// deterministic so outputs must equal the failure-free reference
+/// bit-for-bit.
+struct MixedApp {
+    iters: u64,
+}
+
+struct MixedState {
+    i: u64,
+    acc: u64,
+}
+impl_saveload_struct!(MixedState { i: u64, acc: u64 });
+
+impl c3_core::C3App for MixedApp {
+    type State = MixedState;
+    type Output = u64;
+
+    fn init(&self, p: &mut Process<'_>) -> C3Result<MixedState> {
+        Ok(MixedState { i: 0, acc: 0x9E37 + p.rank() as u64 })
+    }
+
+    fn run(
+        &self,
+        p: &mut Process<'_>,
+        s: &mut MixedState,
+    ) -> C3Result<u64> {
+        let world = p.world();
+        let n = p.size();
+        let right = (p.rank() + 1) % n;
+        let left = (p.rank() + n - 1) % n;
+        while s.i < self.iters {
+            // p2p ring step.
+            let got = p.sendrecv(
+                world,
+                right,
+                1,
+                &s.acc.to_le_bytes(),
+                left,
+                1,
+            )?;
+            s.acc ^= u64::from_le_bytes(got.payload[..8].try_into().unwrap())
+                .rotate_left(7);
+            // A collective every other iteration.
+            if s.i.is_multiple_of(2) {
+                let m = p.allreduce_t::<u64>(world, ReduceOp::Max, &[s.acc])?;
+                s.acc = s.acc.wrapping_add(m[0] >> 32);
+            }
+            // A deterministic broadcast every third iteration.
+            if s.i.is_multiple_of(3) {
+                let seed = if p.rank() == 0 { s.acc | 1 } else { 0 };
+                let b = p.bcast_t::<u64>(world, 0, &[seed])?;
+                s.acc = s.acc.wrapping_mul(b[0] | 1);
+            }
+            s.i += 1;
+            p.potential_checkpoint(s)?;
+        }
+        Ok(s.acc)
+    }
+}
+
+#[test]
+fn chaos_across_rank_counts_and_intervals() {
+    for &nprocs in &[2usize, 3, 5] {
+        for &interval in &[10u64, 35] {
+            let schedules: Vec<FailureSchedule> = (0..3)
+                .map(|k| {
+                    FailureSchedule::random(
+                        (nprocs as u64) * 1000 + interval + k,
+                        nprocs,
+                        1,
+                        15..120,
+                    )
+                })
+                .collect();
+            let report = chaos_check(
+                nprocs,
+                &C3Config::every_ops(interval),
+                &MixedApp { iters: 30 },
+                &schedules,
+            )
+            .unwrap_or_else(|e| {
+                panic!("nprocs={nprocs} interval={interval}: {e}")
+            });
+            assert!(
+                report.total_restarts >= 1,
+                "no failure fired at nprocs={nprocs} interval={interval}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_with_multi_failure_schedules() {
+    let schedules: Vec<FailureSchedule> = (100..104)
+        .map(|seed| FailureSchedule::random(seed, 4, 3, 15..150))
+        .collect();
+    chaos_check(
+        4,
+        &C3Config::every_ops(18),
+        &MixedApp { iters: 40 },
+        &schedules,
+    )
+    .unwrap();
+}
+
+#[test]
+fn chaos_on_laplace_with_short_mtbf() {
+    // A geometric failure process with mean spacing comparable to the
+    // checkpoint interval — the "failures keep coming" regime.
+    let schedules: Vec<FailureSchedule> =
+        (0..2).map(|seed| FailureSchedule::mtbf(seed, 3, 60, 200)).collect();
+    chaos_check(
+        3,
+        &C3Config::every_ops(15),
+        &Laplace { n: 16, iters: 30 },
+        &schedules,
+    )
+    .unwrap();
+}
+
+/// Non-determinism under chaos: outputs legitimately differ from a
+/// reference run (fresh draws happen beyond the logged region after a
+/// rollback), but the protocol must keep every rank's view of the shared
+/// draws *consistent within the run* — that is the guarantee the
+/// non-determinism log provides (Section 3.2).
+#[test]
+fn chaos_nondet_stays_globally_consistent() {
+    use c3_core::run_job;
+
+    struct NondetShared {
+        iters: u64,
+    }
+    struct NS {
+        i: u64,
+        acc: u64,
+    }
+    impl_saveload_struct!(NS { i: u64, acc: u64 });
+    impl c3_core::C3App for NondetShared {
+        type State = NS;
+        type Output = u64;
+        fn init(&self, _p: &mut Process<'_>) -> C3Result<NS> {
+            Ok(NS { i: 0, acc: 0 })
+        }
+        fn run(&self, p: &mut Process<'_>, s: &mut NS) -> C3Result<u64> {
+            let world = p.world();
+            while s.i < self.iters {
+                // Rank 0 draws; everyone folds the same value.
+                let draw =
+                    if p.rank() == 0 { p.nondet_u64()? } else { 0 };
+                let b = p.bcast_t::<u64>(world, 0, &[draw])?;
+                s.acc = s.acc.wrapping_mul(31).wrapping_add(b[0]);
+                s.i += 1;
+                p.potential_checkpoint(s)?;
+            }
+            Ok(s.acc)
+        }
+    }
+
+    for seed in 0..4u64 {
+        let schedule = FailureSchedule::random(seed + 500, 3, 1, 10..80);
+        let cfg = schedule.apply(C3Config::every_ops(12));
+        let report =
+            run_job(3, &cfg, None, &NondetShared { iters: 25 }).unwrap();
+        assert!(
+            report.outputs.windows(2).all(|w| w[0] == w[1]),
+            "ranks disagree on the shared nondet stream (seed {seed}):              {:?}",
+            report.outputs
+        );
+    }
+}
