@@ -111,22 +111,22 @@ fn frame_known(have: &[Option<Vec<f64>>]) -> Vec<u8> {
     out
 }
 
-fn unframe_known(
-    bytes: &[u8],
-    have: &mut [Option<Vec<f64>>],
-) -> C3Result<()> {
+fn unframe_known(bytes: &[u8], have: &mut [Option<Vec<f64>>]) -> C3Result<()> {
     let bad = || {
-        c3_core::C3Error::Protocol("malformed butterfly allgather frame".into())
+        c3_core::C3Error::Protocol(
+            "malformed butterfly allgather frame".into(),
+        )
     };
     let mut pos = 0usize;
-    let take = |pos: &mut usize, k: usize| -> Result<&[u8], c3_core::C3Error> {
-        if bytes.len() - *pos < k {
-            return Err(bad());
-        }
-        let s = &bytes[*pos..*pos + k];
-        *pos += k;
-        Ok(s)
-    };
+    let take =
+        |pos: &mut usize, k: usize| -> Result<&[u8], c3_core::C3Error> {
+            if bytes.len() - *pos < k {
+                return Err(bad());
+            }
+            let s = &bytes[*pos..*pos + k];
+            *pos += k;
+            Ok(s)
+        };
     let count =
         u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
     for _ in 0..count {
@@ -171,7 +171,8 @@ pub fn allgather(
             let partner = me ^ mask;
             let tag = TAG_GATHER + mask.trailing_zeros() as i32;
             let payload = frame_known(&have);
-            let msg = p.sendrecv(comm, partner, tag, &payload, partner, tag)?;
+            let msg =
+                p.sendrecv(comm, partner, tag, &payload, partner, tag)?;
             unframe_known(&msg.payload, &mut have)?;
             mask <<= 1;
         }
@@ -185,19 +186,17 @@ pub fn allgather(
                 .as_ref()
                 .expect("ring invariant: chunk present")
                 .clone();
-            let mut payload =
-                Vec::with_capacity(8 + chunk.len() * 8);
+            let mut payload = Vec::with_capacity(8 + chunk.len() * 8);
             payload.extend_from_slice(&(send_idx as u64).to_le_bytes());
             for v in &chunk {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
-            let msg =
-                p.sendrecv(comm, right, TAG_GATHER, &payload, left, TAG_GATHER)?;
-            let idx = u64::from_le_bytes(
-                msg.payload[..8].try_into().map_err(|_| {
-                    c3_core::C3Error::Protocol("short ring frame".into())
-                })?,
-            ) as usize;
+            let msg = p.sendrecv(
+                comm, right, TAG_GATHER, &payload, left, TAG_GATHER,
+            )?;
+            let idx = u64::from_le_bytes(msg.payload[..8].try_into().map_err(
+                |_| c3_core::C3Error::Protocol("short ring frame".into()),
+            )?) as usize;
             let vals = f64s(&msg.payload[8..])?;
             if idx >= n {
                 return Err(c3_core::C3Error::Protocol(

@@ -16,10 +16,10 @@
 //! (`rows × n` doubles), so checkpoint cost scales with the square of the
 //! problem size — the effect behind Figure 8's dense-CG bars.
 
-use c3_core::{C3App, C3Result, Process};
 use crate::butterfly::{allgather_flat, allreduce_scalar};
-use crate::linalg::{axpy, block_matvec, block_range, dot, spd_entry, xpby};
 use crate::digest_f64;
+use crate::linalg::{axpy, block_matvec, block_range, dot, spd_entry, xpby};
+use c3_core::{C3App, C3Result, Process};
 
 /// Dense CG configuration.
 #[derive(Debug, Clone)]
@@ -41,12 +41,20 @@ impl DenseCg {
     /// Standard configuration (full state saved, as the paper's
     /// instrumented code does).
     pub fn new(n: usize, iters: u64) -> Self {
-        DenseCg { n, iters, exclude_readonly: false }
+        DenseCg {
+            n,
+            iters,
+            exclude_readonly: false,
+        }
     }
 
     /// Recomputation-checkpointing configuration (§7 ablation).
     pub fn recompute(n: usize, iters: u64) -> Self {
-        DenseCg { n, iters, exclude_readonly: true }
+        DenseCg {
+            n,
+            iters,
+            exclude_readonly: true,
+        }
     }
 }
 
@@ -89,8 +97,11 @@ impl ckptstore::SaveLoad for CgState {
     ) -> Result<Self, ckptstore::codec::CodecError> {
         let iter = dec.get_u64()?;
         let persist_matrix = dec.get_bool()?;
-        let a_block =
-            if persist_matrix { dec.get_f64_vec()? } else { Vec::new() };
+        let a_block = if persist_matrix {
+            dec.get_f64_vec()?
+        } else {
+            Vec::new()
+        };
         Ok(CgState {
             iter,
             persist_matrix,

@@ -32,7 +32,11 @@ pub struct Folding {
 impl Folding {
     /// Standard configuration with a stable step size.
     pub fn new(particles: usize, iters: u64) -> Self {
-        Folding { particles, iters, dt: 5e-3 }
+        Folding {
+            particles,
+            iters,
+            dt: 5e-3,
+        }
     }
 
     /// Bytes of checkpointable state per rank (positions + velocities of
@@ -116,14 +120,14 @@ impl C3App for Folding {
             pos.push(t.sin() * 2.0);
             pos.push(i as f64 * BOND_LEN * 0.9);
         }
-        Ok(FoldingState { iter: 0, pos, vel: vec![0.0; 3 * (hi - lo)] })
+        Ok(FoldingState {
+            iter: 0,
+            pos,
+            vel: vec![0.0; 3 * (hi - lo)],
+        })
     }
 
-    fn run(
-        &self,
-        p: &mut Process<'_>,
-        s: &mut FoldingState,
-    ) -> C3Result<u64> {
+    fn run(&self, p: &mut Process<'_>, s: &mut FoldingState) -> C3Result<u64> {
         let world = p.world();
         let (lo, hi) = block_range(self.particles, p.size(), p.rank());
         let local3 = 3 * (hi - lo);
@@ -143,8 +147,7 @@ impl C3App for Folding {
             let all = p.allgather_flat_t::<f64>(world, &s.pos)?;
             forces(&all, lo, hi, &mut f_now);
             // Velocity Verlet: x += v dt + f dt²/2.
-            for ((x, &v), &f) in
-                s.pos.iter_mut().zip(&s.vel).zip(f_now.iter())
+            for ((x, &v), &f) in s.pos.iter_mut().zip(&s.vel).zip(f_now.iter())
             {
                 *x += v * dt + 0.5 * f * dt * dt;
             }

@@ -74,11 +74,7 @@ impl C3App for Laplace {
         Ok(LaplaceState { iter: 0, grid })
     }
 
-    fn run(
-        &self,
-        p: &mut Process<'_>,
-        s: &mut LaplaceState,
-    ) -> C3Result<u64> {
+    fn run(&self, p: &mut Process<'_>, s: &mut LaplaceState) -> C3Result<u64> {
         let world = p.world();
         let n = self.n;
         let size = p.size();
@@ -131,18 +127,15 @@ impl C3App for Laplace {
                         next[idx] = s.grid[idx];
                         continue;
                     }
-                    let up = if r == 0 {
-                        top_halo[j]
-                    } else {
-                        s.grid[idx - n]
-                    };
+                    let up =
+                        if r == 0 { top_halo[j] } else { s.grid[idx - n] };
                     let down = if r == rows - 1 {
                         bottom_halo[j]
                     } else {
                         s.grid[idx + n]
                     };
-                    next[idx] = 0.25
-                        * (up + down + s.grid[idx - 1] + s.grid[idx + 1]);
+                    next[idx] =
+                        0.25 * (up + down + s.grid[idx - 1] + s.grid[idx + 1]);
                 }
             }
             std::mem::swap(&mut s.grid, &mut next);

@@ -81,9 +81,8 @@ mod tests {
     #[test]
     fn block_matvec_matches_full_matvec() {
         let n = 6;
-        let full: Vec<f64> = (0..n * n)
-            .map(|k| spd_entry(n, k / n, k % n))
-            .collect();
+        let full: Vec<f64> =
+            (0..n * n).map(|k| spd_entry(n, k / n, k % n)).collect();
         let x: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
         let mut y_full = vec![0.0; n];
         block_matvec(&full, n, &x, &mut y_full);

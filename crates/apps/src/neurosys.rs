@@ -97,8 +97,11 @@ fn derivs(
     dv: &mut [f64],
     dw: &mut [f64],
 ) {
-    for (idx, ((&vi, &wi), (dvi, dwi))) in
-        v.iter().zip(w).zip(dv.iter_mut().zip(dw.iter_mut())).enumerate()
+    for (idx, ((&vi, &wi), (dvi, dwi))) in v
+        .iter()
+        .zip(w)
+        .zip(dv.iter_mut().zip(dw.iter_mut()))
+        .enumerate()
     {
         let k = lo + idx;
         *dvi = vi - vi * vi * vi / 3.0 - wi

@@ -7,7 +7,10 @@ use c3_core::{run_job, C3Config, InstrumentationLevel};
 use ftsim::{chaos_check, FailureSchedule};
 
 fn plain_cfg() -> C3Config {
-    C3Config { level: InstrumentationLevel::None, ..C3Config::default() }
+    C3Config {
+        level: InstrumentationLevel::None,
+        ..C3Config::default()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -69,8 +72,7 @@ fn sequential_laplace(n: usize, iters: u64) -> Vec<f64> {
             0.0
         }
     };
-    let mut grid: Vec<f64> =
-        (0..n * n).map(|k| cell(k / n, k % n)).collect();
+    let mut grid: Vec<f64> = (0..n * n).map(|k| cell(k / n, k % n)).collect();
     let mut next = grid.clone();
     for _ in 0..iters {
         for i in 1..n - 1 {
@@ -94,13 +96,9 @@ fn laplace_matches_sequential_reference_at_every_rank_count() {
     let iters = 15;
     let reference = sequential_laplace(n, iters);
     for nprocs in [1usize, 2, 3, 4] {
-        let report = run_job(
-            nprocs,
-            &plain_cfg(),
-            None,
-            &Laplace { n, iters },
-        )
-        .unwrap();
+        let report =
+            run_job(nprocs, &plain_cfg(), None, &Laplace { n, iters })
+                .unwrap();
         // Concatenating per-rank digests isn't the same as a global
         // digest, so compare per-rank digests against reference slices.
         for (rank, out) in report.outputs.iter().enumerate() {

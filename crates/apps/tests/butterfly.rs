@@ -1,8 +1,12 @@
 //! The app-level butterfly reductions agree with the library collectives
 //! and with exact expectations, at power-of-two and irregular rank counts.
 
-use c3_apps::butterfly::{allgather, allgather_flat, allreduce_scalar, allreduce_sum};
-use c3_core::{run_job, C3App, C3Config, C3Result, InstrumentationLevel, Process};
+use c3_apps::butterfly::{
+    allgather, allgather_flat, allreduce_scalar, allreduce_sum,
+};
+use c3_core::{
+    run_job, C3App, C3Config, C3Result, InstrumentationLevel, Process,
+};
 use ckptstore::impl_saveload_struct;
 
 struct UnitState;

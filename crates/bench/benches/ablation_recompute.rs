@@ -11,10 +11,7 @@ use c3_apps::DenseCg;
 use c3_bench::fmt_bytes;
 use c3_core::{run_job, C3Config, CheckpointTrigger, InstrumentationLevel};
 
-fn run_one(
-    nprocs: usize,
-    app: &DenseCg,
-) -> (std::time::Duration, u64, u64) {
+fn run_one(nprocs: usize, app: &DenseCg) -> (std::time::Duration, u64, u64) {
     let cfg = C3Config {
         level: InstrumentationLevel::Full,
         trigger: CheckpointTrigger::EveryMillis(25),

@@ -14,22 +14,11 @@ use c3_bench::{measure_levels, print_csv, print_fig8};
 fn main() {
     let nprocs = 4;
     let mut rows = Vec::new();
-    for (m, iters) in
-        [(16usize, 700u64), (32, 400), (64, 180), (128, 60)]
-    {
+    for (m, iters) in [(16usize, 700u64), (32, 400), (64, 180), (128, 60)] {
         let app = Neurosys::new(m, iters);
-        rows.push(measure_levels(
-            nprocs,
-            &app,
-            format!("{m}x{m}"),
-            50,
-            2,
-        ));
+        rows.push(measure_levels(nprocs, &app, format!("{m}x{m}"), 50, 2));
     }
-    print_fig8(
-        "Figure 8c — Neurosys (4 ranks, ckpt every 50ms)",
-        &rows,
-    );
+    print_fig8("Figure 8c — Neurosys (4 ranks, ckpt every 50ms)", &rows);
     print_csv("neurosys", &rows);
 
     let first = rows[0].overhead_pct(1);
@@ -41,8 +30,6 @@ fn main() {
         rows[rows.len() - 1].label
     );
     if last >= first {
-        println!(
-            "NOTE: decay trend not observed; rerun on a quiet machine"
-        );
+        println!("NOTE: decay trend not observed; rerun on a quiet machine");
     }
 }

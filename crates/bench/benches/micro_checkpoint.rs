@@ -8,8 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use ckptstore::{
-    CheckpointStore, DiskBackend, MemoryBackend, RankBlobKind,
-    StorageBackend,
+    CheckpointStore, DiskBackend, MemoryBackend, RankBlobKind, StorageBackend,
 };
 use statesave::snapshot::snapshot_to_bytes;
 
@@ -48,10 +47,8 @@ fn bench_store_write(c: &mut Criterion) {
             })
         });
 
-        let dir = std::env::temp_dir().join(format!(
-            "c3bench-ckpt-{}-{kb}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir()
+            .join(format!("c3bench-ckpt-{}-{kb}", std::process::id()));
         let disk: Arc<dyn StorageBackend> =
             Arc::new(DiskBackend::new(&dir).unwrap());
         let disk_store = CheckpointStore::new(disk, 1);
@@ -76,9 +73,9 @@ fn bench_restore(c: &mut Criterion) {
         g.throughput(Throughput::Bytes(blob.len() as u64));
         g.bench_function(format!("{kb}KiB"), |b| {
             b.iter(|| {
-                statesave::snapshot::restore_from_bytes::<Vec<f64>>(
-                    black_box(&blob),
-                )
+                statesave::snapshot::restore_from_bytes::<Vec<f64>>(black_box(
+                    &blob,
+                ))
                 .unwrap()
             })
         });

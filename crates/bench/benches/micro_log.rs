@@ -2,7 +2,9 @@
 //! throughput — the cost of "keeping a log" during phase 2 of the
 //! protocol.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BatchSize, Criterion, Throughput,
+};
 use std::hint::black_box;
 
 use c3_core::logrec::{coll_kind, LateMessage, RecoveryLog};

@@ -23,7 +23,9 @@ fn bench_encode(c: &mut Criterion) {
                     message_id: 12345,
                 };
                 b.iter(|| {
-                    black_box(pb.encode_header(mode, black_box(&payload)))
+                    black_box(
+                        pb.encode_header(mode, black_box(&payload)).unwrap(),
+                    )
                 });
             });
         }
@@ -37,8 +39,12 @@ fn bench_decode(c: &mut Criterion) {
         ("packed", PiggybackMode::Packed),
         ("explicit", PiggybackMode::Explicit),
     ] {
-        let pb = Piggyback { epoch: 3, logging: true, message_id: 12345 };
-        let buf = pb.encode_header(mode, &[0u8; 64]);
+        let pb = Piggyback {
+            epoch: 3,
+            logging: true,
+            message_id: 12345,
+        };
+        let buf = pb.encode_header(mode, &[0u8; 64]).unwrap();
         g.bench_function(name, |b| {
             b.iter(|| decode_header(mode, black_box(&buf)).unwrap());
         });
@@ -65,7 +71,11 @@ fn bench_classify(c: &mut Criterion) {
 fn bench_pack_roundtrip(c: &mut Criterion) {
     c.bench_function("pack_unpack_u32", |b| {
         b.iter_batched(
-            || Piggyback { epoch: 7, logging: false, message_id: 99 },
+            || Piggyback {
+                epoch: 7,
+                logging: false,
+                message_id: 99,
+            },
             |pb| {
                 let w = pb.pack();
                 black_box(c3_core::piggyback::PackedPiggyback::unpack(w))

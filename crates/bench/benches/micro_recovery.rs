@@ -51,8 +51,7 @@ fn main() {
     for interval in [100u64, 300, 900] {
         let cfg = C3Config::every_ops(interval);
         let baseline = run_job(nprocs, &cfg, None, &app).expect("baseline");
-        let faulty_cfg =
-            C3Config::every_ops(interval).with_failure(2, 550);
+        let faulty_cfg = C3Config::every_ops(interval).with_failure(2, 550);
         let faulty = run_job(nprocs, &faulty_cfg, None, &app).expect("faulty");
         assert_eq!(faulty.outputs, baseline.outputs);
         let m = RecoveryMetrics::from_reports(&faulty, &baseline);

@@ -117,7 +117,10 @@ pub fn measure_levels<A: C3App>(
             storage_bytes,
         });
     }
-    Fig8Row { label: label.into(), cells }
+    Fig8Row {
+        label: label.into(),
+        cells,
+    }
 }
 
 /// Human-readable size.

@@ -1,0 +1,606 @@
+//! Bounded exhaustive exploration of message-delivery interleavings.
+//!
+//! The explorer runs a small deterministic model of the C³ protocol layer
+//! — built from the *real* `c3-core` components ([`ChannelCounters`],
+//! [`Initiator`], [`ControlMsg`], the epoch classifier) — over every
+//! schedule of a short multi-rank program, and feeds each interleaving's
+//! trace through [`crate::analyzer::analyze`]. It answers the question a
+//! single chaos run cannot: do the protocol invariants hold on *every*
+//! delivery order, not just the ones the runtime happened to produce?
+//!
+//! The model per rank mirrors Figure 4's state (epoch, `amLogging`,
+//! per-epoch message ids, channel counters, early-id records) and the
+//! paper's control handlers, including the stop-logging-on-intra-epoch
+//! rule (Section 4.1, phase 4, condition ii) and the initiator's
+//! four-phase commit. Channels are FIFO per (sender, receiver), matching
+//! the transport; the scheduler's choice point is *which rank executes
+//! its next operation*, which subsumes delivery-order choices because a
+//! receive always takes the head of its channel.
+//!
+//! Two deliberate reductions keep the state space tractable, both sound
+//! for the safety invariants being checked:
+//!
+//! * control messages are drained eagerly before each operation (the
+//!   runtime drains them opportunistically at every intercepted call, so
+//!   eager delivery is one of its real schedules);
+//! * failures are not injected — recovery-path invariants are exercised
+//!   by the runtime chaos tests instead; the explorer targets the
+//!   checkpoint-coordination concurrency, where interleaving diversity
+//!   actually lives.
+//!
+//! Exploration is exhaustive up to [`ExploreConfig::max_interleavings`];
+//! hitting the cap is reported explicitly via
+//! [`ExploreOutcome::truncated`], never silently.
+
+use std::collections::VecDeque;
+
+use c3_core::control::ControlMsg;
+use c3_core::counters::ChannelCounters;
+use c3_core::epoch::{classify_by_epoch, MsgClass};
+use c3_core::initiator::{Action, Initiator};
+use c3_core::trace::{
+    control_code, phase_code, TraceEvent, TraceRecord, TraceSink,
+};
+
+use crate::analyzer::analyze;
+use crate::report::Violation;
+
+/// One operation of a model program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Send one message to `dst` with `tag`.
+    Send {
+        /// Destination rank.
+        dst: usize,
+        /// Application tag.
+        tag: i32,
+    },
+    /// Receive one message from `src` (blocks until its channel is
+    /// non-empty).
+    Recv {
+        /// Source rank.
+        src: usize,
+    },
+    /// A `potential_checkpoint` site: honor a pending `pleaseCheckpoint`,
+    /// otherwise a no-op.
+    Ckpt,
+    /// Trigger the initiator (rank 0 only; a no-op if a round is already
+    /// in progress).
+    Initiate,
+}
+
+/// An exploration setup: one program per rank.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// `programs[r]` is rank `r`'s operation sequence.
+    pub programs: Vec<Vec<Op>>,
+    /// Hard cap on enumerated interleavings (reported via
+    /// [`ExploreOutcome::truncated`] when hit).
+    pub max_interleavings: usize,
+}
+
+/// What exploration found.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreOutcome {
+    /// Complete interleavings enumerated and analyzed.
+    pub interleavings: usize,
+    /// True if [`ExploreConfig::max_interleavings`] cut enumeration short.
+    pub truncated: bool,
+    /// Interleavings that ended with a rank blocked on a receive.
+    pub deadlocks: usize,
+    /// Every invariant violation found, across all interleavings.
+    pub violations: Vec<Violation>,
+    /// The trace of the first complete interleaving (handy for tests and
+    /// for seeding mutation checks).
+    pub sample_trace: Vec<TraceRecord>,
+}
+
+impl ExploreOutcome {
+    /// True when every enumerated interleaving satisfied every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// An in-flight application message (header only — the model never needs
+/// payloads).
+#[derive(Debug, Clone, Copy)]
+struct AppMsg {
+    epoch: u32,
+    logging: bool,
+    id: u32,
+    tag: i32,
+}
+
+/// Figure 4's per-process state, driven by the model scheduler.
+struct RankVm {
+    tracer: c3_core::trace::RankTracer,
+    pc: usize,
+    epoch: u32,
+    logging: bool,
+    next_id: u32,
+    counters: ChannelCounters,
+    early_ids: Vec<Vec<u32>>,
+    late_count: u64,
+    ckpt_requested: Option<u64>,
+    ready_sent: bool,
+}
+
+struct Vm {
+    n: usize,
+    programs: Vec<Vec<Op>>,
+    ranks: Vec<RankVm>,
+    /// FIFO application channels, `app[src][dst]`.
+    app: Vec<Vec<VecDeque<AppMsg>>>,
+    /// FIFO control channels, `ctrl[src][dst]`.
+    ctrl: Vec<Vec<VecDeque<ControlMsg>>>,
+    ini: Initiator,
+    sink: TraceSink,
+}
+
+impl Vm {
+    fn new(programs: &[Vec<Op>]) -> Vm {
+        let n = programs.len();
+        let sink = TraceSink::new();
+        let ranks = (0..n)
+            .map(|r| RankVm {
+                tracer: sink.for_rank(r as u32, 1),
+                pc: 0,
+                epoch: 0,
+                logging: false,
+                next_id: 0,
+                counters: ChannelCounters::new(n),
+                early_ids: vec![Vec::new(); n],
+                late_count: 0,
+                ckpt_requested: None,
+                ready_sent: false,
+            })
+            .collect();
+        Vm {
+            n,
+            programs: programs.to_vec(),
+            ranks,
+            app: vec![vec![VecDeque::new(); n]; n],
+            ctrl: vec![vec![VecDeque::new(); n]; n],
+            ini: Initiator::new(n, 1, false),
+            sink,
+        }
+    }
+
+    fn send_ctrl(&mut self, from: usize, to: usize, cm: ControlMsg) {
+        let (kind, arg) = control_code(&cm);
+        self.ranks[from].tracer.record(TraceEvent::ControlSent {
+            dst: to as u32,
+            kind,
+            arg,
+        });
+        self.ctrl[from][to].push_back(cm);
+    }
+
+    /// Execute an initiator action on rank 0 (mirrors `Process::perform`).
+    fn perform(&mut self, action: Option<Action>) {
+        let Some(action) = action else { return };
+        match action {
+            Action::BroadcastPleaseCheckpoint { ckpt } => {
+                self.ranks[0].tracer.record(TraceEvent::InitiatorPhase {
+                    phase: phase_code::COLLECTING_READY,
+                    ckpt,
+                });
+                for dst in 0..self.n {
+                    self.send_ctrl(
+                        0,
+                        dst,
+                        ControlMsg::PleaseCheckpoint { ckpt },
+                    );
+                }
+            }
+            Action::BroadcastStopLogging => {
+                let ckpt = self.ini.current_ckpt();
+                self.ranks[0].tracer.record(TraceEvent::InitiatorPhase {
+                    phase: phase_code::COLLECTING_STOPPED,
+                    ckpt,
+                });
+                for dst in 0..self.n {
+                    self.send_ctrl(0, dst, ControlMsg::StopLogging);
+                }
+            }
+            Action::Commit { ckpt } => {
+                self.ranks[0].tracer.record(TraceEvent::InitiatorPhase {
+                    phase: phase_code::IDLE,
+                    ckpt,
+                });
+                self.ranks[0].tracer.record(TraceEvent::Commit { ckpt });
+            }
+        }
+    }
+
+    /// Pop the next pending control message for `to`, scanning source
+    /// channels in rank order (each channel stays FIFO).
+    fn next_ctrl(&mut self, to: usize) -> Option<(usize, ControlMsg)> {
+        (0..self.n)
+            .find_map(|src| self.ctrl[src][to].pop_front().map(|cm| (src, cm)))
+    }
+
+    /// Deliver and handle every pending control message for rank `r`
+    /// (mirrors `Process::pump` + `handle_control`).
+    fn drain_ctrl(&mut self, r: usize) {
+        while let Some((src, cm)) = self.next_ctrl(r) {
+            let (kind, arg) = control_code(&cm);
+            self.ranks[r].tracer.record(TraceEvent::ControlRecv {
+                src: src as u32,
+                kind,
+                arg,
+            });
+            match cm {
+                ControlMsg::PleaseCheckpoint { ckpt } => {
+                    if u64::from(self.ranks[r].epoch) < ckpt {
+                        self.ranks[r].ckpt_requested = Some(ckpt);
+                    }
+                }
+                ControlMsg::MySendCount { count } => {
+                    self.ranks[r].counters.set_total_sent(src, count);
+                    if self.ranks[r].logging {
+                        self.check_ready(r);
+                    }
+                }
+                ControlMsg::StopLogging => {
+                    if self.ranks[r].logging {
+                        self.finalize_log(r);
+                    }
+                }
+                ControlMsg::ReadyToStopLogging => {
+                    if r == 0 {
+                        let action = self.ini.on_ready_to_stop_logging(src);
+                        self.perform(action);
+                    }
+                }
+                ControlMsg::StoppedLogging => {
+                    if r == 0 {
+                        let action = self.ini.on_stopped_logging(src);
+                        self.perform(action);
+                    }
+                }
+                ControlMsg::RecoveryComplete => {}
+            }
+        }
+    }
+
+    fn check_ready(&mut self, r: usize) {
+        if !self.ranks[r].ready_sent && self.ranks[r].counters.received_all() {
+            self.ranks[r].ready_sent = true;
+            self.send_ctrl(r, 0, ControlMsg::ReadyToStopLogging);
+        }
+    }
+
+    fn finalize_log(&mut self, r: usize) {
+        let rk = &mut self.ranks[r];
+        rk.tracer.record(TraceEvent::LogFinalized {
+            ckpt: u64::from(rk.epoch),
+            late: rk.late_count,
+            nondet: 0,
+            collectives: 0,
+        });
+        rk.logging = false;
+        self.send_ctrl(r, 0, ControlMsg::StoppedLogging);
+    }
+
+    fn take_checkpoint(&mut self, r: usize, ckpt: u64) {
+        let send_counts: Vec<u64> = (0..self.n)
+            .map(|d| self.ranks[r].counters.send_count(d))
+            .collect();
+        let early_counts: Vec<u64> = self.ranks[r]
+            .early_ids
+            .iter()
+            .map(|v| v.len() as u64)
+            .collect();
+        self.ranks[r].tracer.record(TraceEvent::CheckpointTaken {
+            ckpt,
+            send_counts: send_counts.clone(),
+            early_counts: early_counts.clone(),
+        });
+        for (dst, &count) in send_counts.iter().enumerate() {
+            self.send_ctrl(r, dst, ControlMsg::MySendCount { count });
+        }
+        let rk = &mut self.ranks[r];
+        rk.counters.rotate_at_checkpoint(&early_counts);
+        rk.early_ids = vec![Vec::new(); self.n];
+        rk.ckpt_requested = None;
+        rk.epoch = ckpt as u32;
+        rk.logging = true;
+        rk.ready_sent = false;
+        rk.next_id = 0;
+        rk.late_count = 0;
+        self.check_ready(r);
+    }
+
+    /// True if rank `r` can execute its next operation now.
+    fn enabled(&self, r: usize) -> bool {
+        match self.programs[r].get(self.ranks[r].pc) {
+            None => false,
+            Some(Op::Recv { src }) => !self.app[*src][r].is_empty(),
+            Some(_) => true,
+        }
+    }
+
+    fn enabled_ranks(&self) -> Vec<usize> {
+        (0..self.n).filter(|&r| self.enabled(r)).collect()
+    }
+
+    fn unfinished(&self) -> bool {
+        (0..self.n).any(|r| self.ranks[r].pc < self.programs[r].len())
+    }
+
+    /// Execute rank `r`'s next operation (the scheduler's step).
+    fn step(&mut self, r: usize) {
+        self.drain_ctrl(r);
+        let op = self.programs[r][self.ranks[r].pc];
+        self.ranks[r].pc += 1;
+        match op {
+            Op::Send { dst, tag } => {
+                let rk = &mut self.ranks[r];
+                let id = rk.next_id;
+                rk.next_id += 1;
+                rk.counters.on_send(dst);
+                let (epoch, logging) = (rk.epoch, rk.logging);
+                rk.tracer.record(TraceEvent::Send {
+                    comm: 0,
+                    dst: dst as u32,
+                    tag,
+                    epoch,
+                    logging,
+                    message_id: id,
+                    suppressed: false,
+                    payload_len: 8,
+                });
+                self.app[r][dst].push_back(AppMsg {
+                    epoch,
+                    logging,
+                    id,
+                    tag,
+                });
+            }
+            Op::Recv { src } => {
+                let m = self.app[src][r]
+                    .pop_front()
+                    .expect("scheduler stepped a disabled receive");
+                let class = classify_by_epoch(m.epoch, self.ranks[r].epoch);
+                {
+                    let rk = &mut self.ranks[r];
+                    rk.tracer.record(TraceEvent::RecvClassified {
+                        comm: 0,
+                        src: src as u32,
+                        tag: m.tag,
+                        message_id: m.id,
+                        class,
+                        sender_logging: m.logging,
+                        receiver_epoch: rk.epoch,
+                        receiver_logging: rk.logging,
+                    });
+                }
+                match class {
+                    MsgClass::IntraEpoch => {
+                        // Section 4.1, phase 4, condition ii: an
+                        // intra-epoch message from a non-logging sender
+                        // means everyone has checkpointed.
+                        if self.ranks[r].logging && !m.logging {
+                            self.finalize_log(r);
+                        }
+                        self.ranks[r].counters.on_intra_epoch_recv(src);
+                    }
+                    MsgClass::Late => {
+                        let rk = &mut self.ranks[r];
+                        rk.late_count += 1;
+                        rk.tracer.record(TraceEvent::LateLogged {
+                            src: src as u32,
+                            message_id: m.id,
+                        });
+                        rk.counters.on_late_recv(src);
+                        self.check_ready(r);
+                    }
+                    MsgClass::Early => {
+                        let rk = &mut self.ranks[r];
+                        rk.early_ids[src].push(m.id);
+                        rk.tracer.record(TraceEvent::EarlyRecorded {
+                            src: src as u32,
+                            message_id: m.id,
+                        });
+                    }
+                }
+            }
+            Op::Ckpt => {
+                if let Some(k) = self.ranks[r].ckpt_requested {
+                    if u64::from(self.ranks[r].epoch) < k {
+                        self.take_checkpoint(r, k);
+                    }
+                }
+            }
+            Op::Initiate => {
+                if r == 0 {
+                    let action = self.ini.initiate();
+                    self.perform(action);
+                }
+            }
+        }
+    }
+
+    /// Drain all control traffic to a fixpoint (the post-program
+    /// settling the runtime performs while ranks idle at finalize).
+    fn quiesce(&mut self) {
+        loop {
+            let pending = (0..self.n)
+                .any(|to| (0..self.n).any(|s| !self.ctrl[s][to].is_empty()));
+            if !pending {
+                return;
+            }
+            for r in 0..self.n {
+                self.drain_ctrl(r);
+            }
+        }
+    }
+}
+
+/// Enumerate every interleaving of the configured programs (depth-first
+/// over scheduler choices), analyzing each complete trace.
+pub fn explore(cfg: &ExploreConfig) -> ExploreOutcome {
+    let mut out = ExploreOutcome::default();
+    // Each stack entry is a schedule prefix; a fresh VM is replayed along
+    // it (programs are tiny, so re-execution is cheaper than snapshotting
+    // the protocol state).
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    while let Some(path) = stack.pop() {
+        if out.interleavings >= cfg.max_interleavings {
+            out.truncated = true;
+            return out;
+        }
+        let mut vm = Vm::new(&cfg.programs);
+        for &r in &path {
+            vm.step(r);
+        }
+        let enabled = vm.enabled_ranks();
+        if enabled.is_empty() {
+            if vm.unfinished() {
+                out.deadlocks += 1;
+            }
+            vm.quiesce();
+            out.interleavings += 1;
+            let trace = vm.sink.take();
+            out.violations.extend(analyze(&trace).violations);
+            if out.sample_trace.is_empty() {
+                out.sample_trace = trace;
+            }
+        } else {
+            // Reverse so lower ranks are explored first (pure cosmetics —
+            // exploration is exhaustive either way).
+            for &r in enabled.iter().rev() {
+                let mut next = path.clone();
+                next.push(r);
+                stack.push(next);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-rank checkpoint round with cross traffic: every interleaving
+    /// must satisfy every invariant, and the mix must produce all three
+    /// message classes across the schedule space.
+    #[test]
+    fn two_rank_checkpoint_round_is_invariant_clean() {
+        let cfg = ExploreConfig {
+            programs: vec![
+                vec![
+                    Op::Initiate,
+                    Op::Send { dst: 1, tag: 7 },
+                    Op::Ckpt,
+                    Op::Send { dst: 1, tag: 7 },
+                    Op::Recv { src: 1 },
+                    Op::Recv { src: 1 },
+                ],
+                vec![
+                    Op::Send { dst: 0, tag: 9 },
+                    Op::Ckpt,
+                    Op::Send { dst: 0, tag: 9 },
+                    Op::Recv { src: 0 },
+                    Op::Recv { src: 0 },
+                ],
+            ],
+            max_interleavings: 100_000,
+        };
+        let out = explore(&cfg);
+        assert!(!out.truncated, "cap hit at {}", out.interleavings);
+        assert_eq!(out.deadlocks, 0);
+        assert!(out.interleavings > 50, "only {}", out.interleavings);
+        assert!(
+            out.violations.is_empty(),
+            "violations: {:#?}",
+            out.violations
+        );
+    }
+
+    /// Scheduling freedom really does produce different classifications
+    /// (late and intra at least; early when a receive precedes the
+    /// receiver's checkpoint site).
+    #[test]
+    fn interleavings_cover_multiple_message_classes() {
+        let cfg = ExploreConfig {
+            programs: vec![
+                vec![
+                    Op::Initiate,
+                    Op::Recv { src: 1 },
+                    Op::Ckpt,
+                    Op::Recv { src: 1 },
+                ],
+                vec![
+                    Op::Send { dst: 0, tag: 1 },
+                    Op::Ckpt,
+                    Op::Send { dst: 0, tag: 1 },
+                ],
+            ],
+            max_interleavings: 100_000,
+        };
+        let out = explore(&cfg);
+        assert!(out.is_clean(), "violations: {:#?}", out.violations);
+        // Re-run collecting classes across all interleavings.
+        let mut classes = std::collections::BTreeSet::new();
+        let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+        while let Some(path) = stack.pop() {
+            let mut vm = Vm::new(&cfg.programs);
+            for &r in &path {
+                vm.step(r);
+            }
+            let enabled = vm.enabled_ranks();
+            if enabled.is_empty() {
+                vm.quiesce();
+                for rec in vm.sink.take() {
+                    if let TraceEvent::RecvClassified { class, .. } = rec.event
+                    {
+                        classes.insert(format!("{class:?}"));
+                    }
+                }
+            } else {
+                for &r in &enabled {
+                    let mut next = path.clone();
+                    next.push(r);
+                    stack.push(next);
+                }
+            }
+        }
+        assert!(
+            classes.len() >= 2,
+            "schedules produced only {classes:?} — the explorer is not \
+             exercising classification diversity"
+        );
+    }
+
+    /// The cap is reported, never silent.
+    #[test]
+    fn truncation_is_reported() {
+        let cfg = ExploreConfig {
+            programs: vec![
+                vec![Op::Send { dst: 1, tag: 0 }; 4],
+                vec![Op::Recv { src: 0 }; 4],
+            ],
+            max_interleavings: 3,
+        };
+        let out = explore(&cfg);
+        assert!(out.truncated);
+        assert_eq!(out.interleavings, 3);
+    }
+
+    /// A receive with no matching send deadlocks that schedule; the
+    /// outcome says so.
+    #[test]
+    fn missing_sender_reports_deadlock() {
+        let cfg = ExploreConfig {
+            programs: vec![vec![Op::Recv { src: 1 }], vec![]],
+            max_interleavings: 10,
+        };
+        let out = explore(&cfg);
+        assert_eq!(out.deadlocks, 1);
+        assert_eq!(out.interleavings, 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Protocol-invariant verification tooling for the C³ checkpointing
+//! protocol (Bronevetsky, Marques, Pingali, Stodghill — "Automated
+//! application-level checkpointing of MPI programs", PPoPP 2003).
+//!
+//! Three layers, stacked on the trace recorder in `c3_core::trace`:
+//!
+//! 1. **[`analyzer`]** — an offline pass over a recorded trace that
+//!    checks twelve safety invariants of the protocol (epoch monotonicity,
+//!    classification soundness, the late-message accounting equation, the
+//!    initiator's phase gating, the collective conjunction rule, …) and
+//!    reports violations with rank / attempt / operation context.
+//! 2. **[`explorer`]** — a bounded exhaustive scheduler that runs short
+//!    multi-rank programs through a model of the protocol layer (built
+//!    from the real `c3-core` components) under *every* message-delivery
+//!    interleaving, analyzing each one.
+//! 3. **the `c3verify` binary** — decodes a trace artifact written with
+//!    [`c3_core::trace::encode_trace`], prints the report, and exits
+//!    non-zero when an invariant is violated, so chaos harnesses and CI
+//!    can gate on it.
+//!
+//! To record a trace, install a [`TraceSink`] in the job's
+//! [`C3Config`](c3_core::C3Config) via `with_trace` and hand the sink's
+//! records to [`analyze`] (in process) or serialize them with
+//! [`c3_core::trace::encode_trace`] for the CLI.
+
+pub mod analyzer;
+pub mod explorer;
+pub mod report;
+
+use std::path::Path;
+
+use c3_core::trace::{decode_trace, TraceRecord, TraceSink};
+
+pub use analyzer::{analyze, invariant};
+pub use explorer::{explore, ExploreConfig, ExploreOutcome, Op};
+pub use report::{Report, Violation};
+
+/// Decode a trace artifact file (magic `C3TRACE1`).
+pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, String> {
+    let bytes =
+        std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    decode_trace(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Analyze a trace artifact file.
+pub fn analyze_file(path: &Path) -> Result<Report, String> {
+    Ok(analyze(&read_trace_file(path)?))
+}
+
+/// Analyze the records currently held by a live sink (without draining
+/// it).
+pub fn analyze_sink(sink: &TraceSink) -> Report {
+    analyze(&sink.snapshot())
+}

@@ -1,0 +1,64 @@
+//! `c3verify` — check a recorded C³ protocol trace against the paper's
+//! invariants.
+//!
+//! ```text
+//! c3verify [--quiet] <trace-file>...
+//! ```
+//!
+//! Exit status: 0 when every invariant holds in every file, 1 when any
+//! violation is found, 2 on usage / I/O / decode errors.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut quiet = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: c3verify [--quiet] <trace-file>...");
+                println!(
+                    "checks C3 protocol traces (magic C3TRACE1) against \
+                     the PPoPP 2003 protocol invariants"
+                );
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("c3verify: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: c3verify [--quiet] <trace-file>...");
+        return ExitCode::from(2);
+    }
+
+    let mut violated = false;
+    for file in &files {
+        match c3verify::analyze_file(file.as_ref()) {
+            Err(e) => {
+                eprintln!("c3verify: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(report) => {
+                if !report.is_clean() {
+                    violated = true;
+                }
+                if !quiet || !report.is_clean() {
+                    if files.len() > 1 {
+                        print!("{file}: ");
+                    }
+                    print!("{}", report.render());
+                }
+            }
+        }
+    }
+    if violated {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

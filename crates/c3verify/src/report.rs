@@ -1,0 +1,106 @@
+//! Violation reports produced by the [`crate::analyzer`].
+
+use std::fmt;
+
+/// One invariant violation, anchored to the rank decision that exposed it.
+///
+/// `seq` is the per-rank decision index of the offending [`TraceRecord`]
+/// (or of the *last* record examined when the violation is a cross-rank
+/// property with no single culprit record).
+///
+/// [`TraceRecord`]: c3_core::trace::TraceRecord
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Invariant identifier (see [`crate::analyzer::invariant`]).
+    pub invariant: &'static str,
+    /// The job attempt the violation occurred in.
+    pub attempt: u64,
+    /// The rank whose stream exposed the violation.
+    pub rank: u32,
+    /// The rank-local decision index the violation anchors to.
+    pub seq: u64,
+    /// Human-readable description with the relevant epoch / op context.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] attempt {} rank {} seq {}: {}",
+            self.invariant, self.attempt, self.rank, self.seq, self.detail
+        )
+    }
+}
+
+/// The analyzer's verdict over a whole trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Every violation found, in (attempt, rank, seq) order.
+    pub violations: Vec<Violation>,
+    /// Trace records examined.
+    pub records: usize,
+    /// Number of job attempts covered by the trace.
+    pub attempts: usize,
+    /// Number of ranks covered by the trace.
+    pub ranks: u32,
+    /// Globally committed checkpoints observed (initiator `Commit` events).
+    pub commits: Vec<u64>,
+}
+
+impl Report {
+    /// True when no invariant was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render the report for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "c3verify: {} records, {} attempt(s), {} rank(s), commits {:?}\n",
+            self.records, self.attempts, self.ranks, self.commits
+        ));
+        if self.is_clean() {
+            out.push_str("OK: all protocol invariants hold\n");
+        } else {
+            out.push_str(&format!(
+                "FAIL: {} invariant violation(s)\n",
+                self.violations.len()
+            ));
+            for v in &self.violations {
+                out.push_str(&format!("  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_mentions_every_violation() {
+        let mut r = Report {
+            records: 3,
+            attempts: 1,
+            ranks: 2,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        assert!(r.render().contains("OK"));
+        r.violations.push(Violation {
+            invariant: "I1-epoch-monotone",
+            attempt: 1,
+            rank: 1,
+            seq: 7,
+            detail: "checkpoint 3 from epoch 1".into(),
+        });
+        let text = r.render();
+        assert!(!r.is_clean());
+        assert!(text.contains("FAIL: 1"));
+        assert!(text.contains("I1-epoch-monotone"));
+        assert!(text.contains("rank 1 seq 7"));
+    }
+}

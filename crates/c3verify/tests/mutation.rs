@@ -1,0 +1,188 @@
+//! Mutation tests: the analyzer must accept a genuine trace and reject
+//! deliberately corrupted variants of it.
+//!
+//! Each test records a clean trace from a real job (Laplace on 3 ranks
+//! with frequent checkpoints, so every message class and several
+//! initiator rounds occur), asserts it is clean, applies exactly one
+//! corruption, and asserts the corresponding invariant is flagged.
+
+use c3_apps::Laplace;
+use c3_core::epoch::MsgClass;
+use c3_core::trace::{TraceEvent, TraceRecord, TraceSink};
+use c3_core::{run_job, C3Config};
+use c3verify::{analyze, invariant};
+
+/// Record one clean trace. Returns the records of the (single) attempt.
+fn clean_trace() -> Vec<TraceRecord> {
+    let sink = TraceSink::new();
+    let cfg = C3Config::every_ops(8).with_trace(sink.clone());
+    let app = Laplace { n: 12, iters: 24 };
+    run_job(3, &cfg, None, &app).expect("reference job");
+    let records = sink.take();
+    let report = analyze(&records);
+    assert!(
+        report.is_clean(),
+        "reference trace must be clean:\n{}",
+        report.render()
+    );
+    report
+        .commits
+        .iter()
+        .for_each(|c| assert!(*c > 0, "expected committed checkpoints"));
+    records
+}
+
+/// True when `inv` appears among the report's violations for `records`.
+fn flags(records: &[TraceRecord], inv: &str) -> bool {
+    analyze(records)
+        .violations
+        .iter()
+        .any(|v| v.invariant == inv)
+}
+
+#[test]
+fn dropping_a_log_record_is_detected() {
+    let mut records = clean_trace();
+    let pos = records
+        .iter()
+        .position(|r| matches!(r.event, TraceEvent::LateLogged { .. }))
+        .expect("trace must contain a logged late message");
+    records.remove(pos);
+    assert!(
+        flags(&records, invariant::I3),
+        "dropped LateLogged must violate I3"
+    );
+}
+
+#[test]
+fn reordering_initiator_phases_is_detected() {
+    let mut records = clean_trace();
+    // The analyzer orders each rank's stream by seq, so reordering means
+    // swapping the *payloads* of two phase records, not the Vec order.
+    let phases: Vec<usize> = records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.event, TraceEvent::InitiatorPhase { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        phases.len() >= 2,
+        "trace must contain at least one full initiator round"
+    );
+    let (a, b) = (phases[0], phases[1]);
+    let tmp = records[a].event.clone();
+    records[a].event = records[b].event.clone();
+    records[b].event = tmp;
+    let report = analyze(&records);
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == invariant::I9
+                || v.invariant == invariant::I5),
+        "swapped initiator phases must violate I9 or I5:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn flipping_a_late_classification_is_detected() {
+    let mut records = clean_trace();
+    let rec = records
+        .iter_mut()
+        .find(|r| {
+            matches!(
+                r.event,
+                TraceEvent::RecvClassified {
+                    class: MsgClass::Late,
+                    ..
+                }
+            )
+        })
+        .expect("trace must contain a late-classified receive");
+    if let TraceEvent::RecvClassified { class, .. } = &mut rec.event {
+        *class = MsgClass::IntraEpoch;
+    }
+    let report = analyze(&records);
+    // The flipped receive no longer pairs with any send of the claimed
+    // epoch (I2) and the log append that follows it is orphaned (I3).
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == invariant::I2),
+        "flipped classification must violate I2:\n{}",
+        report.render()
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.invariant == invariant::I3),
+        "orphaned log append must violate I3:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn corrupting_a_send_count_announcement_is_detected() {
+    let mut records = clean_trace();
+    let rec = records
+        .iter_mut()
+        .find(|r| {
+            matches!(
+                &r.event,
+                TraceEvent::CheckpointTaken { send_counts, .. }
+                    if send_counts.iter().any(|c| *c > 0)
+            )
+        })
+        .expect("trace must contain a checkpoint with non-zero sends");
+    if let TraceEvent::CheckpointTaken { send_counts, .. } = &mut rec.event {
+        let q = send_counts.iter().position(|c| *c > 0).unwrap();
+        send_counts[q] += 1;
+    }
+    assert!(
+        flags(&records, invariant::I4),
+        "corrupted mySendCount must violate I4"
+    );
+}
+
+#[test]
+fn forging_an_epoch_is_detected() {
+    let mut records = clean_trace();
+    let rec = records
+        .iter_mut()
+        .find(|r| matches!(r.event, TraceEvent::CheckpointTaken { .. }))
+        .expect("trace must contain a checkpoint");
+    if let TraceEvent::CheckpointTaken { ckpt, .. } = &mut rec.event {
+        *ckpt += 1;
+    }
+    assert!(
+        flags(&records, invariant::I1),
+        "skipped epoch must violate I1"
+    );
+}
+
+#[test]
+fn flipping_a_piggybacked_logging_flag_is_detected() {
+    let mut records = clean_trace();
+    let rec = records
+        .iter_mut()
+        .find(|r| {
+            matches!(
+                r.event,
+                TraceEvent::RecvClassified {
+                    class: MsgClass::Late,
+                    ..
+                }
+            )
+        })
+        .expect("trace must contain a late-classified receive");
+    if let TraceEvent::RecvClassified { sender_logging, .. } = &mut rec.event {
+        *sender_logging = !*sender_logging;
+    }
+    assert!(
+        flags(&records, invariant::I2),
+        "corrupted piggybacked amLogging must violate I2"
+    );
+}

@@ -69,7 +69,8 @@ impl MemoryBackend {
 
 impl StorageBackend for MemoryBackend {
     fn put(&self, key: &str, value: &[u8]) -> StoreResult<()> {
-        self.written.fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
         self.blobs.lock().insert(key.to_owned(), value.into());
         Ok(())
     }
@@ -133,7 +134,9 @@ impl DiskBackend {
         // Reject path escapes; keys are internal but this backend may be
         // pointed at a shared scratch directory.
         if key.is_empty()
-            || key.split('/').any(|c| c.is_empty() || c == "." || c == "..")
+            || key
+                .split('/')
+                .any(|c| c.is_empty() || c == "." || c == "..")
         {
             return Err(StoreError::Commit(format!("invalid key: {key:?}")));
         }
@@ -158,7 +161,8 @@ impl StorageBackend for DiskBackend {
             f.sync_all()?;
         }
         fs::rename(&tmp, &path)?;
-        self.written.fetch_add(value.len() as u64, Ordering::Relaxed);
+        self.written
+            .fetch_add(value.len() as u64, Ordering::Relaxed);
         Ok(())
     }
 
@@ -272,10 +276,8 @@ mod tests {
 
     #[test]
     fn disk_backend_rejects_escaping_keys() {
-        let dir = std::env::temp_dir().join(format!(
-            "ckptstore-esc-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir()
+            .join(format!("ckptstore-esc-{}", std::process::id()));
         let backend = DiskBackend::new(&dir).unwrap();
         assert!(backend.put("../evil", b"x").is_err());
         assert!(backend.put("a//b", b"x").is_err());

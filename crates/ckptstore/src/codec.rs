@@ -23,7 +23,9 @@ impl CodecError {
     /// Construct a decode error (also used by downstream crates that
     /// implement [`SaveLoad`] with custom validation).
     pub fn new(detail: impl Into<String>) -> Self {
-        CodecError { detail: detail.into() }
+        CodecError {
+            detail: detail.into(),
+        }
     }
 }
 
@@ -61,7 +63,9 @@ impl Encoder {
     /// Create an encoder with pre-reserved capacity (use when the caller
     /// knows the approximate snapshot size, e.g. bulk array saves).
     pub fn with_capacity(cap: usize) -> Self {
-        Encoder { buf: Vec::with_capacity(cap) }
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Consume the encoder, yielding the encoded bytes.
@@ -271,9 +275,11 @@ impl<'a> Decoder<'a> {
     /// Bulk-decode an `f64` slice.
     pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, CodecError> {
         let n = self.get_usize()?;
-        let raw = self.take(n.checked_mul(8).ok_or_else(|| {
-            CodecError::new("f64 slice length overflow")
-        })?, "f64 slice")?;
+        let raw = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| CodecError::new("f64 slice length overflow"))?,
+            "f64 slice",
+        )?;
         Ok(raw
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -283,9 +289,11 @@ impl<'a> Decoder<'a> {
     /// Bulk-decode a `u64` slice.
     pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, CodecError> {
         let n = self.get_usize()?;
-        let raw = self.take(n.checked_mul(8).ok_or_else(|| {
-            CodecError::new("u64 slice length overflow")
-        })?, "u64 slice")?;
+        let raw = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| CodecError::new("u64 slice length overflow"))?,
+            "u64 slice",
+        )?;
         Ok(raw
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -570,7 +578,11 @@ mod tests {
 
     #[test]
     fn struct_macro_round_trip() {
-        let s = Sample { a: 5, b: "x".into(), c: vec![1.0, -2.0] };
+        let s = Sample {
+            a: 5,
+            b: "x".into(),
+            c: vec![1.0, -2.0],
+        };
         let mut enc = Encoder::new();
         enc.put(&s);
         let bytes = enc.into_bytes();

@@ -124,12 +124,12 @@ impl CheckpointStore {
     ) -> StoreResult<Vec<u8>> {
         let key = Self::rank_key(ckpt, rank, kind);
         let sealed = self.backend.get(&key)?;
-        crate::integrity::unseal(&sealed)
-            .map(<[u8]>::to_vec)
-            .ok_or(StoreError::Corrupt {
+        crate::integrity::unseal(&sealed).map(<[u8]>::to_vec).ok_or(
+            StoreError::Corrupt {
                 key,
                 detail: "CRC-32 integrity check failed".into(),
-            })
+            },
+        )
     }
 
     /// True if the given rank blob exists.
@@ -164,7 +164,10 @@ impl CheckpointStore {
                 }
             }
         }
-        let record = CommitRecord { ckpt, nranks: self.nranks };
+        let record = CommitRecord {
+            ckpt,
+            nranks: self.nranks,
+        };
         let mut enc = Encoder::new();
         enc.put_u64(record.ckpt);
         enc.put_usize(record.nranks);
@@ -181,9 +184,13 @@ impl CheckpointStore {
         let key = Self::commit_key(ckpt);
         let bytes = self.backend.get(&key)?;
         let mut dec = Decoder::new(&bytes);
-        let mut parse = || -> Result<CommitRecord, crate::codec::CodecError> {
-            Ok(CommitRecord { ckpt: dec.get_u64()?, nranks: dec.get_usize()? })
-        };
+        let mut parse =
+            || -> Result<CommitRecord, crate::codec::CodecError> {
+                Ok(CommitRecord {
+                    ckpt: dec.get_u64()?,
+                    nranks: dec.get_usize()?,
+                })
+            };
         let rec = parse().map_err(|e| StoreError::Corrupt {
             key: key.clone(),
             detail: e.to_string(),
@@ -239,9 +246,15 @@ impl CheckpointStore {
     /// assumption that only the latest global checkpoint is retained.
     pub fn gc_keeping(&self, keep: CkptId) -> StoreResult<()> {
         for key in self.backend.list("ckpt/")? {
-            let Some(rest) = key.strip_prefix("ckpt/") else { continue };
-            let Some((num, _)) = rest.split_once('/') else { continue };
-            let Ok(id) = num.parse::<CkptId>() else { continue };
+            let Some(rest) = key.strip_prefix("ckpt/") else {
+                continue;
+            };
+            let Some((num, _)) = rest.split_once('/') else {
+                continue;
+            };
+            let Ok(id) = num.parse::<CkptId>() else {
+                continue;
+            };
             if id < keep {
                 self.backend.delete(&key)?;
             }
@@ -261,7 +274,8 @@ mod tests {
 
     fn write_full_checkpoint(s: &CheckpointStore, ckpt: CkptId) {
         for r in 0..s.nranks() {
-            s.put_rank_blob(ckpt, r, RankBlobKind::State, b"state").unwrap();
+            s.put_rank_blob(ckpt, r, RankBlobKind::State, b"state")
+                .unwrap();
             s.put_rank_blob(ckpt, r, RankBlobKind::Log, b"log").unwrap();
         }
     }
@@ -302,7 +316,10 @@ mod tests {
             .put_rank_blob(1, 0, RankBlobKind::State, b"tampered")
             .unwrap_err();
         assert!(matches!(err, StoreError::Commit(_)));
-        assert_eq!(s.get_rank_blob(1, 0, RankBlobKind::State).unwrap(), b"state");
+        assert_eq!(
+            s.get_rank_blob(1, 0, RankBlobKind::State).unwrap(),
+            b"state"
+        );
     }
 
     #[test]
@@ -353,7 +370,8 @@ mod tests {
     fn corrupted_blob_is_detected_on_read() {
         let backend = Arc::new(MemoryBackend::new());
         let s = CheckpointStore::new(backend.clone(), 1);
-        s.put_rank_blob(1, 0, RankBlobKind::State, b"snapshot").unwrap();
+        s.put_rank_blob(1, 0, RankBlobKind::State, b"snapshot")
+            .unwrap();
         // Flip one byte behind the store's back (bit rot / torn write).
         let key = "ckpt/00000001/rank0/state";
         let mut raw = backend.get(key).unwrap();
@@ -370,7 +388,8 @@ mod tests {
     fn mpi_objects_blob_is_optional_for_commit() {
         let s = store(1);
         write_full_checkpoint(&s, 1);
-        s.put_rank_blob(1, 0, RankBlobKind::MpiObjects, b"calls").unwrap();
+        s.put_rank_blob(1, 0, RankBlobKind::MpiObjects, b"calls")
+            .unwrap();
         s.commit(1).unwrap();
         assert_eq!(
             s.get_rank_blob(1, 0, RankBlobKind::MpiObjects).unwrap(),

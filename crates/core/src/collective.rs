@@ -30,6 +30,7 @@ use crate::error::C3Result;
 use crate::logrec::coll_kind;
 use crate::pending::CommHandle;
 use crate::process::Process;
+use crate::trace::TraceEvent;
 
 /// Outcome of the pre-collective control exchange.
 struct CollControl {
@@ -100,10 +101,13 @@ fn unframe_option(bytes: &[u8]) -> Result<Option<Vec<u8>>, CodecError> {
 impl<'a> Process<'a> {
     /// The control collective: exchange `(epoch << 1 | amLogging)` words
     /// among the participants of `comm` and fold them.
-    fn collective_control(&mut self, comm: CommHandle) -> C3Result<CollControl> {
+    fn collective_control(
+        &mut self,
+        comm: CommHandle,
+    ) -> C3Result<CollControl> {
         let ctrl = self.ctrl_of(comm)?;
-        let word = (u64::from(self.epoch()) << 1)
-            | u64::from(self.is_logging());
+        let word =
+            (u64::from(self.epoch()) << 1) | u64::from(self.is_logging());
         let words = self.mpi_mut().allgather_t::<u64>(&ctrl, &[word])?;
         let mut max_epoch = 0u32;
         for w in words.iter().flatten() {
@@ -113,7 +117,10 @@ impl<'a> Process<'a> {
             .iter()
             .flatten()
             .any(|w| (w >> 1) as u32 == max_epoch && w & 1 == 0);
-        Ok(CollControl { stopped_at_max, max_epoch })
+        Ok(CollControl {
+            stopped_at_max,
+            max_epoch,
+        })
     }
 
     /// Common wrapper for every data collective: replay from the log if
@@ -138,7 +145,9 @@ impl<'a> Process<'a> {
         }
         let ctl = self.collective_control(comm)?;
         let result = f(self.mpi_mut(), &app)?;
-        if self.is_logging() {
+        let was_logging = self.is_logging();
+        let mut logged = false;
+        if was_logging {
             if ctl.stopped_at_max {
                 // A same-epoch participant has terminated logging: do not
                 // log the result, and stop logging ourselves (Section
@@ -146,8 +155,18 @@ impl<'a> Process<'a> {
                 self.finalize_log_public()?;
             } else {
                 self.log_collective(kind, result.clone());
+                logged = true;
             }
         }
+        self.trace_event(TraceEvent::CollectiveControl {
+            comm: comm.0 as u64,
+            kind,
+            epoch: self.epoch(),
+            logging: was_logging,
+            max_epoch: ctl.max_epoch,
+            stopped_at_max: ctl.stopped_at_max,
+            logged,
+        });
         Ok(result)
     }
 
@@ -178,16 +197,32 @@ impl<'a> Process<'a> {
         if ctl.max_epoch > self.epoch() {
             // The "precompiler-inserted" potential checkpoint before the
             // barrier: catch up to the epoch of the furthest participant.
+            self.trace_event(TraceEvent::BarrierAligned {
+                from_epoch: self.epoch(),
+                to_epoch: ctl.max_epoch,
+            });
             self.force_local_checkpoint(state)?;
         }
         self.mpi_mut().barrier(&app)?;
-        if self.is_logging() {
+        let was_logging = self.is_logging();
+        let mut logged = false;
+        if was_logging {
             if ctl.stopped_at_max {
                 self.finalize_log_public()?;
             } else {
                 self.log_collective(coll_kind::BARRIER, Vec::new());
+                logged = true;
             }
         }
+        self.trace_event(TraceEvent::CollectiveControl {
+            comm: comm.0 as u64,
+            kind: coll_kind::BARRIER,
+            epoch: self.epoch(),
+            logging: was_logging,
+            max_epoch: ctl.max_epoch,
+            stopped_at_max: ctl.stopped_at_max,
+            logged,
+        });
         Ok(())
     }
 
@@ -311,10 +346,11 @@ impl<'a> Process<'a> {
         data: &[u8],
     ) -> C3Result<Vec<Vec<u8>>> {
         let data = data.to_vec();
-        let framed =
-            self.run_collective(coll_kind::ALLGATHER, comm, move |mpi, app| {
-                Ok(frame_chunks(&mpi.allgather(app, &data)?))
-            })?;
+        let framed = self.run_collective(
+            coll_kind::ALLGATHER,
+            comm,
+            move |mpi, app| Ok(frame_chunks(&mpi.allgather(app, &data)?)),
+        )?;
         unframe_chunks(&framed).map_err(Into::into)
     }
 
@@ -338,7 +374,11 @@ impl<'a> Process<'a> {
         comm: CommHandle,
         data: &[T],
     ) -> C3Result<Vec<T>> {
-        Ok(self.allgather_t(comm, data)?.into_iter().flatten().collect())
+        Ok(self
+            .allgather_t(comm, data)?
+            .into_iter()
+            .flatten()
+            .collect())
     }
 
     /// Personalized all-to-all exchange (ragged allowed).
@@ -348,10 +388,11 @@ impl<'a> Process<'a> {
         chunks: &[Vec<u8>],
     ) -> C3Result<Vec<Vec<u8>>> {
         let chunks = chunks.to_vec();
-        let framed =
-            self.run_collective(coll_kind::ALLTOALL, comm, move |mpi, app| {
-                Ok(frame_chunks(&mpi.alltoall(app, &chunks)?))
-            })?;
+        let framed = self.run_collective(
+            coll_kind::ALLTOALL,
+            comm,
+            move |mpi, app| Ok(frame_chunks(&mpi.alltoall(app, &chunks)?)),
+        )?;
         unframe_chunks(&framed).map_err(Into::into)
     }
 

@@ -82,7 +82,11 @@ pub struct Injection {
 impl Injection {
     /// Create an injection.
     pub fn new(rank: usize, at_op: u64) -> Self {
-        Injection { rank, at_op, consumed: AtomicBool::new(false) }
+        Injection {
+            rank,
+            at_op,
+            consumed: AtomicBool::new(false),
+        }
     }
 
     /// Atomically claim this injection if it matches; true = fire now.
@@ -125,6 +129,9 @@ pub struct C3Config {
     pub detection_latency_ms: u64,
     /// Upper bound on restarts before the job driver gives up.
     pub max_restarts: usize,
+    /// Optional protocol-event trace sink (see [`crate::trace`]). Every
+    /// rank of every attempt appends its events; `None` disables tracing.
+    pub trace: Option<crate::trace::TraceSink>,
 }
 
 impl Default for C3Config {
@@ -136,6 +143,7 @@ impl Default for C3Config {
             failures: Arc::new(Vec::new()),
             detection_latency_ms: 2,
             max_restarts: 16,
+            trace: None,
         }
     }
 }
@@ -144,7 +152,10 @@ impl C3Config {
     /// Convenience: a full-instrumentation config checkpointing every
     /// `ops` operations.
     pub fn every_ops(ops: u64) -> Self {
-        C3Config { trigger: CheckpointTrigger::EveryOps(ops), ..Self::default() }
+        C3Config {
+            trigger: CheckpointTrigger::EveryOps(ops),
+            ..Self::default()
+        }
     }
 
     /// Add an injected failure.
@@ -158,6 +169,12 @@ impl C3Config {
         };
         v.push(Injection::new(rank, at_op));
         self.failures = Arc::new(v);
+        self
+    }
+
+    /// Install a protocol-event trace sink.
+    pub fn with_trace(mut self, sink: crate::trace::TraceSink) -> Self {
+        self.trace = Some(sink);
         self
     }
 }

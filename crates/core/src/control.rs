@@ -75,8 +75,12 @@ impl ControlMsg {
         let mut dec = Decoder::new(bytes);
         let parse = |dec: &mut Decoder<'_>| -> Result<ControlMsg, CodecError> {
             let msg = match dec.get_u8()? {
-                0 => ControlMsg::PleaseCheckpoint { ckpt: dec.get_u64()? },
-                1 => ControlMsg::MySendCount { count: dec.get_u64()? },
+                0 => ControlMsg::PleaseCheckpoint {
+                    ckpt: dec.get_u64()?,
+                },
+                1 => ControlMsg::MySendCount {
+                    count: dec.get_u64()?,
+                },
                 2 => ControlMsg::ReadyToStopLogging,
                 3 => ControlMsg::StopLogging,
                 4 => ControlMsg::StoppedLogging,
@@ -166,7 +170,9 @@ mod tests {
 
     #[test]
     fn suppress_list_round_trip() {
-        let s = SuppressList { ids: vec![0, 5, 17, u32::MAX >> 2] };
+        let s = SuppressList {
+            ids: vec![0, 5, 17, u32::MAX >> 2],
+        };
         assert_eq!(SuppressList::decode(&s.encode()).unwrap(), s);
         let empty = SuppressList { ids: vec![] };
         assert_eq!(SuppressList::decode(&empty.encode()).unwrap(), empty);

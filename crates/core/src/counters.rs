@@ -136,7 +136,12 @@ impl SaveLoad for ChannelCounters {
         {
             return Err(CodecError::new("ragged counter block"));
         }
-        Ok(ChannelCounters { send_count, current_recv, previous_recv, total_sent })
+        Ok(ChannelCounters {
+            send_count,
+            current_recv,
+            previous_recv,
+            total_sent,
+        })
     }
 }
 

@@ -142,8 +142,7 @@ mod tests {
         // under the |Δepoch| ≤ 1 invariant and check equivalence with the
         // full-epoch classifier.
         for recv_epoch in 0..6u32 {
-            for sender_epoch in
-                recv_epoch.saturating_sub(1)..=(recv_epoch + 1)
+            for sender_epoch in recv_epoch.saturating_sub(1)..=(recv_epoch + 1)
             {
                 let by_epoch = classify_by_epoch(sender_epoch, recv_epoch);
                 // The receiver can only be logging while it still expects

@@ -108,14 +108,21 @@ impl Initiator {
         self.committed
     }
 
+    /// The checkpoint number currently being created (the next one when
+    /// idle).
+    pub fn current_ckpt(&self) -> u64 {
+        self.ckpt
+    }
+
     /// Begin a new global checkpoint; returns the broadcast action, or
     /// `None` if one is already in progress or recovery is still draining.
     pub fn initiate(&mut self) -> Option<Action> {
         if !self.is_idle() || self.recovery_gated() {
             return None;
         }
-        self.phase =
-            Phase::CollectingReady { ready: vec![false; self.nranks] };
+        self.phase = Phase::CollectingReady {
+            ready: vec![false; self.nranks],
+        };
         Some(Action::BroadcastPleaseCheckpoint { ckpt: self.ckpt })
     }
 
@@ -234,7 +241,10 @@ mod tests {
             Some(Action::BroadcastPleaseCheckpoint { ckpt: 5 })
         );
         ini.on_ready_to_stop_logging(0);
-        assert_eq!(ini.on_stopped_logging(0), Some(Action::Commit { ckpt: 5 }));
+        assert_eq!(
+            ini.on_stopped_logging(0),
+            Some(Action::Commit { ckpt: 5 })
+        );
     }
 
     #[test]
@@ -262,6 +272,9 @@ mod tests {
             ini.on_ready_to_stop_logging(0),
             Some(Action::BroadcastStopLogging)
         );
-        assert_eq!(ini.on_stopped_logging(0), Some(Action::Commit { ckpt: 1 }));
+        assert_eq!(
+            ini.on_stopped_logging(0),
+            Some(Action::Commit { ckpt: 1 })
+        );
     }
 }

@@ -234,5 +234,8 @@ fn spawn_detector(control: JobControl, latency: Duration) -> Detector {
             std::thread::sleep(Duration::from_micros(200));
         }
     });
-    Detector { done, handle: Some(handle) }
+    Detector {
+        done,
+        handle: Some(handle),
+    }
 }

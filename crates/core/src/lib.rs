@@ -81,6 +81,7 @@ pub mod piggyback;
 pub mod process;
 pub mod recovery;
 pub mod rng;
+pub mod trace;
 
 pub use config::{C3Config, CheckpointTrigger, InstrumentationLevel};
 pub use error::{C3Error, C3Result};
@@ -88,6 +89,7 @@ pub use job::{run_job, C3App, JobReport};
 pub use pending::{CommHandle, ReqHandle};
 pub use piggyback::PiggybackMode;
 pub use process::{C3Request, ProcStats, Process};
+pub use trace::{TraceEvent, TraceRecord, TraceSink};
 
 // Re-exports applications typically need alongside the protocol layer.
 pub use simmpi::{DType, ReduceOp, ANY_SOURCE, ANY_TAG};

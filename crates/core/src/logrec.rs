@@ -228,9 +228,9 @@ mod tests {
         let mut enc = Encoder::new();
         log.save(&mut enc);
         let bytes = enc.into_bytes();
-        assert!(
-            RecoveryLog::load(&mut Decoder::new(&bytes[..bytes.len() - 1]))
-                .is_err()
-        );
+        assert!(RecoveryLog::load(&mut Decoder::new(
+            &bytes[..bytes.len() - 1]
+        ))
+        .is_err());
     }
 }

@@ -181,7 +181,9 @@ impl SaveLoad for PersistentCall {
     }
     fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         match dec.get_u8()? {
-            0 => Ok(PersistentCall::CommDup { parent: dec.get_usize()? }),
+            0 => Ok(PersistentCall::CommDup {
+                parent: dec.get_usize()?,
+            }),
             1 => Ok(PersistentCall::CommSplit {
                 parent: dec.get_usize()?,
                 color: dec.get_i32()?,
@@ -242,7 +244,11 @@ mod tests {
     fn pending_table_lifecycle() {
         let mut t = PendingTable::new();
         let a = t.insert(PendingKind::Send);
-        let b = t.insert(PendingKind::Recv { comm: 0, src: 3, tag: 7 });
+        let b = t.insert(PendingKind::Recv {
+            comm: 0,
+            src: 3,
+            tag: 7,
+        });
         assert_ne!(a, b);
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(a), Some(&PendingKind::Send));
@@ -276,7 +282,11 @@ mod tests {
     fn journal_round_trip() {
         let mut j = PersistentJournal::new();
         j.record(PersistentCall::CommDup { parent: 0 });
-        j.record(PersistentCall::CommSplit { parent: 1, color: 2, key: -1 });
+        j.record(PersistentCall::CommSplit {
+            parent: 1,
+            color: 2,
+            key: -1,
+        });
         let mut enc = Encoder::new();
         j.save(&mut enc);
         let bytes = enc.into_bytes();

@@ -62,16 +62,18 @@ impl Piggyback {
         Color::of(self.epoch)
     }
 
-    /// Pack into the optimized single word. The true epoch number is
-    /// reduced to its color; the receiver recovers a full classification
-    /// from its own state (see [`crate::epoch::classify_by_color`]).
-    pub fn pack(&self) -> u32 {
-        assert!(
-            self.message_id <= PACKED_MAX_MESSAGE_ID,
-            "message id {} exceeds 30 bits; a process sent more than a \
-             billion messages in one epoch",
-            self.message_id
-        );
+    /// Pack into the optimized single word, checking that the message id
+    /// fits its 30 bits. An oversized id would otherwise spill into the
+    /// color and `amLogging` bits and corrupt every classification the
+    /// receiver makes — the failure must be loud, not silent.
+    pub fn try_pack(&self) -> Result<u32, CodecError> {
+        if self.message_id > PACKED_MAX_MESSAGE_ID {
+            return Err(CodecError::new(format!(
+                "message id {} exceeds 30 bits; a process sent more than \
+                 a billion messages in one epoch",
+                self.message_id
+            )));
+        }
         let mut w = self.message_id;
         if self.color() == Color::Red {
             w |= PACKED_COLOR_BIT;
@@ -79,11 +81,30 @@ impl Piggyback {
         if self.logging {
             w |= PACKED_LOGGING_BIT;
         }
-        w
+        Ok(w)
+    }
+
+    /// Pack into the optimized single word. The true epoch number is
+    /// reduced to its color; the receiver recovers a full classification
+    /// from its own state (see [`crate::epoch::classify_by_color`]).
+    ///
+    /// # Panics
+    /// If the message id exceeds 30 bits; use [`Piggyback::try_pack`] on
+    /// paths that must report the overflow as an error.
+    pub fn pack(&self) -> u32 {
+        match self.try_pack() {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Encode as a header in the given mode, prepended to `payload`.
-    pub fn encode_header(&self, mode: PiggybackMode, payload: &[u8]) -> Vec<u8> {
+    /// Fails in packed mode when the message id exceeds 30 bits.
+    pub fn encode_header(
+        &self,
+        mode: PiggybackMode,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, CodecError> {
         let mut out = Vec::with_capacity(mode.header_len() + payload.len());
         match mode {
             PiggybackMode::Explicit => {
@@ -92,11 +113,11 @@ impl Piggyback {
                 out.extend_from_slice(&self.message_id.to_le_bytes());
             }
             PiggybackMode::Packed => {
-                out.extend_from_slice(&self.pack().to_le_bytes());
+                out.extend_from_slice(&self.try_pack()?.to_le_bytes());
             }
         }
         out.extend_from_slice(payload);
-        out
+        Ok(out)
     }
 }
 
@@ -206,9 +227,12 @@ pub fn decode_header(
                     )))
                 }
             };
-            let message_id =
-                u32::from_le_bytes(buf[5..9].try_into().unwrap());
-            DecodedHeader::Explicit(Piggyback { epoch, logging, message_id })
+            let message_id = u32::from_le_bytes(buf[5..9].try_into().unwrap());
+            DecodedHeader::Explicit(Piggyback {
+                epoch,
+                logging,
+                message_id,
+            })
         }
         PiggybackMode::Packed => {
             let w = u32::from_le_bytes(buf[0..4].try_into().unwrap());
@@ -227,7 +251,11 @@ mod tests {
         for epoch in [0u32, 1, 2, 7] {
             for logging in [false, true] {
                 for id in [0u32, 1, 12345, PACKED_MAX_MESSAGE_ID] {
-                    let pb = Piggyback { epoch, logging, message_id: id };
+                    let pb = Piggyback {
+                        epoch,
+                        logging,
+                        message_id: id,
+                    };
                     let un = PackedPiggyback::unpack(pb.pack());
                     assert_eq!(un.color, Color::of(epoch));
                     assert_eq!(un.logging, logging);
@@ -249,9 +277,91 @@ mod tests {
     }
 
     #[test]
+    fn oversized_message_id_is_a_checked_error() {
+        // Every id whose set bits would land in the color/logging bits
+        // must be refused rather than silently flipping them.
+        for id in [
+            PACKED_MAX_MESSAGE_ID + 1,
+            PACKED_LOGGING_BIT,
+            PACKED_COLOR_BIT,
+            PACKED_COLOR_BIT | PACKED_LOGGING_BIT,
+            u32::MAX,
+        ] {
+            let pb = Piggyback {
+                epoch: 0,
+                logging: false,
+                message_id: id,
+            };
+            assert!(pb.try_pack().is_err(), "id {id:#x} must be rejected");
+            assert!(
+                pb.encode_header(PiggybackMode::Packed, b"x").is_err(),
+                "packed header for id {id:#x} must be rejected"
+            );
+            // The explicit triple has a full 32-bit id field: no limit.
+            let buf = pb.encode_header(PiggybackMode::Explicit, b"x").unwrap();
+            let (h, _) = decode_header(PiggybackMode::Explicit, &buf).unwrap();
+            assert_eq!(h.message_id(), id);
+        }
+    }
+
+    #[test]
+    fn boundary_message_id_packs_exactly() {
+        // The largest legal id occupies all 30 low bits; color and
+        // logging bits must still round-trip unchanged on top of it.
+        for logging in [false, true] {
+            for epoch in [0u32, 1] {
+                let pb = Piggyback {
+                    epoch,
+                    logging,
+                    message_id: PACKED_MAX_MESSAGE_ID,
+                };
+                let w = pb.try_pack().unwrap();
+                assert_eq!(w & PACKED_MAX_MESSAGE_ID, PACKED_MAX_MESSAGE_ID);
+                let un = PackedPiggyback::unpack(w);
+                assert_eq!(un.message_id, PACKED_MAX_MESSAGE_ID);
+                assert_eq!(un.logging, logging);
+                assert_eq!(un.color, Color::of(epoch));
+            }
+        }
+    }
+
+    #[test]
+    fn color_flip_round_trip_across_adjacent_epochs() {
+        // Taking a checkpoint flips the color; the packed word must carry
+        // the flip faithfully for any id, so classification at the
+        // receiver flips accordingly.
+        for epoch in 0..8u32 {
+            for id in [0u32, 1, PACKED_MAX_MESSAGE_ID] {
+                let before = Piggyback {
+                    epoch,
+                    logging: true,
+                    message_id: id,
+                };
+                let after = Piggyback {
+                    epoch: epoch + 1,
+                    logging: true,
+                    message_id: id,
+                };
+                let w0 = PackedPiggyback::unpack(before.try_pack().unwrap());
+                let w1 = PackedPiggyback::unpack(after.try_pack().unwrap());
+                assert_ne!(w0.color, w1.color, "adjacent epochs flip color");
+                assert_eq!(w0.color, Color::of(epoch));
+                assert_eq!(w1.color, Color::of(epoch + 1));
+                assert_eq!((w0.message_id, w1.message_id), (id, id));
+            }
+        }
+    }
+
+    #[test]
     fn explicit_header_round_trip() {
-        let pb = Piggyback { epoch: 3, logging: true, message_id: 99 };
-        let buf = pb.encode_header(PiggybackMode::Explicit, b"payload");
+        let pb = Piggyback {
+            epoch: 3,
+            logging: true,
+            message_id: 99,
+        };
+        let buf = pb
+            .encode_header(PiggybackMode::Explicit, b"payload")
+            .unwrap();
         assert_eq!(buf.len(), 9 + 7);
         let (h, off) = decode_header(PiggybackMode::Explicit, &buf).unwrap();
         assert_eq!(off, 9);
@@ -261,8 +371,12 @@ mod tests {
 
     #[test]
     fn packed_header_round_trip() {
-        let pb = Piggyback { epoch: 1, logging: false, message_id: 7 };
-        let buf = pb.encode_header(PiggybackMode::Packed, b"xy");
+        let pb = Piggyback {
+            epoch: 1,
+            logging: false,
+            message_id: 7,
+        };
+        let buf = pb.encode_header(PiggybackMode::Packed, b"xy").unwrap();
         assert_eq!(buf.len(), 4 + 2);
         let (h, off) = decode_header(PiggybackMode::Packed, &buf).unwrap();
         assert_eq!(off, 4);
@@ -289,8 +403,7 @@ mod tests {
     fn packed_mode_classification_agrees_with_explicit() {
         use crate::epoch::{classify_by_color, classify_by_epoch, MsgClass};
         for recv_epoch in 0..5u32 {
-            for sender_epoch in
-                recv_epoch.saturating_sub(1)..=(recv_epoch + 1)
+            for sender_epoch in recv_epoch.saturating_sub(1)..=(recv_epoch + 1)
             {
                 let expected = classify_by_epoch(sender_epoch, recv_epoch);
                 let receiver_logging = match expected {

@@ -44,6 +44,7 @@ use crate::pending::{
 use crate::piggyback::{decode_header, DecodedHeader, Piggyback};
 use crate::recovery::{RankCheckpoint, Replay};
 use crate::rng::NondetSource;
+use crate::trace::{control_code, phase_code, RankTracer, TraceEvent};
 
 /// Pseudo-handle for a non-blocking operation issued through the protocol
 /// layer (the Section 5.2 indirection over `MPI_Request`).
@@ -131,6 +132,7 @@ pub struct Process<'a> {
 
     // --- coordination ---
     initiator: Option<Initiator>,
+    tracer: Option<RankTracer>,
     nondet: NondetSource,
     ops: u64,
     last_trigger_op: u64,
@@ -177,6 +179,8 @@ impl<'a> Process<'a> {
                 recover_from.is_some(),
             )
         });
+        let tracer =
+            cfg.trace.as_ref().map(|s| s.for_rank(rank as u32, attempt));
         let mut p = Process {
             mpi,
             cfg,
@@ -200,6 +204,7 @@ impl<'a> Process<'a> {
             recovery_reported: true,
             recovered_app_state: None,
             initiator,
+            tracer,
             nondet: NondetSource::new(rank, attempt),
             ops: 0,
             last_trigger_op: 0,
@@ -275,7 +280,10 @@ impl<'a> Process<'a> {
 
     fn pair(&self, comm: CommHandle) -> C3Result<&CommPair> {
         self.comms.get(comm.0).ok_or_else(|| {
-            C3Error::Protocol(format!("unknown communicator handle {}", comm.0))
+            C3Error::Protocol(format!(
+                "unknown communicator handle {}",
+                comm.0
+            ))
         })
     }
 
@@ -307,7 +315,9 @@ impl<'a> Process<'a> {
         &mut self,
         kind: u8,
     ) -> C3Result<Option<Vec<u8>>> {
-        let Some(rep) = self.replay.as_mut() else { return Ok(None) };
+        let Some(rep) = self.replay.as_mut() else {
+            return Ok(None);
+        };
         let r = rep.next_collective(kind)?;
         if r.is_some() {
             self.stats.collectives_replayed += 1;
@@ -331,6 +341,22 @@ impl<'a> Process<'a> {
         self.take_local_checkpoint(state)
     }
 
+    /// Record a protocol event in the installed trace sink, if any. With
+    /// the `trace` feature disabled this compiles to nothing.
+    pub(crate) fn trace_event(&mut self, event: TraceEvent) {
+        #[cfg(feature = "trace")]
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(event);
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = event;
+    }
+
+    /// True if a trace sink is installed (gates costly event assembly).
+    pub(crate) fn tracing(&self) -> bool {
+        cfg!(feature = "trace") && self.tracer.is_some()
+    }
+
     // ==================================================================
     // Pump: failure injection, control drain, checkpoint triggering
     // ==================================================================
@@ -342,6 +368,7 @@ impl<'a> Process<'a> {
             if inj.try_fire(rank, self.ops) {
                 // Stopping failure: mark ourselves dead; the failure
                 // detector (job driver) will notice and abort the attempt.
+                self.trace_event(TraceEvent::FailStop { op: self.ops });
                 self.mpi.control().fail_rank(rank);
                 return Err(C3Error::Mpi(MpiError::FailStop));
             }
@@ -374,6 +401,12 @@ impl<'a> Process<'a> {
     }
 
     fn handle_control(&mut self, src: usize, cm: ControlMsg) -> C3Result<()> {
+        let (kind, arg) = control_code(&cm);
+        self.trace_event(TraceEvent::ControlRecv {
+            src: src as u32,
+            kind,
+            arg,
+        });
         match cm {
             ControlMsg::PleaseCheckpoint { ckpt } => {
                 // Ignore if we already took this checkpoint (possible when
@@ -415,6 +448,12 @@ impl<'a> Process<'a> {
     }
 
     fn send_control(&mut self, dst: usize, cm: &ControlMsg) -> C3Result<()> {
+        let (kind, arg) = control_code(cm);
+        self.trace_event(TraceEvent::ControlSent {
+            dst: dst as u32,
+            kind,
+            arg,
+        });
         let ctrl = self.ctrl_world();
         self.mpi
             .send_bytes(&ctrl, dst, CONTROL_TAG, cm.encode().into())
@@ -425,17 +464,32 @@ impl<'a> Process<'a> {
         let Some(action) = action else { return Ok(()) };
         match action {
             Action::BroadcastPleaseCheckpoint { ckpt } => {
+                self.trace_event(TraceEvent::InitiatorPhase {
+                    phase: phase_code::COLLECTING_READY,
+                    ckpt,
+                });
                 let cm = ControlMsg::PleaseCheckpoint { ckpt };
                 for dst in 0..self.mpi.size() {
                     self.send_control(dst, &cm)?;
                 }
             }
             Action::BroadcastStopLogging => {
+                let ckpt =
+                    self.initiator.as_ref().map_or(0, |i| i.current_ckpt());
+                self.trace_event(TraceEvent::InitiatorPhase {
+                    phase: phase_code::COLLECTING_STOPPED,
+                    ckpt,
+                });
                 for dst in 0..self.mpi.size() {
                     self.send_control(dst, &ControlMsg::StopLogging)?;
                 }
             }
             Action::Commit { ckpt } => {
+                self.trace_event(TraceEvent::InitiatorPhase {
+                    phase: phase_code::IDLE,
+                    ckpt,
+                });
+                self.trace_event(TraceEvent::Commit { ckpt });
                 let store = self.store.as_ref().expect("initiator has store");
                 store.commit(ckpt)?;
                 store.gc_keeping(ckpt)?;
@@ -520,11 +574,24 @@ impl<'a> Process<'a> {
         // receipt is already part of the receiver's checkpointed state.
         let dst_world = app.world_rank(dst)?;
         self.counters.on_send(dst_world);
-        if self.suppress[dst_world].remove(&id) {
+        let suppressed = self.suppress[dst_world].remove(&id);
+        self.trace_event(TraceEvent::Send {
+            comm: comm.0 as u64,
+            dst: dst_world as u32,
+            tag,
+            epoch: self.epoch,
+            logging: pb.logging,
+            message_id: id,
+            suppressed,
+            payload_len: payload.len() as u64,
+        });
+        if suppressed {
             self.stats.suppressed_sends += 1;
             return Ok(());
         }
-        let buf = pb.encode_header(self.cfg.piggyback_mode, payload);
+        let buf = pb
+            .encode_header(self.cfg.piggyback_mode, payload)
+            .map_err(C3Error::Codec)?;
         self.mpi.send_bytes(&app, dst, tag, buf.into())?;
         Ok(())
     }
@@ -608,12 +675,26 @@ impl<'a> Process<'a> {
         let tag_pat = (tag != ANY_TAG).then_some(tag);
         let m = rep.take_late(comm.0, src_pat, tag_pat)?;
         self.stats.late_replayed += 1;
-        Some(RecvMsg { src: m.src, tag: m.tag, payload: m.payload.into() })
+        self.trace_event(TraceEvent::ReplayLate {
+            comm: comm.0 as u64,
+            src: m.src as u32,
+            tag: m.tag,
+            message_id: m.message_id,
+        });
+        Some(RecvMsg {
+            src: m.src,
+            tag: m.tag,
+            payload: m.payload.into(),
+        })
     }
 
     /// Strip the piggyback header, classify the message, update counters
     /// and logs (the receive half of Figure 4).
-    fn deliver(&mut self, comm: CommHandle, msg: RecvMsg) -> C3Result<RecvMsg> {
+    fn deliver(
+        &mut self,
+        comm: CommHandle,
+        msg: RecvMsg,
+    ) -> C3Result<RecvMsg> {
         let (header, offset) =
             decode_header(self.cfg.piggyback_mode, &msg.payload)?;
         let class = match header {
@@ -629,6 +710,16 @@ impl<'a> Process<'a> {
         let payload = msg.payload.slice(offset..);
         // Counters are indexed by world rank; translate the comm-frame src.
         let src_world = self.pair(comm)?.app.world_rank(msg.src)?;
+        self.trace_event(TraceEvent::RecvClassified {
+            comm: comm.0 as u64,
+            src: src_world as u32,
+            tag: msg.tag,
+            message_id: header.message_id(),
+            class,
+            sender_logging: header.logging(),
+            receiver_epoch: self.epoch,
+            receiver_logging: self.am_logging,
+        });
         match class {
             MsgClass::IntraEpoch => {
                 // A message from a process that has stopped logging means
@@ -653,6 +744,10 @@ impl<'a> Process<'a> {
                     tag: msg.tag,
                     payload: payload.to_vec(),
                 });
+                self.trace_event(TraceEvent::LateLogged {
+                    src: src_world as u32,
+                    message_id: header.message_id(),
+                });
                 self.stats.late_logged += 1;
                 self.counters.on_late_recv(src_world);
                 self.check_received_all()?;
@@ -664,10 +759,18 @@ impl<'a> Process<'a> {
                     )));
                 }
                 self.early_ids[src_world].push(header.message_id());
+                self.trace_event(TraceEvent::EarlyRecorded {
+                    src: src_world as u32,
+                    message_id: header.message_id(),
+                });
                 self.stats.early_recorded += 1;
             }
         }
-        Ok(RecvMsg { src: msg.src, tag: msg.tag, payload })
+        Ok(RecvMsg {
+            src: msg.src,
+            tag: msg.tag,
+            payload,
+        })
     }
 
     fn check_received_all(&mut self) -> C3Result<()> {
@@ -709,9 +812,11 @@ impl<'a> Process<'a> {
         tag: i32,
     ) -> C3Result<C3Request> {
         self.pump()?;
-        let h = self
-            .pending
-            .insert(PendingKind::Recv { comm: comm.0, src, tag });
+        let h = self.pending.insert(PendingKind::Recv {
+            comm: comm.0,
+            src,
+            tag,
+        });
         // In replay mode the matching logged message (if any) is reserved
         // at post time, preserving the posting-order semantics the live
         // path has. Otherwise post a live receive now.
@@ -954,7 +1059,12 @@ impl<'a> Process<'a> {
         };
         let mut enc = Encoder::new();
         rc.save(&mut enc);
-        store.put_rank_blob(ckpt, rank, RankBlobKind::State, &enc.into_bytes())?;
+        store.put_rank_blob(
+            ckpt,
+            rank,
+            RankBlobKind::State,
+            &enc.into_bytes(),
+        )?;
 
         // Persistent-object journal (MPI library state, Section 5.2).
         let mut enc = Encoder::new();
@@ -976,12 +1086,20 @@ impl<'a> Process<'a> {
             );
         }
         let n = self.mpi.size();
-        for dst in 0..n {
-            let count = self.counters.send_count(dst);
-            self.send_control(dst, &ControlMsg::MySendCount { count })?;
-        }
+        let send_counts: Vec<u64> =
+            (0..n).map(|dst| self.counters.send_count(dst)).collect();
         let early_counts: Vec<u64> =
             self.early_ids.iter().map(|v| v.len() as u64).collect();
+        if self.tracing() {
+            self.trace_event(TraceEvent::CheckpointTaken {
+                ckpt,
+                send_counts: send_counts.clone(),
+                early_counts: early_counts.clone(),
+            });
+        }
+        for (dst, &count) in send_counts.iter().enumerate() {
+            self.send_control(dst, &ControlMsg::MySendCount { count })?;
+        }
         self.counters.rotate_at_checkpoint(&early_counts);
         self.early_ids = vec![Vec::new(); n];
         self.checkpoint_requested = None;
@@ -1009,6 +1127,12 @@ impl<'a> Process<'a> {
             RankBlobKind::Log,
             &enc.into_bytes(),
         )?;
+        self.trace_event(TraceEvent::LogFinalized {
+            ckpt,
+            late: self.log.late.len() as u64,
+            nondet: self.log.nondet.len() as u64,
+            collectives: self.log.collectives.len() as u64,
+        });
         self.am_logging = false;
         self.send_control(0, &ControlMsg::StoppedLogging)?;
         Ok(())
@@ -1030,7 +1154,8 @@ impl<'a> Process<'a> {
         let n = self.mpi.size();
 
         // Load and decode this rank's blobs.
-        let state_bytes = store.get_rank_blob(ckpt, rank, RankBlobKind::State)?;
+        let state_bytes =
+            store.get_rank_blob(ckpt, rank, RankBlobKind::State)?;
         let rc = RankCheckpoint::load(&mut Decoder::new(&state_bytes))?;
         if rc.ckpt != ckpt {
             return Err(C3Error::Protocol(format!(
@@ -1044,6 +1169,15 @@ impl<'a> Process<'a> {
             PersistentJournal::load(&mut Decoder::new(&journal_bytes))?;
         let log_bytes = store.get_rank_blob(ckpt, rank, RankBlobKind::Log)?;
         let log = RecoveryLog::load(&mut Decoder::new(&log_bytes))?;
+        self.trace_event(TraceEvent::RecoveryStart {
+            ckpt,
+            late_in_log: log.late.len() as u64,
+            early_counts: rc
+                .early_ids
+                .iter()
+                .map(|v| v.len() as u64)
+                .collect(),
+        });
 
         // Replay the persistent-object journal, rebuilding communicators
         // behind their original pseudo-handles (collective: every rank
@@ -1082,12 +1216,24 @@ impl<'a> Process<'a> {
         let ctrl = self.ctrl_world();
         for (q, ids) in rc.early_ids.iter().enumerate() {
             let list = SuppressList { ids: ids.clone() };
-            self.mpi
-                .send_bytes(&ctrl, q, SUPPRESS_TAG, list.encode().into())?;
+            self.trace_event(TraceEvent::SuppressSent {
+                dst: q as u32,
+                count: list.ids.len() as u64,
+            });
+            self.mpi.send_bytes(
+                &ctrl,
+                q,
+                SUPPRESS_TAG,
+                list.encode().into(),
+            )?;
         }
         for _ in 0..n {
             let msg = self.mpi.recv(&ctrl, ANY_SOURCE, SUPPRESS_TAG)?;
             let list = SuppressList::decode(&msg.payload)?;
+            self.trace_event(TraceEvent::SuppressRecv {
+                src: msg.src as u32,
+                count: list.ids.len() as u64,
+            });
             self.suppress[msg.src] = list.ids.into_iter().collect();
         }
 
@@ -1100,12 +1246,12 @@ impl<'a> Process<'a> {
         if self.recovery_reported {
             return Ok(());
         }
-        let drained =
-            self.replay.as_ref().is_none_or(|r| r.is_drained());
+        let drained = self.replay.as_ref().is_none_or(|r| r.is_drained());
         let suppressed_done = self.suppress.iter().all(|s| s.is_empty());
         if drained && suppressed_done {
             self.recovery_reported = true;
             self.replay = None;
+            self.trace_event(TraceEvent::RecoveryComplete);
             self.send_control(0, &ControlMsg::RecoveryComplete)?;
         }
         Ok(())

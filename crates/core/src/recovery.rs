@@ -149,7 +149,13 @@ mod tests {
     use crate::logrec::coll_kind;
 
     fn late(src: usize, id: u32, tag: i32, byte: u8) -> LateMessage {
-        LateMessage { comm: 0, src, message_id: id, tag, payload: vec![byte] }
+        LateMessage {
+            comm: 0,
+            src,
+            message_id: id,
+            tag,
+            payload: vec![byte],
+        }
     }
 
     #[test]

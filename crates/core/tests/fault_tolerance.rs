@@ -28,27 +28,20 @@ impl C3App for RingApp {
     type Output = u64;
 
     fn init(&self, p: &mut Process<'_>) -> C3Result<RingState> {
-        Ok(RingState { i: 0, acc: p.rank() as u64 + 1 })
+        Ok(RingState {
+            i: 0,
+            acc: p.rank() as u64 + 1,
+        })
     }
 
-    fn run(
-        &self,
-        p: &mut Process<'_>,
-        s: &mut RingState,
-    ) -> C3Result<u64> {
+    fn run(&self, p: &mut Process<'_>, s: &mut RingState) -> C3Result<u64> {
         let world = p.world();
         let n = p.size();
         let right = (p.rank() + 1) % n;
         let left = (p.rank() + n - 1) % n;
         while s.i < self.iters {
-            let got = p.sendrecv(
-                world,
-                right,
-                7,
-                &s.acc.to_le_bytes(),
-                left,
-                7,
-            )?;
+            let got =
+                p.sendrecv(world, right, 7, &s.acc.to_le_bytes(), left, 7)?;
             let v = u64::from_le_bytes(got.payload[..8].try_into().unwrap());
             s.acc = s.acc.wrapping_mul(31).wrapping_add(v);
             if s.i % 4 == 3 {
@@ -216,17 +209,12 @@ fn storage_bytes_reflect_state_size() {
     let n = 2;
     let backend = Arc::new(MemoryBackend::new());
     let cfg = C3Config::every_ops(16);
-    let report = run_job(
-        n,
-        &cfg,
-        Some(backend.clone()),
-        &RingApp { iters: 20 },
-    )
-    .unwrap();
+    let report =
+        run_job(n, &cfg, Some(backend.clone()), &RingApp { iters: 20 })
+            .unwrap();
     assert!(report.storage_bytes_written > 0);
     assert!(backend.bytes_written() >= report.storage_bytes_written);
-    let app_bytes: u64 =
-        report.stats.iter().map(|s| s.app_state_bytes).sum();
+    let app_bytes: u64 = report.stats.iter().map(|s| s.app_state_bytes).sum();
     assert!(app_bytes > 0, "full level writes application state");
     assert!(report.storage_bytes_written >= app_bytes);
 }
@@ -368,10 +356,8 @@ fn corrupt_committed_checkpoint_fails_loudly_not_wrongly() {
     let cfg = C3Config::every_ops(16);
     run_job(2, &cfg, Some(backend.clone()), &RingApp { iters: 20 }).unwrap();
 
-    let store = CheckpointStore::new(
-        backend.clone() as Arc<dyn StorageBackend>,
-        2,
-    );
+    let store =
+        CheckpointStore::new(backend.clone() as Arc<dyn StorageBackend>, 2);
     let latest = store.latest_committed().unwrap().unwrap();
     // Corrupt rank 0's state blob of the committed checkpoint.
     let key = format!("ckpt/{latest:08}/rank0/state");
@@ -381,8 +367,8 @@ fn corrupt_committed_checkpoint_fails_loudly_not_wrongly() {
     backend.put(&key, &raw).unwrap();
 
     let cfg = C3Config::every_ops(16).with_failure(1, 10);
-    let err = run_job(2, &cfg, Some(backend), &RingApp { iters: 20 })
-        .unwrap_err();
+    let err =
+        run_job(2, &cfg, Some(backend), &RingApp { iters: 20 }).unwrap_err();
     assert!(
         matches!(err, c3_core::C3Error::Store(_)),
         "expected a storage error, got {err}"

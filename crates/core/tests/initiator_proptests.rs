@@ -1,0 +1,165 @@
+//! Property tests for the initiator's phase machine (Section 4.1): the
+//! four-phase order is enforced against arbitrary control-message storms —
+//! `stopLogging` can never precede the full set of `readyToStopLogging`
+//! acks, out-of-phase and duplicate messages are inert, and commits only
+//! happen through complete rounds, one checkpoint number at a time.
+
+use proptest::prelude::*;
+
+use c3_core::initiator::{Action, Initiator};
+
+proptest! {
+    /// `stopLogging` is broadcast on exactly the ack that completes the
+    /// set of distinct ranks — never before, regardless of ack order,
+    /// duplicates, or out-of-range ranks.
+    #[test]
+    fn stop_logging_requires_every_ready_ack(
+        nranks in 1usize..6,
+        acks in proptest::collection::vec(0usize..8, 1..64),
+    ) {
+        let mut ini = Initiator::new(nranks, 1, false);
+        prop_assert_eq!(
+            ini.initiate(),
+            Some(Action::BroadcastPleaseCheckpoint { ckpt: 1 })
+        );
+        let mut ready = vec![false; nranks];
+        for &r in &acks {
+            let action = ini.on_ready_to_stop_logging(r);
+            if r < nranks && !ready[r] {
+                ready[r] = true;
+                if ready.iter().all(|&x| x) {
+                    prop_assert_eq!(
+                        action,
+                        Some(Action::BroadcastStopLogging)
+                    );
+                    return Ok(());
+                }
+            }
+            prop_assert_eq!(
+                action,
+                None,
+                "no action for duplicate/out-of-range/incomplete acks"
+            );
+            prop_assert!(!ini.is_idle());
+        }
+        // The ack set never completed: still collecting, nothing stopped.
+        prop_assert!(!ini.is_idle());
+    }
+
+    /// Arbitrary interleavings of initiate/ready/stopped/recovery events
+    /// track a reference model exactly: illegal transitions yield no
+    /// action, phases advance only on complete ack sets, and checkpoint
+    /// numbers increment by one per committed round.
+    #[test]
+    fn random_message_storms_respect_phase_order(
+        nranks in 1usize..5,
+        ops in proptest::collection::vec((0u8..4, 0usize..6), 0..200),
+    ) {
+        let mut ini = Initiator::new(nranks, 1, false);
+        // Reference model: 0 = idle, 1 = collecting ready, 2 = collecting
+        // stopped, plus the current round's distinct-ack set.
+        let mut phase = 0u8;
+        let mut acked = vec![false; nranks];
+        let mut committed = 0u64;
+        for &(op, r) in &ops {
+            match op {
+                0 => {
+                    let a = ini.initiate();
+                    if phase == 0 {
+                        prop_assert_eq!(
+                            a,
+                            Some(Action::BroadcastPleaseCheckpoint {
+                                ckpt: committed + 1,
+                            })
+                        );
+                        phase = 1;
+                        acked = vec![false; nranks];
+                    } else {
+                        prop_assert_eq!(a, None, "initiate while busy");
+                    }
+                }
+                1 => {
+                    let a = ini.on_ready_to_stop_logging(r);
+                    if phase == 1 && r < nranks && !acked[r] {
+                        acked[r] = true;
+                        if acked.iter().all(|&x| x) {
+                            prop_assert_eq!(
+                                a,
+                                Some(Action::BroadcastStopLogging)
+                            );
+                            phase = 2;
+                            acked = vec![false; nranks];
+                        } else {
+                            prop_assert_eq!(a, None);
+                        }
+                    } else {
+                        prop_assert_eq!(
+                            a,
+                            None,
+                            "ready out of phase or duplicate"
+                        );
+                    }
+                }
+                2 => {
+                    let a = ini.on_stopped_logging(r);
+                    if phase == 2 && r < nranks && !acked[r] {
+                        acked[r] = true;
+                        if acked.iter().all(|&x| x) {
+                            committed += 1;
+                            prop_assert_eq!(
+                                a,
+                                Some(Action::Commit { ckpt: committed })
+                            );
+                            phase = 0;
+                        } else {
+                            prop_assert_eq!(a, None);
+                        }
+                    } else {
+                        prop_assert_eq!(
+                            a,
+                            None,
+                            "stopped out of phase or duplicate"
+                        );
+                    }
+                }
+                _ => ini.on_recovery_complete(r),
+            }
+            prop_assert_eq!(ini.committed(), committed);
+            prop_assert_eq!(ini.is_idle(), phase == 0);
+        }
+    }
+
+    /// The recovery gate blocks initiation until every rank has reported
+    /// `RecoveryComplete`, and only then.
+    #[test]
+    fn recovery_gate_opens_only_when_all_ranks_report(
+        nranks in 1usize..6,
+        reports in proptest::collection::vec(0usize..8, 0..32),
+    ) {
+        let mut ini = Initiator::new(nranks, 3, true);
+        let mut pending = vec![true; nranks];
+        for &r in &reports {
+            prop_assert_eq!(
+                ini.recovery_gated(),
+                pending.iter().any(|&p| p)
+            );
+            if ini.recovery_gated() {
+                prop_assert_eq!(ini.initiate(), None, "gated initiation");
+            }
+            ini.on_recovery_complete(r);
+            if r < nranks {
+                pending[r] = false;
+            }
+        }
+        if pending.iter().any(|&p| p) {
+            prop_assert!(ini.recovery_gated());
+            prop_assert_eq!(ini.initiate(), None);
+        } else {
+            prop_assert!(!ini.recovery_gated());
+            prop_assert_eq!(
+                ini.initiate(),
+                Some(Action::BroadcastPleaseCheckpoint { ckpt: 3 })
+            );
+        }
+    }
+}

@@ -41,7 +41,7 @@ proptest! {
     ) {
         let pb = Piggyback { epoch, logging, message_id: id };
         for mode in [PiggybackMode::Packed, PiggybackMode::Explicit] {
-            let buf = pb.encode_header(mode, &payload);
+            let buf = pb.encode_header(mode, &payload).unwrap();
             let (h, off) = decode_header(mode, &buf).unwrap();
             prop_assert_eq!(h.message_id(), id);
             prop_assert_eq!(h.logging(), logging);

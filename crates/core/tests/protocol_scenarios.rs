@@ -5,8 +5,7 @@
 //! persistent-object journal replay.
 
 use c3_core::{
-    run_job, C3App, C3Config, C3Result, CheckpointTrigger, Process,
-    ReduceOp,
+    run_job, C3App, C3Config, C3Result, CheckpointTrigger, Process, ReduceOp,
 };
 use ckptstore::impl_saveload_struct;
 
@@ -93,14 +92,22 @@ struct EarlyState {
     /// `ack value + 1` when an ack is owed; 0 otherwise.
     pending_ack: u64,
 }
-impl_saveload_struct!(EarlyState { i: u64, acc: u64, pending_ack: u64 });
+impl_saveload_struct!(EarlyState {
+    i: u64,
+    acc: u64,
+    pending_ack: u64
+});
 
 impl C3App for EarlyApp {
     type State = EarlyState;
     type Output = u64;
 
     fn init(&self, _p: &mut Process<'_>) -> C3Result<EarlyState> {
-        Ok(EarlyState { i: 0, acc: 0, pending_ack: 0 })
+        Ok(EarlyState {
+            i: 0,
+            acc: 0,
+            pending_ack: 0,
+        })
     }
 
     fn run(&self, p: &mut Process<'_>, s: &mut EarlyState) -> C3Result<u64> {
@@ -124,9 +131,8 @@ impl C3App for EarlyApp {
             } else {
                 if s.pending_ack == 0 {
                     let m = p.recv(world, 0, 1)?;
-                    let v = u64::from_le_bytes(
-                        m.payload[..8].try_into().unwrap(),
-                    );
+                    let v =
+                        u64::from_le_bytes(m.payload[..8].try_into().unwrap());
                     s.acc = s.acc.wrapping_add(v);
                     s.i += 1;
                     s.pending_ack = v + 1;
@@ -211,13 +217,9 @@ impl C3App for CollApp {
 fn collective_results_are_logged_and_replayed_across_the_line() {
     let n = 4;
     let iters = 24;
-    let reference = run_job(
-        n,
-        &C3Config::every_ops(1_000_000),
-        None,
-        &CollApp { iters },
-    )
-    .unwrap();
+    let reference =
+        run_job(n, &C3Config::every_ops(1_000_000), None, &CollApp { iters })
+            .unwrap();
     // All ranks agree in the failure-free run.
     assert!(reference.outputs.windows(2).all(|w| w[0] == w[1]));
 
@@ -225,8 +227,7 @@ fn collective_results_are_logged_and_replayed_across_the_line() {
     let report = run_job(n, &cfg, None, &CollApp { iters }).unwrap();
     assert_eq!(report.restarts, 1);
     assert_eq!(report.outputs, reference.outputs);
-    let logged: u64 =
-        report.stats.iter().map(|s| s.collectives_logged).sum();
+    let logged: u64 = report.stats.iter().map(|s| s.collectives_logged).sum();
     let replayed: u64 =
         report.stats.iter().map(|s| s.collectives_replayed).sum();
     assert!(logged > 0, "collectives while logging must be recorded");
@@ -282,11 +283,13 @@ fn barrier_forces_lagging_ranks_to_checkpoint() {
 
 #[test]
 fn barrier_app_recovers_from_failure() {
-    let reference =
-        run_job(3, &C3Config::every_ops(9999), None, &BarrierApp {
-            iters: 18,
-        })
-        .unwrap();
+    let reference = run_job(
+        3,
+        &C3Config::every_ops(9999),
+        None,
+        &BarrierApp { iters: 18 },
+    )
+    .unwrap();
     let cfg = C3Config::every_ops(10).with_failure(1, 10);
     let report = run_job(3, &cfg, None, &BarrierApp { iters: 18 }).unwrap();
     assert_eq!(report.restarts, 1);
@@ -311,14 +314,24 @@ struct PRState {
     posted: u64,
     send_h: u64,
 }
-impl_saveload_struct!(PRState { i: u64, acc: u64, posted: u64, send_h: u64 });
+impl_saveload_struct!(PRState {
+    i: u64,
+    acc: u64,
+    posted: u64,
+    send_h: u64
+});
 
 impl C3App for PendingReqApp {
     type State = PRState;
     type Output = u64;
 
     fn init(&self, _p: &mut Process<'_>) -> C3Result<PRState> {
-        Ok(PRState { i: 0, acc: 0, posted: 0, send_h: 0 })
+        Ok(PRState {
+            i: 0,
+            acc: 0,
+            posted: 0,
+            send_h: 0,
+        })
     }
 
     fn run(&self, p: &mut Process<'_>, s: &mut PRState) -> C3Result<u64> {
@@ -360,17 +373,18 @@ fn requests_straddling_checkpoints_complete_after_recovery() {
     let n = 3;
     let iters = 24;
     let expect: u64 = (0..iters).sum();
-    let reference =
-        run_job(n, &C3Config::every_ops(9999), None, &PendingReqApp {
-            iters,
-        })
-        .unwrap();
+    let reference = run_job(
+        n,
+        &C3Config::every_ops(9999),
+        None,
+        &PendingReqApp { iters },
+    )
+    .unwrap();
     assert!(reference.outputs.iter().all(|&o| o == expect));
 
     for at_op in [30, 45, 60] {
         let cfg = C3Config::every_ops(11).with_failure(2, at_op);
-        let report =
-            run_job(n, &cfg, None, &PendingReqApp { iters }).unwrap();
+        let report = run_job(n, &cfg, None, &PendingReqApp { iters }).unwrap();
         assert_eq!(report.restarts, 1, "at_op={at_op}");
         assert_eq!(report.outputs, reference.outputs, "at_op={at_op}");
     }
@@ -498,11 +512,7 @@ impl C3App for TwoCommApp {
         Ok(S1 { i: 0, acc: 0 })
     }
 
-    fn run(
-        &self,
-        p: &mut Process<'_>,
-        s: &mut S1,
-    ) -> C3Result<(u64, u64)> {
+    fn run(&self, p: &mut Process<'_>, s: &mut S1) -> C3Result<(u64, u64)> {
         let world = p.world();
         let dup = p.comm_dup(world)?;
         let n = p.size();
@@ -553,8 +563,7 @@ fn late_replay_never_crosses_communicators() {
             .unwrap();
     for at_op in [40, 70, 100] {
         let cfg = C3Config::every_ops(13).with_failure(1, at_op);
-        let report =
-            run_job(n, &cfg, None, &TwoCommApp { iters }).unwrap();
+        let report = run_job(n, &cfg, None, &TwoCommApp { iters }).unwrap();
         assert_eq!(report.restarts, 1, "at_op={at_op}");
         assert_eq!(report.outputs, reference.outputs, "at_op={at_op}");
     }

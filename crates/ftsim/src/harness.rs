@@ -33,10 +33,7 @@ where
     A::Output: PartialEq + std::fmt::Debug,
 {
     let reference = run_job(nprocs, base_cfg, None, app)?;
-    assert_eq!(
-        reference.restarts, 0,
-        "reference run must be failure-free"
-    );
+    assert_eq!(reference.restarts, 0, "reference run must be failure-free");
     let mut total_restarts = 0;
     let mut recoveries = Vec::new();
     for (idx, schedule) in schedules.iter().enumerate() {
@@ -49,7 +46,11 @@ where
         total_restarts += report.restarts;
         recoveries.extend(report.recovered_from.iter().copied());
     }
-    Ok(ChaosReport { runs: schedules.len(), total_restarts, recoveries })
+    Ok(ChaosReport {
+        runs: schedules.len(),
+        total_restarts,
+        recoveries,
+    })
 }
 
 #[cfg(test)]
@@ -108,8 +109,7 @@ mod tests {
                 p.potential_checkpoint(s)?;
             }
             // Bit-stable digest of the state.
-            Ok(s
-                .x
+            Ok(s.x
                 .iter()
                 .fold(0u64, |h, v| h.wrapping_mul(31) ^ v.to_bits()))
         }

@@ -73,7 +73,8 @@ mod tests {
 
     #[test]
     fn slowdown_ratio() {
-        let m = RecoveryMetrics::from_reports(&report(300, 2), &report(100, 0));
+        let m =
+            RecoveryMetrics::from_reports(&report(300, 2), &report(100, 0));
         assert_eq!(m.restarts, 2);
         assert!((m.slowdown - 3.0).abs() < 0.05);
         assert!(m.summary().contains("restarts=2"));

@@ -15,12 +15,16 @@ pub struct FailureSchedule {
 impl FailureSchedule {
     /// No failures.
     pub fn none() -> Self {
-        FailureSchedule { injections: Vec::new() }
+        FailureSchedule {
+            injections: Vec::new(),
+        }
     }
 
     /// A single failure.
     pub fn single(rank: usize, at_op: u64) -> Self {
-        FailureSchedule { injections: vec![(rank, at_op)] }
+        FailureSchedule {
+            injections: vec![(rank, at_op)],
+        }
     }
 
     /// `count` failures at random ranks and operation counts drawn

@@ -42,8 +42,7 @@ fn coll_tag(seq: u32, op: CollOp, round: u32) -> i32 {
 /// Frame a list of byte chunks into one payload (used when a gathered
 /// result is re-broadcast).
 fn frame_chunks(chunks: &[Vec<u8>]) -> Vec<u8> {
-    let total: usize =
-        8 + chunks.iter().map(|c| 8 + c.len()).sum::<usize>();
+    let total: usize = 8 + chunks.iter().map(|c| 8 + c.len()).sum::<usize>();
     let mut out = Vec::with_capacity(total);
     out.extend_from_slice(&(chunks.len() as u64).to_le_bytes());
     for c in chunks {
@@ -89,7 +88,12 @@ impl Mpi {
         self.send_on(comm, Plane::Coll, dst, tag, payload)
     }
 
-    fn crecv(&mut self, comm: &Comm, src: usize, tag: i32) -> MpiResult<Bytes> {
+    fn crecv(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: i32,
+    ) -> MpiResult<Bytes> {
         Ok(self.recv_on(comm, Plane::Coll, src, tag)?.payload)
     }
 
@@ -135,7 +139,10 @@ impl Mpi {
     ) -> MpiResult<Bytes> {
         let n = comm.size();
         if root >= n {
-            return Err(MpiError::InvalidRank { rank: root, size: n });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: n,
+            });
         }
         if n == 1 {
             return Ok(data);
@@ -200,7 +207,10 @@ impl Mpi {
     ) -> MpiResult<Option<Vec<Vec<u8>>>> {
         let n = comm.size();
         if root >= n {
-            return Err(MpiError::InvalidRank { rank: root, size: n });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: n,
+            });
         }
         let me = comm.rank();
         let seq = comm.next_coll_seq();
@@ -276,7 +286,11 @@ impl Mpi {
         comm: &Comm,
         data: &[T],
     ) -> MpiResult<Vec<T>> {
-        Ok(self.allgather_t(comm, data)?.into_iter().flatten().collect())
+        Ok(self
+            .allgather_t(comm, data)?
+            .into_iter()
+            .flatten()
+            .collect())
     }
 
     /// Distribute `root`'s per-rank chunks (the `MPI_Scatter` analogue,
@@ -289,7 +303,10 @@ impl Mpi {
     ) -> MpiResult<Vec<u8>> {
         let n = comm.size();
         if root >= n {
-            return Err(MpiError::InvalidRank { rank: root, size: n });
+            return Err(MpiError::InvalidRank {
+                rank: root,
+                size: n,
+            });
         }
         let me = comm.rank();
         // Validate arguments *before* consuming a collective sequence
@@ -314,12 +331,7 @@ impl Mpi {
             let chunks = chunks.expect("validated above");
             for (dst, chunk) in chunks.iter().enumerate() {
                 if dst != me {
-                    self.csend(
-                        comm,
-                        dst,
-                        tag,
-                        Bytes::copy_from_slice(chunk),
-                    )?;
+                    self.csend(comm, dst, tag, Bytes::copy_from_slice(chunk))?;
                 }
             }
             Ok(chunks[me].clone())
@@ -342,8 +354,13 @@ impl Mpi {
         op: ReduceOp,
         data: &[T],
     ) -> MpiResult<Option<Vec<T>>> {
-        let bytes =
-            self.reduce_bytes(comm, root, op, T::DTYPE, &T::slice_to_bytes(data))?;
+        let bytes = self.reduce_bytes(
+            comm,
+            root,
+            op,
+            T::DTYPE,
+            &T::slice_to_bytes(data),
+        )?;
         match bytes {
             None => Ok(None),
             Some(b) => Ok(Some(T::bytes_to_vec(&b)?)),
@@ -384,8 +401,12 @@ impl Mpi {
         op: ReduceOp,
         data: &[T],
     ) -> MpiResult<Vec<T>> {
-        let bytes =
-            self.allreduce_bytes(comm, op, T::DTYPE, &T::slice_to_bytes(data))?;
+        let bytes = self.allreduce_bytes(
+            comm,
+            op,
+            T::DTYPE,
+            &T::slice_to_bytes(data),
+        )?;
         T::bytes_to_vec(&bytes)
     }
 
@@ -488,9 +509,10 @@ impl Mpi {
         if me == 0 {
             for src in 1..n {
                 let b = self.crecv(comm, src, tag)?;
-                let v = u32::from_le_bytes(b[..4].try_into().map_err(|_| {
-                    MpiError::BadPayload("short ctx hint".into())
-                })?);
+                let v =
+                    u32::from_le_bytes(b[..4].try_into().map_err(|_| {
+                        MpiError::BadPayload("short ctx hint".into())
+                    })?);
                 max = max.max(v);
             }
         } else {
@@ -501,18 +523,13 @@ impl Mpi {
                 Bytes::copy_from_slice(&self.next_ctx_hint.to_le_bytes()),
             )?;
         }
-        let agreed = self.bcast(
-            comm,
-            0,
-            Bytes::copy_from_slice(&max.to_le_bytes()),
-        )?;
-        let ctx = u32::from_le_bytes(agreed[..4].try_into().map_err(|_| {
-            MpiError::BadPayload("short agreed ctx".into())
-        })?);
-        assert!(
-            ctx < COLLECTIVE_BIT,
-            "communicator context space exhausted"
-        );
+        let agreed =
+            self.bcast(comm, 0, Bytes::copy_from_slice(&max.to_le_bytes()))?;
+        let ctx =
+            u32::from_le_bytes(agreed[..4].try_into().map_err(|_| {
+                MpiError::BadPayload("short agreed ctx".into())
+            })?);
+        assert!(ctx < COLLECTIVE_BIT, "communicator context space exhausted");
         self.next_ctx_hint = ctx + 1;
         Ok(ctx)
     }
@@ -559,8 +576,7 @@ mod tests {
 
     #[test]
     fn frame_round_trip() {
-        let chunks =
-            vec![vec![1u8, 2, 3], vec![], vec![9u8; 100], vec![42]];
+        let chunks = vec![vec![1u8, 2, 3], vec![], vec![9u8; 100], vec![42]];
         let framed = frame_chunks(&chunks);
         assert_eq!(unframe_chunks(&framed).unwrap(), chunks);
     }

@@ -110,7 +110,10 @@ impl Comm {
     /// Translate a communicator rank to a world rank.
     pub fn world_rank(&self, comm_rank: usize) -> MpiResult<usize> {
         self.inner.members.get(comm_rank).copied().ok_or(
-            MpiError::InvalidRank { rank: comm_rank, size: self.size() },
+            MpiError::InvalidRank {
+                rank: comm_rank,
+                size: self.size(),
+            },
         )
     }
 

@@ -79,9 +79,24 @@ macro_rules! combine_as {
         let r: $t = match $op {
             ReduceOp::Sum => a + b,
             ReduceOp::Prod => a * b,
-            ReduceOp::Min => if b < a { b } else { a },
-            ReduceOp::Max => if b > a { b } else { a },
-            ReduceOp::Land | ReduceOp::Lor | ReduceOp::Band | ReduceOp::Bor => {
+            ReduceOp::Min => {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+            ReduceOp::Max => {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }
+            ReduceOp::Land
+            | ReduceOp::Lor
+            | ReduceOp::Band
+            | ReduceOp::Bor => {
                 unreachable!("logical/bitwise ops handled integrally")
             }
         };
@@ -96,8 +111,20 @@ macro_rules! combine_int {
         let r: $t = match $op {
             ReduceOp::Sum => a.wrapping_add(b),
             ReduceOp::Prod => a.wrapping_mul(b),
-            ReduceOp::Min => if b < a { b } else { a },
-            ReduceOp::Max => if b > a { b } else { a },
+            ReduceOp::Min => {
+                if b < a {
+                    b
+                } else {
+                    a
+                }
+            }
+            ReduceOp::Max => {
+                if b > a {
+                    b
+                } else {
+                    a
+                }
+            }
             ReduceOp::Land => ((a != 0) && (b != 0)) as $t,
             ReduceOp::Lor => ((a != 0) || (b != 0)) as $t,
             ReduceOp::Band => a & b,
@@ -218,7 +245,9 @@ pub trait MpiType: Copy + Send + 'static {
     fn bytes_to_vec(bytes: &[u8]) -> MpiResult<Vec<Self>> {
         let n = Self::DTYPE.check(bytes)?;
         let w = Self::DTYPE.width();
-        Ok((0..n).map(|i| Self::read_from(&bytes[i * w..(i + 1) * w])).collect())
+        Ok((0..n)
+            .map(|i| Self::read_from(&bytes[i * w..(i + 1) * w]))
+            .collect())
     }
 }
 
@@ -279,8 +308,13 @@ mod tests {
     fn prod_u32_wraps() {
         let mut acc = u32::slice_to_bytes(&[u32::MAX]);
         let other = u32::slice_to_bytes(&[2]);
-        ReduceOp::Prod.combine(DType::U32, &mut acc, &other).unwrap();
-        assert_eq!(u32::bytes_to_vec(&acc).unwrap(), vec![u32::MAX.wrapping_mul(2)]);
+        ReduceOp::Prod
+            .combine(DType::U32, &mut acc, &other)
+            .unwrap();
+        assert_eq!(
+            u32::bytes_to_vec(&acc).unwrap(),
+            vec![u32::MAX.wrapping_mul(2)]
+        );
     }
 
     #[test]
@@ -299,7 +333,9 @@ mod tests {
     fn logical_ops_on_f64() {
         let mut acc = f64::slice_to_bytes(&[1.5, 0.0]);
         let other = f64::slice_to_bytes(&[2.0, 0.0]);
-        ReduceOp::Land.combine(DType::F64, &mut acc, &other).unwrap();
+        ReduceOp::Land
+            .combine(DType::F64, &mut acc, &other)
+            .unwrap();
         assert_eq!(f64::bytes_to_vec(&acc).unwrap(), vec![1.0, 0.0]);
     }
 
@@ -307,7 +343,9 @@ mod tests {
     fn bitwise_ops() {
         let mut acc = u64::slice_to_bytes(&[0b1100]);
         let other = u64::slice_to_bytes(&[0b1010]);
-        ReduceOp::Band.combine(DType::U64, &mut acc, &other).unwrap();
+        ReduceOp::Band
+            .combine(DType::U64, &mut acc, &other)
+            .unwrap();
         assert_eq!(u64::bytes_to_vec(&acc).unwrap(), vec![0b1000]);
         let mut acc = u64::slice_to_bytes(&[0b1100]);
         ReduceOp::Bor.combine(DType::U64, &mut acc, &other).unwrap();
@@ -318,13 +356,17 @@ mod tests {
     fn bitwise_on_float_is_an_error() {
         let mut acc = f64::slice_to_bytes(&[1.0]);
         let other = f64::slice_to_bytes(&[2.0]);
-        assert!(ReduceOp::Band.combine(DType::F64, &mut acc, &other).is_err());
+        assert!(ReduceOp::Band
+            .combine(DType::F64, &mut acc, &other)
+            .is_err());
     }
 
     #[test]
     fn length_mismatch_is_an_error() {
         let mut acc = vec![0u8; 8];
-        assert!(ReduceOp::Sum.combine(DType::F64, &mut acc, &[0u8; 16]).is_err());
+        assert!(ReduceOp::Sum
+            .combine(DType::F64, &mut acc, &[0u8; 16])
+            .is_err());
     }
 
     #[test]

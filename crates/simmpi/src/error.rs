@@ -37,7 +37,10 @@ impl fmt::Display for MpiError {
             MpiError::Aborted => write!(f, "job aborted for rollback"),
             MpiError::FailStop => write!(f, "rank fail-stopped"),
             MpiError::InvalidRank { rank, size } => {
-                write!(f, "invalid rank {rank} for communicator of size {size}")
+                write!(
+                    f,
+                    "invalid rank {rank} for communicator of size {size}"
+                )
             }
             MpiError::NotInComm => {
                 write!(f, "calling rank is not a member of the communicator")

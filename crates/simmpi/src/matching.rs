@@ -74,7 +74,12 @@ impl MatchEngine {
         context: u32,
         tag: Option<i32>,
     ) -> PostOutcome {
-        let probe = PostedRecv { id: 0, src, context, tag };
+        let probe = PostedRecv {
+            id: 0,
+            src,
+            context,
+            tag,
+        };
         if let Some(pos) =
             self.unexpected.iter().position(|m| probe.accepts(m))
         {
@@ -82,7 +87,12 @@ impl MatchEngine {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.posted.push_back(PostedRecv { id, src, context, tag });
+        self.posted.push_back(PostedRecv {
+            id,
+            src,
+            context,
+            tag,
+        });
         PostOutcome::Pending(id)
     }
 
@@ -116,7 +126,12 @@ impl MatchEngine {
         context: u32,
         tag: Option<i32>,
     ) -> Option<&Message> {
-        let probe = PostedRecv { id: 0, src, context, tag };
+        let probe = PostedRecv {
+            id: 0,
+            src,
+            context,
+            tag,
+        };
         self.unexpected.iter().find(|m| probe.accepts(m))
     }
 

@@ -155,7 +155,11 @@ impl Mpi {
         let src = comm
             .comm_rank_of_world(msg.src)
             .expect("sender must be a communicator member");
-        RecvMsg { src, tag: msg.tag, payload: msg.payload }
+        RecvMsg {
+            src,
+            tag: msg.tag,
+            payload: msg.payload,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -202,7 +206,9 @@ impl Mpi {
             PostOutcome::Matched(msg) => {
                 Ok(Request::recv_ready(self.rank, Self::recv_msg(comm, msg)))
             }
-            PostOutcome::Pending(id) => Ok(Request::recv_pending(self.rank, id)),
+            PostOutcome::Pending(id) => {
+                Ok(Request::recv_pending(self.rank, id))
+            }
         }
     }
 
@@ -293,7 +299,13 @@ impl Mpi {
         tag: i32,
         payload: &[u8],
     ) -> MpiResult<()> {
-        self.send_on(comm, Plane::P2p, dst, tag, Bytes::copy_from_slice(payload))
+        self.send_on(
+            comm,
+            Plane::P2p,
+            dst,
+            tag,
+            Bytes::copy_from_slice(payload),
+        )
     }
 
     /// Blocking send of an owned payload (zero-copy).
@@ -326,7 +338,13 @@ impl Mpi {
         tag: i32,
         payload: &[u8],
     ) -> MpiResult<Request> {
-        self.send_on(comm, Plane::P2p, dst, tag, Bytes::copy_from_slice(payload))?;
+        self.send_on(
+            comm,
+            Plane::P2p,
+            dst,
+            tag,
+            Bytes::copy_from_slice(payload),
+        )?;
         Ok(Request::send_done(self.rank))
     }
 

@@ -31,15 +31,24 @@ pub(crate) enum ReqState {
 
 impl Request {
     pub(crate) fn send_done(owner: usize) -> Self {
-        Request { state: ReqState::SendDone, owner }
+        Request {
+            state: ReqState::SendDone,
+            owner,
+        }
     }
 
     pub(crate) fn recv_ready(owner: usize, msg: RecvMsg) -> Self {
-        Request { state: ReqState::RecvReady(msg), owner }
+        Request {
+            state: ReqState::RecvReady(msg),
+            owner,
+        }
     }
 
     pub(crate) fn recv_pending(owner: usize, id: RecvId) -> Self {
-        Request { state: ReqState::RecvPending(id), owner }
+        Request {
+            state: ReqState::RecvPending(id),
+            owner,
+        }
     }
 
     /// True if this request was produced by a send operation.

@@ -25,7 +25,10 @@ pub struct Fabric {
 impl Fabric {
     /// Build a fabric for `n` ranks; returns the fabric plus each rank's
     /// receiving endpoint.
-    pub fn new(n: usize, control: JobControl) -> (Fabric, Vec<Receiver<Message>>) {
+    pub fn new(
+        n: usize,
+        control: JobControl,
+    ) -> (Fabric, Vec<Receiver<Message>>) {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {

@@ -4,9 +4,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::comm::Comm;
-use crate::error::MpiResult;
 #[cfg(test)]
 use crate::error::MpiError;
+use crate::error::MpiResult;
 use crate::rank::Mpi;
 use crate::transport::Fabric;
 
@@ -110,7 +110,10 @@ impl World {
                     f(&mut mpi)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         })
     }
 

@@ -44,7 +44,11 @@ fn bcast_from_every_root() {
 fn bcast_typed() {
     World::run(4, |mpi| {
         let comm = mpi.world();
-        let data = if mpi.rank() == 2 { vec![3.5f64, -1.0] } else { vec![] };
+        let data = if mpi.rank() == 2 {
+            vec![3.5f64, -1.0]
+        } else {
+            vec![]
+        };
         let out = mpi.bcast_t::<f64>(&comm, 2, &data)?;
         assert_eq!(out, vec![3.5, -1.0]);
         Ok(())
@@ -94,7 +98,8 @@ fn allgather_flat_typed_matches_rank_order() {
     World::run(3, |mpi| {
         let comm = mpi.world();
         let me = mpi.rank() as u64;
-        let flat = mpi.allgather_flat_t::<u64>(&comm, &[me * 10, me * 10 + 1])?;
+        let flat =
+            mpi.allgather_flat_t::<u64>(&comm, &[me * 10, me * 10 + 1])?;
         assert_eq!(flat, vec![0, 1, 10, 11, 20, 21]);
         Ok(())
     })
@@ -147,7 +152,8 @@ fn reduce_sum_at_root() {
         World::run(n, |mpi| {
             let comm = mpi.world();
             let me = mpi.rank() as i64;
-            let out = mpi.reduce_t::<i64>(&comm, 0, ReduceOp::Sum, &[me, 1])?;
+            let out =
+                mpi.reduce_t::<i64>(&comm, 0, ReduceOp::Sum, &[me, 1])?;
             if mpi.rank() == 0 {
                 let expect: i64 = (0..n as i64).sum();
                 assert_eq!(out.unwrap(), vec![expect, n as i64]);

@@ -34,7 +34,8 @@ fn repeated_dups_get_distinct_contexts() {
         let a = mpi.comm_dup(&world)?;
         let b = mpi.comm_dup(&world)?;
         let c = mpi.comm_dup(&a)?;
-        let mut ctxs = [world.context(), a.context(), b.context(), c.context()];
+        let mut ctxs =
+            [world.context(), a.context(), b.context(), c.context()];
         ctxs.sort();
         ctxs.windows(2).for_each(|w| assert_ne!(w[0], w[1]));
         // Collectives work on dups.

@@ -106,10 +106,8 @@ fn waitany_returns_a_ready_request() {
     World::run(2, |mpi| {
         let comm = mpi.world();
         if mpi.rank() == 0 {
-            let mut reqs = vec![
-                mpi.irecv(&comm, 1, 10)?,
-                mpi.irecv(&comm, 1, 11)?,
-            ];
+            let mut reqs =
+                vec![mpi.irecv(&comm, 1, 10)?, mpi.irecv(&comm, 1, 11)?];
             let (idx, msg) = mpi.waitany(&comm, &mut reqs)?;
             let msg = msg.unwrap();
             assert_eq!(idx, 1, "only tag 11 was sent");
@@ -171,14 +169,7 @@ fn sendrecv_halo_exchange_ring() {
         let me = mpi.rank();
         let right = (me + 1) % n;
         let left = (me + n - 1) % n;
-        let msg = mpi.sendrecv(
-            &comm,
-            right,
-            3,
-            &[me as u8],
-            left,
-            3,
-        )?;
+        let msg = mpi.sendrecv(&comm, right, 3, &[me as u8], left, 3)?;
         assert_eq!(msg.src, left);
         assert_eq!(&msg.payload[..], &[left as u8]);
         Ok(())
@@ -212,7 +203,8 @@ fn iprobe_sees_pending_message() {
 fn large_payload_round_trip() {
     World::run(2, |mpi| {
         let comm = mpi.world();
-        let big: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        let big: Vec<u8> =
+            (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
         if mpi.rank() == 0 {
             mpi.send_bytes(&comm, 1, 1, Bytes::from(big.clone()))?;
         } else {

@@ -92,7 +92,11 @@ enum Step {
     Call { label: Label, func: FuncId },
     /// A while-loop whose body is a checkpointable function; each iteration
     /// is entered under `label`.
-    Loop { label: Label, cond: CondFn, body: FuncId },
+    Loop {
+        label: Label,
+        cond: CondFn,
+        body: FuncId,
+    },
     /// A two-way branch whose arms are checkpointable functions. Each arm
     /// carries its own label (the precompiler labels each call site), so a
     /// restart knows which arm was active.
@@ -118,7 +122,11 @@ impl Step {
     fn labels(&self) -> Vec<Label> {
         match self {
             Step::Block(_) => Vec::new(),
-            Step::IfElse { then_label, else_label, .. } => {
+            Step::IfElse {
+                then_label,
+                else_label,
+                ..
+            } => {
                 vec![*then_label, *else_label]
             }
             Step::Call { label, .. }
@@ -279,7 +287,11 @@ impl<'p> FuncBuilder<'p> {
         cond: impl Fn(&mut CkptCtx) -> bool + 'static,
         body: FuncId,
     ) -> Self {
-        self.steps.push(Step::Loop { label, cond: Box::new(cond), body });
+        self.steps.push(Step::Loop {
+            label,
+            cond: Box::new(cond),
+            body,
+        });
         self
     }
 
@@ -322,9 +334,13 @@ impl<'p> FuncBuilder<'p> {
                 }
             }
         }
-        self.program
-            .funcs
-            .insert(self.id, Func { init: self.init, steps: self.steps });
+        self.program.funcs.insert(
+            self.id,
+            Func {
+                init: self.init,
+                steps: self.steps,
+            },
+        );
         Ok(())
     }
 }
@@ -337,7 +353,12 @@ impl CkptProgram {
 
     /// Begin defining function `id` (replacing any previous definition).
     pub fn define(&mut self, id: FuncId) -> FuncBuilder<'_> {
-        FuncBuilder { program: self, id, init: None, steps: Vec::new() }
+        FuncBuilder {
+            program: self,
+            id,
+            init: None,
+            steps: Vec::new(),
+        }
     }
 
     /// Run the program from `entry` on a fresh context.
@@ -400,8 +421,7 @@ impl CkptProgram {
             (0, None)
         };
 
-        let result =
-            self.exec_steps(id, func, ctx, start_index, resume_label);
+        let result = self.exec_steps(id, func, ctx, start_index, resume_label);
         ctx.vds.pop();
         result
     }
@@ -419,7 +439,10 @@ impl CkptProgram {
             let resuming_here = resume_label.is_some() && i == start_index;
             match step {
                 Step::Block(f) => f(ctx),
-                Step::Call { label, func: callee } => {
+                Step::Call {
+                    label,
+                    func: callee,
+                } => {
                     if resuming_here {
                         // The label is already on the retained PS from the
                         // snapshot; descend in resume mode, then pop it as
@@ -547,7 +570,9 @@ mod tests {
     }
 
     fn acc_of(ctx: &CkptCtx) -> u64 {
-        ctx.heap.get(crate::heap::HPtr::<u64>::from_raw(0), 0).unwrap()
+        ctx.heap
+            .get(crate::heap::HPtr::<u64>::from_raw(0), 0)
+            .unwrap()
     }
 
     #[test]
@@ -783,7 +808,9 @@ mod ifelse_tests {
     }
 
     fn expected() -> u64 {
-        (1..=6u64).map(|i| if i % 2 == 1 { i } else { 100 * i }).sum()
+        (1..=6u64)
+            .map(|i| if i % 2 == 1 { i } else { 100 * i })
+            .sum()
     }
 
     #[test]

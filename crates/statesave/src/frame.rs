@@ -40,7 +40,10 @@ impl Frame {
     pub fn declare<T: Scalar>(&mut self, name: &str, init: T) -> VarId {
         let mut bytes = vec![0u8; T::WIDTH];
         init.store(&mut bytes);
-        self.slots.push(Slot { name: name.to_owned(), bytes });
+        self.slots.push(Slot {
+            name: name.to_owned(),
+            bytes,
+        });
         VarId(self.slots.len() - 1)
     }
 
@@ -54,7 +57,10 @@ impl Frame {
         for (i, &v) in init.iter().enumerate() {
             v.store(&mut bytes[i * T::WIDTH..(i + 1) * T::WIDTH]);
         }
-        self.slots.push(Slot { name: name.to_owned(), bytes });
+        self.slots.push(Slot {
+            name: name.to_owned(),
+            bytes,
+        });
         VarId(self.slots.len() - 1)
     }
 
@@ -92,14 +98,24 @@ impl Frame {
     /// On id out of range or size mismatch (instrumentation bugs).
     pub fn get<T: Scalar>(&self, id: VarId) -> T {
         let s = self.slot(id);
-        assert_eq!(s.bytes.len(), T::WIDTH, "type/size mismatch on {}", s.name);
+        assert_eq!(
+            s.bytes.len(),
+            T::WIDTH,
+            "type/size mismatch on {}",
+            s.name
+        );
         T::fetch(&s.bytes)
     }
 
     /// Write a scalar variable.
     pub fn set<T: Scalar>(&mut self, id: VarId, v: T) {
         let s = &mut self.slots[id.0];
-        assert_eq!(s.bytes.len(), T::WIDTH, "type/size mismatch on {}", s.name);
+        assert_eq!(
+            s.bytes.len(),
+            T::WIDTH,
+            "type/size mismatch on {}",
+            s.name
+        );
         v.store(&mut s.bytes);
     }
 

@@ -89,7 +89,10 @@ impl<T: Scalar> HPtr<T> {
     /// Rebuild a pointer from a raw offset previously obtained via
     /// [`HPtr::raw`] or read out of a heap object.
     pub fn from_raw(off: u32) -> Self {
-        HPtr { off, _marker: PhantomData }
+        HPtr {
+            off,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -114,7 +117,10 @@ impl std::fmt::Display for HeapError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HeapError::OutOfMemory { requested } => {
-                write!(f, "managed heap exhausted allocating {requested} bytes")
+                write!(
+                    f,
+                    "managed heap exhausted allocating {requested} bytes"
+                )
             }
             HeapError::BadAccess { off, detail } => {
                 write!(f, "bad heap access at offset {off}: {detail}")
@@ -290,10 +296,11 @@ impl ManagedHeap {
         &self,
         ptr: HPtr<T>,
     ) -> Result<usize, HeapError> {
-        let len = *self.objects.get(&ptr.raw()).ok_or(HeapError::BadAccess {
-            off: ptr.raw(),
-            detail: "length of a non-live object",
-        })?;
+        let len =
+            *self.objects.get(&ptr.raw()).ok_or(HeapError::BadAccess {
+                off: ptr.raw(),
+                detail: "length of a non-live object",
+            })?;
         Ok(len as usize / T::WIDTH)
     }
 
@@ -303,7 +310,11 @@ impl ManagedHeap {
         ptr: HPtr<T>,
         i: usize,
     ) -> Result<T, HeapError> {
-        Ok(T::fetch(self.read_bytes(ptr.raw(), i * T::WIDTH, T::WIDTH)?))
+        Ok(T::fetch(self.read_bytes(
+            ptr.raw(),
+            i * T::WIDTH,
+            T::WIDTH,
+        )?))
     }
 
     /// Write element `i` of the array behind `ptr`.
@@ -336,7 +347,9 @@ impl ManagedHeap {
         at: usize,
     ) -> Result<HPtr<T>, HeapError> {
         let bytes = self.read_bytes(holder, at, 4)?;
-        Ok(HPtr::from_raw(u32::from_le_bytes(bytes.try_into().unwrap())))
+        Ok(HPtr::from_raw(u32::from_le_bytes(
+            bytes.try_into().unwrap(),
+        )))
     }
 }
 
@@ -355,9 +368,7 @@ impl SaveLoad for ManagedHeap {
         for (&off, &len) in &self.objects {
             enc.put_u32(off);
             enc.put_u32(len);
-            enc.put_bytes(
-                &self.arena[off as usize..(off + len) as usize],
-            );
+            enc.put_bytes(&self.arena[off as usize..(off + len) as usize]);
         }
     }
 
@@ -529,9 +540,9 @@ mod tests {
         let mut enc = Encoder::new();
         h.save(&mut enc);
         let bytes = enc.into_bytes();
-        assert!(
-            ManagedHeap::load(&mut Decoder::new(&bytes[..bytes.len() - 3]))
-                .is_err()
-        );
+        assert!(ManagedHeap::load(&mut Decoder::new(
+            &bytes[..bytes.len() - 3]
+        ))
+        .is_err());
     }
 }

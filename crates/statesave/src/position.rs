@@ -110,7 +110,11 @@ impl SaveLoad for PositionStack {
         for _ in 0..n {
             items.push(dec.get_u32()?);
         }
-        Ok(PositionStack { items, cursor: 0, restarting: false })
+        Ok(PositionStack {
+            items,
+            cursor: 0,
+            restarting: false,
+        })
     }
 }
 

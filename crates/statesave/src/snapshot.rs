@@ -29,7 +29,9 @@ pub fn snapshot_to_bytes<T: SaveState>(state: &T) -> Vec<u8> {
 /// Decode a state envelope produced by [`snapshot_to_bytes`]. Rejects
 /// envelopes with the wrong magic or trailing bytes, both of which indicate
 /// schema drift between save and load.
-pub fn restore_from_bytes<T: SaveState>(bytes: &[u8]) -> Result<T, CodecError> {
+pub fn restore_from_bytes<T: SaveState>(
+    bytes: &[u8],
+) -> Result<T, CodecError> {
     let mut dec = Decoder::new(bytes);
     let magic = dec.get_u32()?;
     if magic != MAGIC {
@@ -74,7 +76,11 @@ mod tests {
 
     #[test]
     fn wrong_magic_is_rejected() {
-        let s = SolverState { iter: 0, x: vec![], r: vec![] };
+        let s = SolverState {
+            iter: 0,
+            x: vec![],
+            r: vec![],
+        };
         let mut bytes = snapshot_to_bytes(&s);
         bytes[0] ^= 0xFF;
         assert!(restore_from_bytes::<SolverState>(&bytes).is_err());
@@ -82,7 +88,11 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let s = SolverState { iter: 0, x: vec![], r: vec![] };
+        let s = SolverState {
+            iter: 0,
+            x: vec![],
+            r: vec![],
+        };
         let mut bytes = snapshot_to_bytes(&s);
         bytes.push(0);
         assert!(restore_from_bytes::<SolverState>(&bytes).is_err());
@@ -90,11 +100,13 @@ mod tests {
 
     #[test]
     fn truncation_is_rejected() {
-        let s = SolverState { iter: 3, x: vec![9.0; 4], r: vec![] };
+        let s = SolverState {
+            iter: 3,
+            x: vec![9.0; 4],
+            r: vec![],
+        };
         let bytes = snapshot_to_bytes(&s);
-        assert!(
-            restore_from_bytes::<SolverState>(&bytes[..bytes.len() - 2])
-                .is_err()
-        );
+        assert!(restore_from_bytes::<SolverState>(&bytes[..bytes.len() - 2])
+            .is_err());
     }
 }

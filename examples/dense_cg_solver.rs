@@ -59,7 +59,10 @@ fn main() {
     }
 
     assert_eq!(report.outputs, baseline.outputs);
-    let fired =
-        faulty_cfg.failures.iter().filter(|i| i.is_consumed()).count();
+    let fired = faulty_cfg
+        .failures
+        .iter()
+        .filter(|i| i.is_consumed())
+        .count();
     println!("\nconverged identically despite {fired} failure(s) ✓");
 }

@@ -32,9 +32,9 @@ impl C3App for LaplaceWithField {
 
 fn render(field: &[f64], n: usize) {
     const RAMP: &[u8] = b" .:-=+*#%@";
-    let (min, max) = field.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min, max) = field
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     let span = (max - min).max(1e-12);
     // Downsample to at most 48x48 characters.
     let step = n.div_ceil(48);

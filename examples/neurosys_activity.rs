@@ -49,7 +49,10 @@ fn main() {
                     format!("{secs:>10.3}s")
                 }
                 Some(base) => {
-                    format!("{secs:>7.3}s {:>+3.0}%", (secs / base - 1.0) * 100.0)
+                    format!(
+                        "{secs:>7.3}s {:>+3.0}%",
+                        (secs / base - 1.0) * 100.0
+                    )
                 }
             };
             row.push_str(&format!(" {text:>12}"));

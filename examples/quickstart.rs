@@ -28,7 +28,10 @@ impl C3App for RingSum {
     type Output = u64;
 
     fn init(&self, p: &mut Process<'_>) -> C3Result<State> {
-        Ok(State { i: 0, acc: p.rank() as u64 })
+        Ok(State {
+            i: 0,
+            acc: p.rank() as u64,
+        })
     }
 
     fn run(&self, p: &mut Process<'_>, s: &mut State) -> C3Result<u64> {
@@ -38,14 +41,8 @@ impl C3App for RingSum {
         let left = (p.rank() + n - 1) % n;
         while s.i < self.iters {
             // Pass the accumulator around the ring and fold.
-            let got = p.sendrecv(
-                world,
-                right,
-                0,
-                &s.acc.to_le_bytes(),
-                left,
-                0,
-            )?;
+            let got =
+                p.sendrecv(world, right, 0, &s.acc.to_le_bytes(), left, 0)?;
             let v = u64::from_le_bytes(got.payload[..8].try_into().unwrap());
             s.acc = s.acc.wrapping_mul(31).wrapping_add(v);
             s.i += 1;

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! This workspace builds in containers with no crates.io access, so the
+//! external dependencies are replaced by small local shims exposing the
+//! exact API surface the workspace uses (see `shims/README.md`). Here
+//! that surface is `crossbeam::channel::{unbounded, Sender, Receiver}`
+//! plus the receive-side error types; `std::sync::mpsc` provides
+//! identical semantics for the single-consumer way `simmpi` uses them
+//! (one inbox `Receiver` owned by each rank thread, many cloned
+//! `Sender`s).
+
+pub mod channel {
+    //! `crossbeam::channel`-compatible unbounded MPSC channels.
+
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    /// Create an unbounded channel, crossbeam-style.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_and_timeout() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 7);
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            ));
+            drop(tx);
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            ));
+        }
+
+        #[test]
+        fn senders_clone_across_threads() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            drop(tx);
+            let mut got: Vec<i32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -25,33 +25,27 @@ impl c3_core::C3App for MixedApp {
     type Output = u64;
 
     fn init(&self, p: &mut Process<'_>) -> C3Result<MixedState> {
-        Ok(MixedState { i: 0, acc: 0x9E37 + p.rank() as u64 })
+        Ok(MixedState {
+            i: 0,
+            acc: 0x9E37 + p.rank() as u64,
+        })
     }
 
-    fn run(
-        &self,
-        p: &mut Process<'_>,
-        s: &mut MixedState,
-    ) -> C3Result<u64> {
+    fn run(&self, p: &mut Process<'_>, s: &mut MixedState) -> C3Result<u64> {
         let world = p.world();
         let n = p.size();
         let right = (p.rank() + 1) % n;
         let left = (p.rank() + n - 1) % n;
         while s.i < self.iters {
             // p2p ring step.
-            let got = p.sendrecv(
-                world,
-                right,
-                1,
-                &s.acc.to_le_bytes(),
-                left,
-                1,
-            )?;
+            let got =
+                p.sendrecv(world, right, 1, &s.acc.to_le_bytes(), left, 1)?;
             s.acc ^= u64::from_le_bytes(got.payload[..8].try_into().unwrap())
                 .rotate_left(7);
             // A collective every other iteration.
             if s.i.is_multiple_of(2) {
-                let m = p.allreduce_t::<u64>(world, ReduceOp::Max, &[s.acc])?;
+                let m =
+                    p.allreduce_t::<u64>(world, ReduceOp::Max, &[s.acc])?;
                 s.acc = s.acc.wrapping_add(m[0] >> 32);
             }
             // A deterministic broadcast every third iteration.
@@ -116,8 +110,9 @@ fn chaos_with_multi_failure_schedules() {
 fn chaos_on_laplace_with_short_mtbf() {
     // A geometric failure process with mean spacing comparable to the
     // checkpoint interval — the "failures keep coming" regime.
-    let schedules: Vec<FailureSchedule> =
-        (0..2).map(|seed| FailureSchedule::mtbf(seed, 3, 60, 200)).collect();
+    let schedules: Vec<FailureSchedule> = (0..2)
+        .map(|seed| FailureSchedule::mtbf(seed, 3, 60, 200))
+        .collect();
     chaos_check(
         3,
         &C3Config::every_ops(15),
@@ -154,8 +149,7 @@ fn chaos_nondet_stays_globally_consistent() {
             let world = p.world();
             while s.i < self.iters {
                 // Rank 0 draws; everyone folds the same value.
-                let draw =
-                    if p.rank() == 0 { p.nondet_u64()? } else { 0 };
+                let draw = if p.rank() == 0 { p.nondet_u64()? } else { 0 };
                 let b = p.bcast_t::<u64>(world, 0, &[draw])?;
                 s.acc = s.acc.wrapping_mul(31).wrapping_add(b[0]);
                 s.i += 1;
@@ -166,14 +160,25 @@ fn chaos_nondet_stays_globally_consistent() {
     }
 
     for seed in 0..4u64 {
+        // One sink per job: attempt numbering is per-job, so sharing a
+        // sink across jobs would interleave unrelated streams.
+        let sink = c3_core::TraceSink::new();
         let schedule = FailureSchedule::random(seed + 500, 3, 1, 10..80);
-        let cfg = schedule.apply(C3Config::every_ops(12));
+        let cfg = schedule
+            .apply(C3Config::every_ops(12))
+            .with_trace(sink.clone());
         let report =
             run_job(3, &cfg, None, &NondetShared { iters: 25 }).unwrap();
         assert!(
             report.outputs.windows(2).all(|w| w[0] == w[1]),
             "ranks disagree on the shared nondet stream (seed {seed}):              {:?}",
             report.outputs
+        );
+        let verdict = c3verify::analyze(&sink.take());
+        assert!(
+            verdict.is_clean(),
+            "protocol invariants violated under chaos (seed {seed}):\n{}",
+            verdict.render()
         );
     }
 }

@@ -6,9 +6,7 @@
 
 use std::sync::Arc;
 
-use ckptstore::{
-    CheckpointStore, DiskBackend, RankBlobKind, StorageBackend,
-};
+use ckptstore::{CheckpointStore, DiskBackend, RankBlobKind, StorageBackend};
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir()
@@ -19,8 +17,12 @@ fn temp_dir(tag: &str) -> std::path::PathBuf {
 
 fn full_checkpoint(store: &CheckpointStore, ckpt: u64, payload: &[u8]) {
     for r in 0..store.nranks() {
-        store.put_rank_blob(ckpt, r, RankBlobKind::State, payload).unwrap();
-        store.put_rank_blob(ckpt, r, RankBlobKind::Log, b"log").unwrap();
+        store
+            .put_rank_blob(ckpt, r, RankBlobKind::State, payload)
+            .unwrap();
+        store
+            .put_rank_blob(ckpt, r, RankBlobKind::Log, b"log")
+            .unwrap();
     }
 }
 
@@ -34,7 +36,9 @@ fn committed_checkpoints_survive_process_restart() {
         full_checkpoint(&store, 1, b"epoch-one");
         store.commit(1).unwrap();
         // Checkpoint 2 is in progress when the "machine dies".
-        store.put_rank_blob(2, 0, RankBlobKind::State, b"partial").unwrap();
+        store
+            .put_rank_blob(2, 0, RankBlobKind::State, b"partial")
+            .unwrap();
     }
     // A brand-new store over the same directory — as after a cluster-wide
     // restart — sees exactly the committed line.
@@ -93,7 +97,9 @@ fn concurrent_rank_writers_on_disk() {
                 store
                     .put_rank_blob(1, r, RankBlobKind::State, &payload)
                     .unwrap();
-                store.put_rank_blob(1, r, RankBlobKind::Log, &[r as u8]).unwrap();
+                store
+                    .put_rank_blob(1, r, RankBlobKind::Log, &[r as u8])
+                    .unwrap();
             });
         }
     });

@@ -1,0 +1,106 @@
+//! Protocol-invariant verification matrix: run the paper's benchmark
+//! applications at 4 ranks with checkpointing and fault injection while
+//! recording a protocol trace, then require `c3verify` to find zero
+//! invariant violations.
+//!
+//! This complements `chaos_matrix.rs`: the chaos tests check *outputs*
+//! (the job still computes the right answer across failures), while this
+//! matrix checks the *protocol itself* — every classification, send-count
+//! announcement, initiator phase, suppression and collective control
+//! exchange obeys the invariants of Bronevetsky et al. (PPoPP 2003).
+
+use c3_apps::{DenseCg, Laplace};
+use c3_core::trace::TraceSink;
+use c3_core::{run_job, C3App, C3Config};
+use c3verify::analyze;
+use ftsim::FailureSchedule;
+
+/// Run `app` at 4 ranks under `schedule`, tracing, and require a clean
+/// invariant report (and at least one committed global checkpoint).
+fn assert_invariant_clean<A>(
+    name: &str,
+    app: &A,
+    interval: u64,
+    schedule: &FailureSchedule,
+    expect_restart: bool,
+) where
+    A: C3App,
+{
+    let sink = TraceSink::new();
+    let cfg = schedule
+        .apply(C3Config::every_ops(interval))
+        .with_trace(sink.clone());
+    let job = run_job(4, &cfg, None, app)
+        .unwrap_or_else(|e| panic!("{name}: job failed: {e:?}"));
+    if expect_restart {
+        assert!(job.restarts >= 1, "{name}: failure must actually fire");
+    }
+    let report = analyze(&sink.take());
+    assert!(
+        !report.commits.is_empty(),
+        "{name}: expected at least one committed checkpoint"
+    );
+    assert!(
+        report.is_clean(),
+        "{name}: protocol invariants violated:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn dense_cg_is_invariant_clean_without_failures() {
+    assert_invariant_clean(
+        "dense-cg/clean",
+        &DenseCg::new(32, 24),
+        10,
+        &FailureSchedule::none(),
+        false,
+    );
+}
+
+#[test]
+fn dense_cg_is_invariant_clean_under_fault_injection() {
+    assert_invariant_clean(
+        "dense-cg/single-failure",
+        &DenseCg::new(32, 24),
+        10,
+        &FailureSchedule::single(2, 60),
+        true,
+    );
+    assert_invariant_clean(
+        "dense-cg/random-failures",
+        &DenseCg::new(32, 30),
+        12,
+        &FailureSchedule::random(11, 4, 2, 40..160),
+        false,
+    );
+}
+
+#[test]
+fn laplace_is_invariant_clean_without_failures() {
+    assert_invariant_clean(
+        "laplace/clean",
+        &Laplace { n: 16, iters: 32 },
+        9,
+        &FailureSchedule::none(),
+        false,
+    );
+}
+
+#[test]
+fn laplace_is_invariant_clean_under_fault_injection() {
+    assert_invariant_clean(
+        "laplace/single-failure",
+        &Laplace { n: 16, iters: 32 },
+        9,
+        &FailureSchedule::single(1, 50),
+        true,
+    );
+    assert_invariant_clean(
+        "laplace/mtbf",
+        &Laplace { n: 16, iters: 40 },
+        11,
+        &FailureSchedule::mtbf(7, 4, 90, 400),
+        false,
+    );
+}
