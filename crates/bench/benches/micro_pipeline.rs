@@ -1,0 +1,235 @@
+//! Checkpoint I/O pipeline micro-benchmark: full vs incremental writing,
+//! synchronous vs asynchronous staging.
+//!
+//! Four ranks each hold 1 MiB of state of which 1/8 of the 4 KiB chunks
+//! change per checkpoint round — the Dense CG shape, where a large
+//! read-mostly region (the matrix block) dominates the snapshot. Each
+//! cell runs several commit rounds (stage on all ranks, drain, commit,
+//! GC) and records:
+//!
+//! * **stage latency** — time a rank spends on its critical path handing
+//!   blobs to the pipeline (the cost async staging removes);
+//! * **drain latency** — time the initiator's phase-4 barrier waits for
+//!   the background writers (where async defers the cost to);
+//! * **bytes written** — the backend's net counter (where incremental
+//!   chunking saves).
+//!
+//! Besides the printed lines, the bench rewrites `BENCH_pipeline.json`
+//! at the workspace root so the numbers are tracked in-repo.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ckptpipe::{CheckpointPipeline, PipelineConfig, WriteMode};
+use ckptstore::{
+    CheckpointStore, MemoryBackend, RankBlobKind, StorageBackend,
+};
+
+const RANKS: usize = 4;
+const STATE_BYTES: usize = 1 << 20;
+const CHUNK: usize = 4096;
+const DIRTY_ONE_IN: usize = 8;
+const ROUNDS: u64 = 6;
+
+/// Rank `rank`'s state at round `round`: a fixed byte pattern with every
+/// `DIRTY_ONE_IN`-th chunk rewritten per round (rotating which chunks).
+fn state_of(rank: usize, round: u64) -> Vec<u8> {
+    let mut s: Vec<u8> = (0..STATE_BYTES)
+        .map(|i| {
+            (i as u64)
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(rank as u64) as u8
+        })
+        .collect();
+    let nchunks = STATE_BYTES / CHUNK;
+    for c in 0..nchunks {
+        if c % DIRTY_ONE_IN == (round as usize) % DIRTY_ONE_IN {
+            let tag = round.wrapping_mul(31).wrapping_add(c as u64);
+            for (k, b) in s[c * CHUNK..(c + 1) * CHUNK].iter_mut().enumerate()
+            {
+                *b = tag.wrapping_add(k as u64) as u8;
+            }
+        }
+    }
+    s
+}
+
+struct Cell {
+    mode: &'static str,
+    incremental: bool,
+    stage_ms_per_ckpt: f64,
+    drain_ms_per_ckpt: f64,
+    bytes_written: u64,
+}
+
+/// Run `ROUNDS` commit rounds under one pipeline configuration.
+fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
+    let incremental = io.incremental;
+    let backend = Arc::new(MemoryBackend::new());
+    let store = CheckpointStore::new(
+        backend.clone() as Arc<dyn StorageBackend>,
+        RANKS,
+    );
+    let pipeline = CheckpointPipeline::new(store.clone(), io);
+    let mut stage_ns = 0u128;
+    let mut drain_ns = 0u128;
+    for round in 1..=ROUNDS {
+        let t0 = Instant::now();
+        for rank in 0..RANKS {
+            pipeline
+                .stage(round, rank, RankBlobKind::State, state_of(rank, round))
+                .unwrap();
+            pipeline
+                .stage(round, rank, RankBlobKind::Log, vec![0u8; 64])
+                .unwrap();
+        }
+        stage_ns += t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        pipeline.drain(round).unwrap();
+        drain_ns += t1.elapsed().as_nanos();
+        store.commit(round).unwrap();
+        store.gc_keeping(round).unwrap();
+    }
+    pipeline.shutdown();
+    Cell {
+        mode,
+        incremental,
+        stage_ms_per_ckpt: stage_ns as f64 / ROUNDS as f64 / 1e6,
+        drain_ms_per_ckpt: drain_ns as f64 / ROUNDS as f64 / 1e6,
+        bytes_written: backend.bytes_written(),
+    }
+}
+
+fn cells() -> Vec<Cell> {
+    let asynch = WriteMode::Async {
+        writers: 2,
+        queue_depth: 8,
+    };
+    vec![
+        run_cell("sync", PipelineConfig::sync_full()),
+        run_cell(
+            "sync",
+            PipelineConfig::sync_full()
+                .with_incremental(true)
+                .with_chunk_size(CHUNK),
+        ),
+        run_cell(
+            "async",
+            PipelineConfig::default()
+                .with_mode(asynch)
+                .with_incremental(false)
+                .with_compression(false),
+        ),
+        run_cell(
+            "async",
+            PipelineConfig::default()
+                .with_mode(asynch)
+                .with_compression(false)
+                .with_chunk_size(CHUNK),
+        ),
+    ]
+}
+
+fn write_json(cells: &[Cell]) {
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"incremental\": {}, \
+             \"stage_ms_per_ckpt\": {:.3}, \"drain_ms_per_ckpt\": {:.3}, \
+             \"bytes_written\": {}}}",
+            c.mode,
+            c.incremental,
+            c.stage_ms_per_ckpt,
+            c.drain_ms_per_ckpt,
+            c.bytes_written
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"micro_pipeline\",\n  \"ranks\": {RANKS},\n  \
+         \"state_bytes_per_rank\": {STATE_BYTES},\n  \
+         \"chunk_bytes\": {CHUNK},\n  \
+         \"dirty_chunk_fraction\": {:.4},\n  \
+         \"checkpoints\": {ROUNDS},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
+        1.0 / DIRTY_ONE_IN as f64
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_pipeline.json");
+    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let results = cells();
+    for cell in &results {
+        let kind = if cell.incremental {
+            "incremental"
+        } else {
+            "full"
+        };
+        println!(
+            "pipeline/{}/{kind}: stage {:.3} ms/ckpt, drain {:.3} ms/ckpt, \
+             {} bytes written over {ROUNDS} checkpoints",
+            cell.mode,
+            cell.stage_ms_per_ckpt,
+            cell.drain_ms_per_ckpt,
+            cell.bytes_written
+        );
+    }
+    write_json(&results);
+
+    // Criterion display of the critical-path metric: one full commit
+    // round per iteration.
+    let mut g = c.benchmark_group("pipeline_round");
+    g.sample_size(5);
+    g.throughput(Throughput::Bytes((RANKS * STATE_BYTES) as u64));
+    for (name, io) in [
+        ("sync_full", PipelineConfig::sync_full()),
+        (
+            "async_incremental",
+            PipelineConfig::default()
+                .with_compression(false)
+                .with_chunk_size(CHUNK),
+        ),
+    ] {
+        let backend = Arc::new(MemoryBackend::new());
+        let store =
+            CheckpointStore::new(backend as Arc<dyn StorageBackend>, RANKS);
+        let pipeline = CheckpointPipeline::new(store.clone(), io);
+        let mut round = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                round += 1;
+                for rank in 0..RANKS {
+                    pipeline
+                        .stage(
+                            round,
+                            rank,
+                            RankBlobKind::State,
+                            state_of(rank, round),
+                        )
+                        .unwrap();
+                    pipeline
+                        .stage(round, rank, RankBlobKind::Log, vec![0u8; 64])
+                        .unwrap();
+                }
+                pipeline.drain(round).unwrap();
+                store.commit(round).unwrap();
+                store.gc_keeping(round).unwrap();
+            })
+        });
+        pipeline.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -62,6 +62,12 @@
 //!   checkpoint *and* a finalized log on every rank (the recovery line is
 //!   complete), and no rank checkpoints without a `pleaseCheckpoint`
 //!   request or a barrier alignment forcing it.
+//! * **I13 drain-before-commit** — with the asynchronous I/O pipeline, a
+//!   checkpoint is committed only after the initiator's drain barrier for
+//!   it returned, and the drained blob count equals the blobs all ranks
+//!   staged for that checkpoint (two-phase commit over asynchronous
+//!   writes). Enforced only on traces that contain pipeline events, so
+//!   pre-pipeline recordings still analyze cleanly.
 //!
 //! Structural defects of the trace itself (duplicate sequence numbers,
 //! ragged count vectors, initiator events off rank 0) are reported as
@@ -101,6 +107,8 @@ pub mod invariant {
     pub const I11: &str = "I11-replay-bounded";
     /// Committed checkpoints are complete on every rank.
     pub const I12: &str = "I12-commit-completeness";
+    /// Asynchronously staged blobs are drained to storage before commit.
+    pub const I13: &str = "I13-drain-before-commit";
     /// The trace itself is structurally sound.
     pub const T0: &str = "T0-well-formed";
 }
@@ -166,6 +174,10 @@ struct RankFacts {
     colls: Vec<CollFact>,
     commits: Vec<(u64, u64)>,
     initiator_items: Vec<IniItem>,
+    /// ckpt -> blobs this rank staged with the I/O pipeline.
+    staged: BTreeMap<u64, u64>,
+    /// Rank 0 only: (ckpt, blobs, seq) per pipeline drain barrier.
+    drains: Vec<(u64, u64, u64)>,
     failed: bool,
     last_seq: u64,
 }
@@ -765,6 +777,29 @@ fn scan_rank(
                 pending_late = None;
                 pending_early = None;
             }
+            TraceEvent::BlobStaged { ckpt, kind } => {
+                if *kind > 2 {
+                    flag(
+                        invariant::T0,
+                        seq,
+                        format!(
+                            "blob staged for checkpoint {ckpt} with unknown \
+                             kind tag {kind}"
+                        ),
+                    );
+                }
+                *f.staged.entry(*ckpt).or_default() += 1;
+            }
+            TraceEvent::PipelineDrained { ckpt, blobs } => {
+                if rank != 0 {
+                    flag(
+                        invariant::T0,
+                        seq,
+                        format!("pipeline drain event on rank {rank}"),
+                    );
+                }
+                f.drains.push((*ckpt, *blobs, seq));
+            }
             TraceEvent::RecoveryComplete => {}
         }
     }
@@ -1346,6 +1381,64 @@ fn check_commits(
     }
 }
 
+/// The asynchronous-I/O two-phase-commit check (I13): every commit is
+/// preceded (in rank 0's stream) by a drain barrier for the same
+/// checkpoint, and the drained blob count equals what all ranks staged.
+///
+/// Traces without pipeline events (recorded before the pipeline existed,
+/// or with it configured away) are exempt — the invariant is about the
+/// pipeline, not about its adoption.
+fn check_pipeline(
+    attempt: u64,
+    facts: &BTreeMap<u32, RankFacts>,
+    out: &mut Vec<Violation>,
+) {
+    let has_pipeline_events = facts
+        .values()
+        .any(|f| !f.staged.is_empty() || !f.drains.is_empty());
+    if !has_pipeline_events {
+        return;
+    }
+    let Some(f0) = facts.get(&0) else { return };
+    for &(ckpt, commit_seq) in &f0.commits {
+        match f0
+            .drains
+            .iter()
+            .find(|&&(c, _, seq)| c == ckpt && seq < commit_seq)
+        {
+            None => out.push(Violation {
+                invariant: invariant::I13,
+                attempt,
+                rank: 0,
+                seq: commit_seq,
+                detail: format!(
+                    "checkpoint {ckpt} committed without draining the I/O \
+                     pipeline first"
+                ),
+            }),
+            Some(&(_, blobs, drain_seq)) => {
+                let staged: u64 = facts
+                    .values()
+                    .map(|f| f.staged.get(&ckpt).copied().unwrap_or(0))
+                    .sum();
+                if blobs != staged {
+                    out.push(Violation {
+                        invariant: invariant::I13,
+                        attempt,
+                        rank: 0,
+                        seq: drain_seq,
+                        detail: format!(
+                            "drain barrier for checkpoint {ckpt} accounted \
+                             for {blobs} blob(s) but the ranks staged \
+                             {staged}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Check a recorded trace against the protocol invariants.
 pub fn analyze(records: &[TraceRecord]) -> Report {
     let mut by_attempt: BTreeMap<u64, BTreeMap<u32, Vec<&TraceRecord>>> =
@@ -1381,6 +1474,7 @@ pub fn analyze(records: &[TraceRecord]) -> Report {
         check_initiator(attempt, nranks, &facts, &mut violations);
         join_collectives(attempt, &facts, &mut violations);
         check_commits(attempt, &facts, &mut violations);
+        check_pipeline(attempt, &facts, &mut violations);
         if let Some(f0) = facts.get(&0) {
             commits.extend(f0.commits.iter().map(|&(c, _)| c));
         }

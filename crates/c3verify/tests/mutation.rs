@@ -164,6 +164,36 @@ fn forging_an_epoch_is_detected() {
 }
 
 #[test]
+fn dropping_a_pipeline_drain_is_detected() {
+    let mut records = clean_trace();
+    let pos = records
+        .iter()
+        .position(|r| matches!(r.event, TraceEvent::PipelineDrained { .. }))
+        .expect("trace must contain a pipeline drain barrier");
+    records.remove(pos);
+    assert!(
+        flags(&records, invariant::I13),
+        "a commit without its drain barrier must violate I13"
+    );
+}
+
+#[test]
+fn undercounting_a_drain_barrier_is_detected() {
+    let mut records = clean_trace();
+    let rec = records
+        .iter_mut()
+        .find(|r| matches!(r.event, TraceEvent::PipelineDrained { .. }))
+        .expect("trace must contain a pipeline drain barrier");
+    if let TraceEvent::PipelineDrained { blobs, .. } = &mut rec.event {
+        *blobs -= 1;
+    }
+    assert!(
+        flags(&records, invariant::I13),
+        "a drain accounting for fewer blobs than staged must violate I13"
+    );
+}
+
+#[test]
 fn flipping_a_piggybacked_logging_flag_is_detected() {
     let mut records = clean_trace();
     let rec = records

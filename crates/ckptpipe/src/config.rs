@@ -1,0 +1,115 @@
+//! Pipeline tuning knobs.
+
+/// How staged blobs reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Write on the staging rank's thread. `stage` returns only after the
+    /// blob is on storage — the paper's original blocking behavior.
+    Sync,
+    /// Hand the blob to background writer threads; `stage` returns as
+    /// soon as the blob is queued, and the initiator's drain barrier is
+    /// what guarantees durability before commit.
+    Async {
+        /// Number of writer threads shared by all ranks of the job.
+        writers: usize,
+        /// Staged blobs the queue holds before `stage` applies
+        /// backpressure (blocks the staging rank).
+        queue_depth: usize,
+    },
+}
+
+/// Retry discipline for transient storage faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail immediately).
+    pub max_retries: u32,
+    /// Sleep before retry `k` is `backoff_base_ms << k`, capped at
+    /// 1024 × base.
+    pub backoff_base_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff_base_ms: 1,
+        }
+    }
+}
+
+/// Full pipeline configuration, embedded in the protocol layer's
+/// `C3Config` as its `io` field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Synchronous or background writing.
+    pub mode: WriteMode,
+    /// Write blobs as content-addressed chunk manifests, deduplicating
+    /// chunks against previously stored checkpoints (delta
+    /// checkpointing). When false, blobs are stored whole, as the paper
+    /// does.
+    pub incremental: bool,
+    /// Chunk size for incremental mode, in bytes.
+    pub chunk_size: usize,
+    /// Run-length compress chunks that shrink from it.
+    pub compression: bool,
+    /// Transient-fault retry discipline.
+    pub retry: RetryPolicy,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            mode: WriteMode::Async {
+                writers: 2,
+                queue_depth: 8,
+            },
+            incremental: true,
+            chunk_size: 4096,
+            compression: true,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The paper's original behavior: full blobs, written synchronously.
+    pub fn sync_full() -> Self {
+        PipelineConfig {
+            mode: WriteMode::Sync,
+            incremental: false,
+            compression: false,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Builder: set the write mode.
+    pub fn with_mode(mut self, mode: WriteMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder: toggle incremental (chunked, deduplicated) writing.
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
+
+    /// Builder: set the chunk size (bytes).
+    pub fn with_chunk_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "chunk size must be positive");
+        self.chunk_size = bytes;
+        self
+    }
+
+    /// Builder: toggle chunk compression.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
+    /// Builder: set the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}

@@ -1,0 +1,454 @@
+//! The checkpoint write pipeline.
+//!
+//! One [`CheckpointPipeline`] is shared by every rank of a job (it is
+//! cheaply clonable). Ranks call [`CheckpointPipeline::stage`] at
+//! `potentialCheckpoint` / `finalizeLog` time with an owned byte blob and
+//! return to computing; writer threads chunk, deduplicate, compress and
+//! store the blob with retry on transient faults. The initiator calls
+//! [`CheckpointPipeline::drain`] in phase 4 — the per-checkpoint
+//! [`WriteTicket`] barrier — before `CheckpointStore::commit`, so the
+//! two-phase commit invariant survives asynchrony: **no checkpoint is
+//! committed while any of its blobs is still in flight**, and a crash
+//! mid-write recovers from the previous committed checkpoint.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ckptstore::manifest::{ChunkRef, Manifest};
+use ckptstore::{
+    crc32, CheckpointStore, CkptId, RankBlobKind, StoreError, StoreResult,
+};
+
+use crate::config::{PipelineConfig, WriteMode};
+
+/// One staged blob write.
+struct Job {
+    ckpt: CkptId,
+    rank: usize,
+    kind: RankBlobKind,
+    bytes: Vec<u8>,
+}
+
+/// Per-checkpoint barrier state: how many staged blobs are still in
+/// flight, and the first write error if any. The initiator's
+/// [`CheckpointPipeline::drain`] waits on this before commit.
+#[derive(Default)]
+struct WriteTicket {
+    staged: u64,
+    outstanding: u64,
+    error: Option<StoreError>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Cumulative pipeline counters (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Blobs accepted by `stage`.
+    pub blobs_staged: u64,
+    /// Raw bytes accepted by `stage`.
+    pub bytes_staged: u64,
+    /// Chunks physically written to storage.
+    pub chunks_written: u64,
+    /// Chunks skipped because an identical chunk was already stored.
+    pub chunks_deduped: u64,
+    /// Raw bytes the deduplicated chunks would have cost.
+    pub bytes_deduped: u64,
+    /// Chunks stored in compressed form.
+    pub chunks_compressed: u64,
+    /// Retries performed after transient storage faults.
+    pub retries: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    blobs_staged: AtomicU64,
+    bytes_staged: AtomicU64,
+    chunks_written: AtomicU64,
+    chunks_deduped: AtomicU64,
+    bytes_deduped: AtomicU64,
+    chunks_compressed: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// Chunk addresses `(crc32, len)` in the manifest most recently written
+/// for one `(rank, kind)` stream: the fast-path dedup set.
+type PrevChunkSets = HashMap<(usize, u8), HashSet<(u32, u32)>>;
+
+struct Shared {
+    store: CheckpointStore,
+    cfg: PipelineConfig,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    tickets: Mutex<HashMap<CkptId, WriteTicket>>,
+    drained: Condvar,
+    // Dedup misses fall back to `CheckpointStore::has_chunk`, which also
+    // catches chunks written by earlier job attempts.
+    prev_chunks: Mutex<PrevChunkSets>,
+    stats: StatCells,
+}
+
+/// Joins the writer threads when the last pipeline clone drops, after
+/// processing everything still queued (staged blobs are never silently
+/// discarded — an uncommitted checkpoint's blobs are garbage-collected by
+/// the store, not by losing writes).
+struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Handle to the job-wide checkpoint write pipeline. Clones share state;
+/// each rank thread and the initiator hold one.
+#[derive(Clone)]
+pub struct CheckpointPipeline {
+    shared: Arc<Shared>,
+    pool: Arc<WorkerPool>,
+}
+
+impl CheckpointPipeline {
+    /// Create a pipeline over `store`, spawning writer threads when the
+    /// mode is asynchronous.
+    pub fn new(store: CheckpointStore, cfg: PipelineConfig) -> Self {
+        let shared = Arc::new(Shared {
+            store,
+            cfg,
+            queue: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            tickets: Mutex::new(HashMap::new()),
+            drained: Condvar::new(),
+            prev_chunks: Mutex::new(HashMap::new()),
+            stats: StatCells::default(),
+        });
+        let mut handles = Vec::new();
+        if let WriteMode::Async { writers, .. } = shared.cfg.mode {
+            for _ in 0..writers.max(1) {
+                let shared = Arc::clone(&shared);
+                handles.push(std::thread::spawn(move || worker_loop(&shared)));
+            }
+        }
+        CheckpointPipeline {
+            pool: Arc::new(WorkerPool {
+                shared: Arc::clone(&shared),
+                handles: Mutex::new(handles),
+            }),
+            shared,
+        }
+    }
+
+    /// The store this pipeline writes through.
+    pub fn store(&self) -> &CheckpointStore {
+        &self.shared.store
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.shared.cfg
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> PipelineStats {
+        let s = &self.shared.stats;
+        PipelineStats {
+            blobs_staged: s.blobs_staged.load(Ordering::Relaxed),
+            bytes_staged: s.bytes_staged.load(Ordering::Relaxed),
+            chunks_written: s.chunks_written.load(Ordering::Relaxed),
+            chunks_deduped: s.chunks_deduped.load(Ordering::Relaxed),
+            bytes_deduped: s.bytes_deduped.load(Ordering::Relaxed),
+            chunks_compressed: s.chunks_compressed.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stage one rank blob of checkpoint `ckpt` for writing.
+    ///
+    /// Sync mode writes on the calling thread and returns the result.
+    /// Async mode enqueues (blocking only when the queue is full) and
+    /// returns immediately; write errors surface at [`Self::drain`].
+    pub fn stage(
+        &self,
+        ckpt: CkptId,
+        rank: usize,
+        kind: RankBlobKind,
+        bytes: Vec<u8>,
+    ) -> StoreResult<()> {
+        let shared = &self.shared;
+        shared.stats.blobs_staged.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .bytes_staged
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        {
+            let mut tickets = shared.tickets.lock().unwrap();
+            let t = tickets.entry(ckpt).or_default();
+            t.staged += 1;
+            t.outstanding += 1;
+        }
+        let job = Job {
+            ckpt,
+            rank,
+            kind,
+            bytes,
+        };
+        match shared.cfg.mode {
+            WriteMode::Sync => {
+                // The ticket is updated either way so drain sees sync and
+                // async writes identically; the caller additionally gets
+                // the error directly (in sync mode the write *is* on the
+                // rank's critical path).
+                match shared.write_blob(&job) {
+                    Ok(()) => {
+                        shared.complete_job(ckpt, Ok(()));
+                        Ok(())
+                    }
+                    Err(e) => {
+                        shared.complete_job(ckpt, Err(clone_error(&e)));
+                        Err(e)
+                    }
+                }
+            }
+            WriteMode::Async { queue_depth, .. } => {
+                let mut q = shared.queue.lock().unwrap();
+                while q.jobs.len() >= queue_depth.max(1) && !q.shutdown {
+                    q = shared.not_full.wait(q).unwrap();
+                }
+                if q.shutdown {
+                    drop(q);
+                    shared.complete_job(
+                        ckpt,
+                        Err(StoreError::Commit(
+                            "checkpoint pipeline is shut down".into(),
+                        )),
+                    );
+                    return Err(StoreError::Commit(
+                        "checkpoint pipeline is shut down".into(),
+                    ));
+                }
+                q.jobs.push_back(job);
+                drop(q);
+                shared.not_empty.notify_one();
+                Ok(())
+            }
+        }
+    }
+
+    /// The drain barrier: block until every blob staged for `ckpt` — by
+    /// any rank — has reached storage, then retire the ticket. Returns
+    /// the number of blobs drained; propagates the first write error (a
+    /// transient fault that exhausted its retries, or a permanent one),
+    /// in which case the initiator must not commit `ckpt`.
+    pub fn drain(&self, ckpt: CkptId) -> StoreResult<u64> {
+        let mut tickets = self.shared.tickets.lock().unwrap();
+        loop {
+            let t = tickets.entry(ckpt).or_default();
+            if let Some(err) = t.error.take() {
+                tickets.remove(&ckpt);
+                return Err(err);
+            }
+            if t.outstanding == 0 {
+                let staged = t.staged;
+                tickets.remove(&ckpt);
+                return Ok(staged);
+            }
+            tickets = self.shared.drained.wait(tickets).unwrap();
+        }
+    }
+
+    /// Shut the pipeline down explicitly: finish every queued write and
+    /// join the writer threads. Also happens automatically when the last
+    /// clone drops.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    shared.not_full.notify_all();
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.not_empty.wait(q).unwrap();
+            }
+        };
+        match job {
+            Some(job) => {
+                let result = shared.write_blob(&job);
+                shared.complete_job(job.ckpt, result);
+            }
+            None => return,
+        }
+    }
+}
+
+impl Shared {
+    fn complete_job(&self, ckpt: CkptId, result: StoreResult<()>) {
+        let mut tickets = self.tickets.lock().unwrap();
+        let t = tickets.entry(ckpt).or_default();
+        t.outstanding -= 1;
+        if let Err(err) = result {
+            if t.error.is_none() {
+                t.error = Some(err);
+            }
+        }
+        drop(tickets);
+        self.drained.notify_all();
+    }
+
+    fn write_blob(&self, job: &Job) -> StoreResult<()> {
+        if !self.cfg.incremental {
+            return self.retrying(|| {
+                self.store
+                    .put_rank_blob(job.ckpt, job.rank, job.kind, &job.bytes)
+            });
+        }
+        let mut manifest = Manifest::for_blob(&job.bytes);
+        let dedup_slot = (job.rank, kind_tag(job.kind));
+        let prev: HashSet<(u32, u32)> = self
+            .prev_chunks
+            .lock()
+            .unwrap()
+            .get(&dedup_slot)
+            .cloned()
+            .unwrap_or_default();
+        for piece in job.bytes.chunks(self.cfg.chunk_size.max(1)) {
+            let mut chunk = ChunkRef {
+                crc: crc32(piece),
+                len: piece.len() as u32,
+                stored_len: piece.len() as u32,
+                compressed: false,
+            };
+            let known = prev.contains(&(chunk.crc, chunk.len))
+                || self.store.has_chunk(&chunk)?;
+            if known {
+                self.stats.chunks_deduped.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_deduped
+                    .fetch_add(piece.len() as u64, Ordering::Relaxed);
+                // The stored form of a deduplicated chunk is whatever the
+                // first writer chose; record the raw address only. Reads
+                // locate chunks by (crc, len), so the stored_len and
+                // compressed fields just need to match that first write —
+                // recompute them the same deterministic way.
+                let (stored, compressed) = self.stored_form(piece);
+                chunk.stored_len = stored.len() as u32;
+                chunk.compressed = compressed;
+            } else {
+                let (stored, compressed) = self.stored_form(piece);
+                chunk.stored_len = stored.len() as u32;
+                chunk.compressed = compressed;
+                self.retrying(|| self.store.put_chunk(&chunk, &stored))?;
+                self.stats.chunks_written.fetch_add(1, Ordering::Relaxed);
+                if compressed {
+                    self.stats
+                        .chunks_compressed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            manifest.chunks.push(chunk);
+        }
+        self.retrying(|| {
+            self.store
+                .put_rank_manifest(job.ckpt, job.rank, job.kind, &manifest)
+        })?;
+        self.prev_chunks.lock().unwrap().insert(
+            dedup_slot,
+            manifest.chunks.iter().map(|c| (c.crc, c.len)).collect(),
+        );
+        Ok(())
+    }
+
+    /// Deterministic stored representation of a chunk: compressed iff
+    /// compression is enabled and actually shrinks it.
+    fn stored_form(&self, piece: &[u8]) -> (Vec<u8>, bool) {
+        if self.cfg.compression {
+            let enc = ckptstore::compress::compress(piece);
+            if enc.len() < piece.len() {
+                return (enc, true);
+            }
+        }
+        (piece.to_vec(), false)
+    }
+
+    fn retrying<T>(&self, op: impl Fn() -> StoreResult<T>) -> StoreResult<T> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e)
+                    if e.is_transient()
+                        && attempt < self.cfg.retry.max_retries =>
+                {
+                    let delay = self
+                        .cfg
+                        .retry
+                        .backoff_base_ms
+                        .saturating_mul(1u64 << attempt.min(10));
+                    attempt += 1;
+                    self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        delay,
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn kind_tag(kind: RankBlobKind) -> u8 {
+    match kind {
+        RankBlobKind::State => 0,
+        RankBlobKind::Log => 1,
+        RankBlobKind::MpiObjects => 2,
+    }
+}
+
+// `StoreError` is not `Clone` (it can wrap `std::io::Error`); sync-mode
+// staging needs the outcome both on the ticket and in the caller's hands.
+fn clone_error(e: &StoreError) -> StoreError {
+    match e {
+        StoreError::Missing(k) => StoreError::Missing(k.clone()),
+        StoreError::Corrupt { key, detail } => StoreError::Corrupt {
+            key: key.clone(),
+            detail: detail.clone(),
+        },
+        StoreError::Io(io) => {
+            StoreError::Io(std::io::Error::new(io.kind(), io.to_string()))
+        }
+        StoreError::Commit(m) => StoreError::Commit(m.clone()),
+        StoreError::Transient(m) => StoreError::Transient(m.clone()),
+    }
+}

@@ -1,0 +1,162 @@
+//! Byte-run compression for checkpoint chunks.
+//!
+//! Checkpoint state in the paper's applications is dominated by numeric
+//! arrays whose untouched regions are long runs of identical bytes (zero
+//! pages, constant boundary strips). A PackBits-style run-length encoding
+//! captures most of that redundancy at memcpy-like speed and with no
+//! dependencies, which is what the chunk writer needs: compression there is
+//! opportunistic — a chunk is stored compressed only when the encoding is
+//! actually smaller (see [`crate::manifest::ChunkRef::compressed`]).
+//!
+//! Format (per control byte `h`):
+//! * `0..=127` — copy the next `h + 1` bytes literally,
+//! * `129..=255` — repeat the next byte `257 - h` times (runs of 2..=128),
+//! * `128` — reserved, never produced; decode rejects it.
+
+/// Run-length encode `data`. The output is only useful if it is smaller
+/// than the input; callers compare lengths and keep the raw bytes
+/// otherwise.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 8);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1;
+        while run < 128 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push((257 - run) as u8);
+            out.push(b);
+            i += run;
+        } else {
+            // Literal segment: up to 128 bytes, stopping where a run of at
+            // least 3 begins (that run compresses better as a repeat).
+            let start = i;
+            let mut j = i;
+            while j < data.len() && j - start < 128 {
+                if j + 2 < data.len()
+                    && data[j] == data[j + 1]
+                    && data[j] == data[j + 2]
+                {
+                    break;
+                }
+                j += 1;
+            }
+            out.push((j - start - 1) as u8);
+            out.extend_from_slice(&data[start..j]);
+            i = j;
+        }
+    }
+    out
+}
+
+/// Decode a [`compress`] stream, validating that it expands to exactly
+/// `expected_len` bytes. `None` means the stream is malformed or the
+/// length disagrees — recovery treats that as blob corruption.
+pub fn decompress(data: &[u8], expected_len: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0;
+    while i < data.len() {
+        let h = data[i];
+        i += 1;
+        match h {
+            0..=127 => {
+                let n = h as usize + 1;
+                if i + n > data.len() {
+                    return None;
+                }
+                out.extend_from_slice(&data[i..i + n]);
+                i += n;
+            }
+            128 => return None,
+            129..=255 => {
+                let n = 257 - h as usize;
+                let b = *data.get(i)?;
+                i += 1;
+                out.resize(out.len() + n, b);
+            }
+        }
+        if out.len() > expected_len {
+            return None;
+        }
+    }
+    (out.len() == expected_len).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let enc = compress(data);
+        assert_eq!(
+            decompress(&enc, data.len()).as_deref(),
+            Some(data),
+            "round trip failed for {} bytes",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"aaa");
+        round_trip(&[0u8; 4096]);
+        round_trip(&[1, 1, 2, 2, 2, 3, 3, 3, 3, 0, 0]);
+        let mixed: Vec<u8> = (0..2000)
+            .map(|i| if i % 7 < 4 { 0 } else { i as u8 })
+            .collect();
+        round_trip(&mixed);
+        // Worst case: no runs at all.
+        let noisy: Vec<u8> = (0..1000u32)
+            .map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8)
+            .collect();
+        round_trip(&noisy);
+    }
+
+    #[test]
+    fn zero_pages_shrink_dramatically() {
+        let data = vec![0u8; 64 * 1024];
+        let enc = compress(&data);
+        assert!(enc.len() < data.len() / 50, "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn long_runs_cross_the_128_limit() {
+        for n in [127, 128, 129, 255, 256, 257, 1000] {
+            round_trip(&vec![7u8; n]);
+        }
+    }
+
+    #[test]
+    fn malformed_streams_are_rejected() {
+        // Truncated literal.
+        assert!(decompress(&[5, 1, 2], 6).is_none());
+        // Reserved control byte.
+        assert!(decompress(&[128], 0).is_none());
+        // Repeat with missing byte.
+        assert!(decompress(&[250], 7).is_none());
+        // Length mismatch.
+        let enc = compress(b"hello world");
+        assert!(decompress(&enc, 10).is_none());
+        assert!(decompress(&enc, 12).is_none());
+    }
+
+    #[test]
+    fn proptest_round_trip() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC3C3);
+        for _ in 0..50 {
+            let len = rng.random_range(0..3000usize);
+            let palette = rng.random_range(1..5u32);
+            let data: Vec<u8> = (0..len)
+                .map(|_| (rng.random_range(0..(palette * 64)) % 256) as u8)
+                .collect();
+            round_trip(&data);
+        }
+    }
+}

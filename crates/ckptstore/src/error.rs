@@ -19,6 +19,21 @@ pub enum StoreError {
     /// An operation violated commit discipline, e.g. committing a checkpoint
     /// with missing rank blobs or re-committing an existing checkpoint.
     Commit(String),
+    /// A transient storage fault: the operation failed but may succeed if
+    /// retried (injected by [`crate::fault::FaultInjectingBackend`], or a
+    /// real backend reporting a retryable condition). The write pipeline
+    /// retries these with backoff; all other errors are permanent.
+    Transient(String),
+}
+
+impl StoreError {
+    /// True if retrying the failed operation may succeed. I/O errors are
+    /// treated as retryable too — on real storage a full or flaky device is
+    /// the common transient case, and a persistent failure simply exhausts
+    /// the retry budget.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Transient(_) | StoreError::Io(_))
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -30,6 +45,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
             StoreError::Commit(msg) => write!(f, "commit violation: {msg}"),
+            StoreError::Transient(msg) => {
+                write!(f, "transient storage fault: {msg}")
+            }
         }
     }
 }

@@ -1,0 +1,228 @@
+//! Deterministic fault injection at the storage layer.
+//!
+//! [`FaultInjectingBackend`] wraps any [`StorageBackend`] and makes its
+//! `put` path misbehave according to a seeded, reproducible
+//! [`FaultPlan`]: fail the first N puts, fail the first put to each
+//! distinct key ("fail-once"), fail a seeded random fraction of puts, or
+//! delay every put (slow storage). Injected failures surface as
+//! [`StoreError::Transient`], which the write pipeline retries with
+//! backoff — so tests can prove that a checkpoint survives flaky storage,
+//! and that commit never happens before every retried write has landed.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::StorageBackend;
+use crate::error::{StoreError, StoreResult};
+
+/// A reproducible plan of storage misbehavior. Compose with the builder
+/// methods; the default plan injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail this many `put` calls before any succeeds.
+    pub fail_first_puts: u64,
+    /// Fail the first `put` to every distinct key.
+    pub fail_each_key_once: bool,
+    /// Fail each `put` with this probability (seeded, deterministic).
+    pub fail_put_probability: f64,
+    /// Seed for the probability draw.
+    pub seed: u64,
+    /// Sleep this long before every `put` (simulated slow storage).
+    pub slow_put_ms: u64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fail the first `n` puts.
+    pub fn fail_n(mut self, n: u64) -> Self {
+        self.fail_first_puts = n;
+        self
+    }
+
+    /// Fail the first put to each distinct key.
+    pub fn fail_key_once(mut self) -> Self {
+        self.fail_each_key_once = true;
+        self
+    }
+
+    /// Fail puts with probability `p`, reproducibly from `seed`.
+    pub fn random(mut self, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.fail_put_probability = p;
+        self.seed = seed;
+        self
+    }
+
+    /// Delay every put by `ms` milliseconds.
+    pub fn slow_ms(mut self, ms: u64) -> Self {
+        self.slow_put_ms = ms;
+        self
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`StorageBackend`] decorator that injects deterministic put faults.
+pub struct FaultInjectingBackend {
+    inner: Arc<dyn StorageBackend>,
+    plan: FaultPlan,
+    puts: AtomicU64,
+    injected: AtomicU64,
+    seen_keys: Mutex<HashSet<String>>,
+    rng: Mutex<u64>,
+}
+
+impl FaultInjectingBackend {
+    /// Wrap `inner` with the given plan.
+    pub fn new(inner: Arc<dyn StorageBackend>, plan: FaultPlan) -> Self {
+        let seed = plan.seed;
+        FaultInjectingBackend {
+            inner,
+            plan,
+            puts: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            seen_keys: Mutex::new(HashSet::new()),
+            rng: Mutex::new(seed),
+        }
+    }
+
+    /// Number of faults injected so far — tests assert this is nonzero to
+    /// prove the schedule actually exercised the retry path.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total `put` attempts observed (including failed ones).
+    pub fn put_attempts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self, key: &str) -> bool {
+        let n = self.puts.fetch_add(1, Ordering::Relaxed);
+        if n < self.plan.fail_first_puts {
+            return true;
+        }
+        if self.plan.fail_each_key_once
+            && self.seen_keys.lock().insert(key.to_owned())
+        {
+            return true;
+        }
+        if self.plan.fail_put_probability > 0.0 {
+            let draw = splitmix64(&mut self.rng.lock());
+            // Map the top 53 bits to [0, 1).
+            let u = (draw >> 11) as f64 / (1u64 << 53) as f64;
+            if u < self.plan.fail_put_probability {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl StorageBackend for FaultInjectingBackend {
+    fn put(&self, key: &str, value: &[u8]) -> StoreResult<()> {
+        if self.plan.slow_put_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.plan.slow_put_ms,
+            ));
+        }
+        if self.should_fail(key) {
+            let k = self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Transient(format!(
+                "injected fault #{k} on put of {key}"
+            )));
+        }
+        self.inner.put(key, value)
+    }
+
+    fn get(&self, key: &str) -> StoreResult<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    fn contains(&self, key: &str) -> StoreResult<bool> {
+        self.inner.contains(key)
+    }
+
+    fn delete(&self, key: &str) -> StoreResult<()> {
+        self.inner.delete(key)
+    }
+
+    fn list(&self, prefix: &str) -> StoreResult<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+
+    fn wrapped(plan: FaultPlan) -> FaultInjectingBackend {
+        FaultInjectingBackend::new(Arc::new(MemoryBackend::new()), plan)
+    }
+
+    #[test]
+    fn fail_n_fails_exactly_n_puts() {
+        let b = wrapped(FaultPlan::none().fail_n(2));
+        assert!(b.put("k1", b"x").unwrap_err().is_transient());
+        assert!(b.put("k1", b"x").unwrap_err().is_transient());
+        b.put("k1", b"x").unwrap();
+        b.put("k2", b"y").unwrap();
+        assert_eq!(b.faults_injected(), 2);
+        assert_eq!(b.get("k1").unwrap(), b"x");
+    }
+
+    #[test]
+    fn fail_key_once_fails_first_put_per_key() {
+        let b = wrapped(FaultPlan::none().fail_key_once());
+        assert!(b.put("a", b"1").is_err());
+        b.put("a", b"1").unwrap();
+        b.put("a", b"2").unwrap();
+        assert!(b.put("b", b"1").is_err());
+        b.put("b", b"1").unwrap();
+        assert_eq!(b.faults_injected(), 2);
+    }
+
+    #[test]
+    fn random_faults_are_reproducible() {
+        let outcomes = |seed| {
+            let b = wrapped(FaultPlan::none().random(0.5, seed));
+            (0..64)
+                .map(|i| b.put(&format!("k{i}"), b"v").is_err())
+                .collect::<Vec<_>>()
+        };
+        let a = outcomes(7);
+        assert_eq!(a, outcomes(7), "same seed, same faults");
+        assert_ne!(a, outcomes(8), "different seed, different faults");
+        let fails = a.iter().filter(|&&f| f).count();
+        assert!((10..55).contains(&fails), "p=0.5 gave {fails}/64");
+    }
+
+    #[test]
+    fn reads_and_deletes_pass_through() {
+        let b = wrapped(FaultPlan::none().fail_n(1));
+        assert!(b.put("k", b"v").is_err());
+        b.put("k", b"v").unwrap();
+        assert!(b.contains("k").unwrap());
+        assert_eq!(b.list("").unwrap(), vec!["k"]);
+        b.delete("k").unwrap();
+        assert!(!b.contains("k").unwrap());
+    }
+}

@@ -24,17 +24,29 @@
 //!   separate `COMMIT` record marks the checkpoint recoverable. Recovery
 //!   always reads the **latest committed** checkpoint; partially written
 //!   checkpoints are invisible and garbage-collectible.
+//! * [`manifest`] — content-addressed chunk manifests for incremental
+//!   checkpoints written by the `ckptpipe` I/O pipeline; GC refcounts
+//!   chunks through these.
+//! * [`compress`] — dependency-free run-length chunk compression.
+//! * [`fault`] — [`fault::FaultInjectingBackend`], a deterministic seeded
+//!   fault-injection decorator (fail-once, fail-N, random, slow-put) used
+//!   to prove the retry and drain-before-commit machinery.
 
 #![deny(missing_docs)]
 
 pub mod backend;
 pub mod codec;
+pub mod compress;
 pub mod error;
+pub mod fault;
 pub mod integrity;
+pub mod manifest;
 pub mod store;
 
 pub use backend::{DiskBackend, MemoryBackend, StorageBackend};
 pub use codec::{Decoder, Encoder, SaveLoad};
 pub use error::{StoreError, StoreResult};
+pub use fault::{FaultInjectingBackend, FaultPlan};
 pub use integrity::{crc32, seal, unseal};
+pub use manifest::{chunk_key, ChunkRef, Manifest};
 pub use store::{CheckpointStore, CkptId, RankBlobKind};

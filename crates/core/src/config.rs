@@ -132,6 +132,13 @@ pub struct C3Config {
     /// Optional protocol-event trace sink (see [`crate::trace`]). Every
     /// rank of every attempt appends its events; `None` disables tracing.
     pub trace: Option<crate::trace::TraceSink>,
+    /// Checkpoint I/O pipeline knobs: sync/async staging, writer count,
+    /// incremental (chunked + deduplicated) vs full blobs, chunk size,
+    /// compression, and transient-fault retry (see `ckptpipe`). The
+    /// default is asynchronous incremental writing; use
+    /// [`ckptpipe::PipelineConfig::sync_full`] for the paper's original
+    /// blocking full-snapshot behavior.
+    pub io: ckptpipe::PipelineConfig,
 }
 
 impl Default for C3Config {
@@ -144,6 +151,7 @@ impl Default for C3Config {
             detection_latency_ms: 2,
             max_restarts: 16,
             trace: None,
+            io: ckptpipe::PipelineConfig::default(),
         }
     }
 }
@@ -175,6 +183,12 @@ impl C3Config {
     /// Install a protocol-event trace sink.
     pub fn with_trace(mut self, sink: crate::trace::TraceSink) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Set the checkpoint I/O pipeline configuration.
+    pub fn with_io(mut self, io: ckptpipe::PipelineConfig) -> Self {
+        self.io = io;
         self
     }
 }

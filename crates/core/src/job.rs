@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ckptpipe::CheckpointPipeline;
 use ckptstore::{CheckpointStore, MemoryBackend, StorageBackend};
 use simmpi::{JobControl, MpiError, World};
 use statesave::snapshot::SaveState;
@@ -130,6 +131,15 @@ pub fn run_job<A: C3App>(
             Duration::from_millis(cfg.detection_latency_ms),
         );
 
+        // One I/O pipeline per attempt, shared by every rank. A killed
+        // attempt may leave writes for an uncommitted checkpoint in
+        // flight; the end-of-attempt shutdown finishes them (they are
+        // harmless — recovery only reads committed checkpoints) so the
+        // next attempt starts with a quiescent store.
+        let pipeline = store
+            .clone()
+            .map(|s| CheckpointPipeline::new(s, cfg.io.clone()));
+
         type Inner<O> = C3Result<(O, ProcStats)>;
         let results: Vec<Result<Inner<A::Output>, MpiError>> =
             World::run_collect(nprocs, control.clone(), |mpi| {
@@ -137,7 +147,7 @@ pub fn run_job<A: C3App>(
                     let mut p = Process::new(
                         mpi,
                         cfg.clone(),
-                        store.clone(),
+                        pipeline.clone(),
                         attempt as u64,
                         recover,
                     )?;
@@ -166,6 +176,9 @@ pub fn run_job<A: C3App>(
                 }
             });
         detector.stop();
+        if let Some(p) = &pipeline {
+            p.shutdown();
+        }
 
         // Genuine errors dominate: report the first one.
         let mut rollback = false;

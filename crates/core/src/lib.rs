@@ -92,5 +92,8 @@ pub use process::{C3Request, ProcStats, Process};
 pub use trace::{TraceEvent, TraceRecord, TraceSink};
 
 // Re-exports applications typically need alongside the protocol layer.
+pub use ckptpipe::{
+    CheckpointPipeline, PipelineConfig, PipelineStats, RetryPolicy, WriteMode,
+};
 pub use simmpi::{DType, ReduceOp, ANY_SOURCE, ANY_TAG};
 pub use statesave::snapshot::SaveState;

@@ -25,6 +25,7 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
+use ckptpipe::CheckpointPipeline;
 use ckptstore::codec::{Decoder, Encoder};
 use ckptstore::{CheckpointStore, RankBlobKind, SaveLoad};
 use simmpi::{Comm, Mpi, MpiError, RecvMsg, ANY_SOURCE, ANY_TAG};
@@ -97,6 +98,10 @@ struct CommPair {
 pub struct Process<'a> {
     mpi: &'a mut Mpi,
     cfg: C3Config,
+    /// Checkpoint I/O pipeline; rank blobs are staged here and made
+    /// durable by [`CheckpointPipeline::drain`] before the initiator
+    /// commits. The store below is the same one the pipeline writes to.
+    pipeline: Option<CheckpointPipeline>,
     store: Option<CheckpointStore>,
     comms: Vec<CommPair>,
 
@@ -154,17 +159,19 @@ impl<'a> Process<'a> {
     pub fn new(
         mpi: &'a mut Mpi,
         cfg: C3Config,
-        store: Option<CheckpointStore>,
+        pipeline: Option<CheckpointPipeline>,
         attempt: u64,
         recover_from: Option<u64>,
     ) -> C3Result<Self> {
         let n = mpi.size();
         let rank = mpi.rank();
-        if cfg.level.checkpoints() && store.is_none() {
+        if cfg.level.checkpoints() && pipeline.is_none() {
             return Err(C3Error::Protocol(
-                "checkpointing instrumentation requires a store".into(),
+                "checkpointing instrumentation requires an I/O pipeline"
+                    .into(),
             ));
         }
+        let store = pipeline.as_ref().map(|p| p.store().clone());
         let world = mpi.world();
         let ctrl = if cfg.level.piggybacks() {
             mpi.comm_dup(&world)?
@@ -184,6 +191,7 @@ impl<'a> Process<'a> {
         let mut p = Process {
             mpi,
             cfg,
+            pipeline,
             store,
             comms: vec![CommPair { app: world, ctrl }],
             epoch: 0,
@@ -485,10 +493,21 @@ impl<'a> Process<'a> {
                 }
             }
             Action::Commit { ckpt } => {
+                // Phase 4: every rank's stoppedLogging has been observed,
+                // so all of checkpoint `ckpt`'s blobs are staged. Drain
+                // the I/O pipeline — blocking until the background
+                // writers have made them durable (and surfacing any write
+                // error) — before the commit marker is written.
+                let blobs = self
+                    .pipeline
+                    .as_ref()
+                    .expect("initiator has pipeline")
+                    .drain(ckpt)?;
                 self.trace_event(TraceEvent::InitiatorPhase {
                     phase: phase_code::IDLE,
                     ckpt,
                 });
+                self.trace_event(TraceEvent::PipelineDrained { ckpt, blobs });
                 self.trace_event(TraceEvent::Commit { ckpt });
                 let store = self.store.as_ref().expect("initiator has store");
                 store.commit(ckpt)?;
@@ -1029,6 +1048,27 @@ impl<'a> Process<'a> {
         self.take_local_checkpoint(state)
     }
 
+    /// Hand one rank blob to the checkpoint I/O pipeline. In async mode
+    /// this returns as soon as the blob is queued; durability is
+    /// established by the initiator's phase-4 drain before commit.
+    fn stage_blob(
+        &mut self,
+        ckpt: u64,
+        kind: RankBlobKind,
+        bytes: Vec<u8>,
+    ) -> C3Result<()> {
+        let rank = self.mpi.rank();
+        self.pipeline
+            .as_ref()
+            .expect("checkpoints need a pipeline")
+            .stage(ckpt, rank, kind, bytes)?;
+        self.trace_event(TraceEvent::BlobStaged {
+            ckpt,
+            kind: blob_kind_tag(kind),
+        });
+        Ok(())
+    }
+
     fn take_local_checkpoint<S: SaveState>(
         &mut self,
         state: &S,
@@ -1040,11 +1080,12 @@ impl<'a> Process<'a> {
              gate should prevent this"
         );
         let ckpt = u64::from(self.epoch) + 1;
-        let store = self.store.as_ref().expect("checkpoints need a store");
         let rank = self.mpi.rank();
 
-        // 1. Persist the local snapshot: application state (level Full),
-        //    early-message ids, pending-request pseudo-handles.
+        // 1. Stage the local snapshot with the I/O pipeline: application
+        //    state (level Full), early-message ids, pending-request
+        //    pseudo-handles. The writes become durable before the
+        //    initiator's commit (phase 4 drains the pipeline).
         let app_state = if self.cfg.level.saves_app_state() {
             snapshot_to_bytes(state)
         } else {
@@ -1059,22 +1100,12 @@ impl<'a> Process<'a> {
         };
         let mut enc = Encoder::new();
         rc.save(&mut enc);
-        store.put_rank_blob(
-            ckpt,
-            rank,
-            RankBlobKind::State,
-            &enc.into_bytes(),
-        )?;
+        self.stage_blob(ckpt, RankBlobKind::State, enc.into_bytes())?;
 
         // Persistent-object journal (MPI library state, Section 5.2).
         let mut enc = Encoder::new();
         self.journal.save(&mut enc);
-        store.put_rank_blob(
-            ckpt,
-            rank,
-            RankBlobKind::MpiObjects,
-            &enc.into_bytes(),
-        )?;
+        self.stage_blob(ckpt, RankBlobKind::MpiObjects, enc.into_bytes())?;
 
         // 2. Enter the new epoch (Figure 4's bookkeeping).
         self.epoch += 1;
@@ -1118,15 +1149,9 @@ impl<'a> Process<'a> {
     fn finalize_log(&mut self) -> C3Result<()> {
         debug_assert!(self.am_logging);
         let ckpt = u64::from(self.epoch);
-        let store = self.store.as_ref().expect("logging implies a store");
         let mut enc = Encoder::new();
         self.log.save(&mut enc);
-        store.put_rank_blob(
-            ckpt,
-            self.mpi.rank(),
-            RankBlobKind::Log,
-            &enc.into_bytes(),
-        )?;
+        self.stage_blob(ckpt, RankBlobKind::Log, enc.into_bytes())?;
         self.trace_event(TraceEvent::LogFinalized {
             ckpt,
             late: self.log.late.len() as u64,
@@ -1304,5 +1329,15 @@ impl<'a> Process<'a> {
             }
         }
         Ok(())
+    }
+}
+
+/// Wire tag for [`TraceEvent::BlobStaged`]'s `kind` byte: 0 = state,
+/// 1 = log, 2 = MPI objects.
+fn blob_kind_tag(kind: RankBlobKind) -> u8 {
+    match kind {
+        RankBlobKind::State => 0,
+        RankBlobKind::Log => 1,
+        RankBlobKind::MpiObjects => 2,
     }
 }

@@ -262,6 +262,25 @@ pub enum TraceEvent {
         /// The rank's protocol-operation count at the failure.
         op: u64,
     },
+    /// A checkpoint blob was handed to the write pipeline (synchronous or
+    /// asynchronous). Staging happens on the rank's critical path; the
+    /// write itself may complete much later.
+    BlobStaged {
+        /// Checkpoint the blob belongs to.
+        ckpt: u64,
+        /// Blob kind: 0 = state, 1 = log, 2 = MPI objects.
+        kind: u8,
+    },
+    /// The initiator's drain barrier returned: every blob staged for
+    /// `ckpt` — by any rank — is on stable storage. Emitted immediately
+    /// before [`TraceEvent::Commit`]; the analyzer checks that ordering
+    /// and that `blobs` covers all ranks' staged blobs.
+    PipelineDrained {
+        /// The checkpoint about to be committed.
+        ckpt: u64,
+        /// Number of blobs the barrier accounted for.
+        blobs: u64,
+    },
 }
 
 fn class_code(c: MsgClass) -> u8 {
@@ -440,6 +459,16 @@ impl TraceEvent {
                 enc.put_u8(17);
                 enc.put_u64(*op);
             }
+            TraceEvent::BlobStaged { ckpt, kind } => {
+                enc.put_u8(18);
+                enc.put_u64(*ckpt);
+                enc.put_u8(*kind);
+            }
+            TraceEvent::PipelineDrained { ckpt, blobs } => {
+                enc.put_u8(19);
+                enc.put_u64(*ckpt);
+                enc.put_u64(*blobs);
+            }
         }
     }
 
@@ -535,6 +564,14 @@ impl TraceEvent {
             },
             16 => TraceEvent::RecoveryComplete,
             17 => TraceEvent::FailStop { op: dec.get_u64()? },
+            18 => TraceEvent::BlobStaged {
+                ckpt: dec.get_u64()?,
+                kind: dec.get_u8()?,
+            },
+            19 => TraceEvent::PipelineDrained {
+                ckpt: dec.get_u64()?,
+                blobs: dec.get_u64()?,
+            },
             k => {
                 return Err(CodecError::new(format!(
                     "unknown trace event kind {k}"
@@ -765,6 +802,8 @@ mod tests {
             TraceEvent::SuppressRecv { src: 2, count: 0 },
             TraceEvent::RecoveryComplete,
             TraceEvent::FailStop { op: 99 },
+            TraceEvent::BlobStaged { ckpt: 4, kind: 0 },
+            TraceEvent::PipelineDrained { ckpt: 4, blobs: 6 },
         ]
     }
 

@@ -359,8 +359,15 @@ fn corrupt_committed_checkpoint_fails_loudly_not_wrongly() {
     let store =
         CheckpointStore::new(backend.clone() as Arc<dyn StorageBackend>, 2);
     let latest = store.latest_committed().unwrap().unwrap();
-    // Corrupt rank 0's state blob of the committed checkpoint.
-    let key = format!("ckpt/{latest:08}/rank0/state");
+    // Corrupt rank 0's state blob of the committed checkpoint. Under the
+    // default incremental pipeline the blob is a chunk manifest (`.m`);
+    // with a sync/full config it is the raw sealed blob.
+    let raw_key = format!("ckpt/{latest:08}/rank0/state");
+    let key = if backend.contains(&raw_key).unwrap() {
+        raw_key
+    } else {
+        format!("ckpt/{latest:08}/rank0/state.m")
+    };
     let mut raw = backend.get(&key).unwrap();
     let mid = raw.len() / 2;
     raw[mid] ^= 0xFF;

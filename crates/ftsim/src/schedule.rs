@@ -51,6 +51,29 @@ impl FailureSchedule {
         FailureSchedule { injections }
     }
 
+    /// A failure aimed at the asynchronous checkpoint-write window.
+    ///
+    /// With a checkpoint initiated every `interval` protocol operations,
+    /// round `round`'s blobs are staged shortly after op
+    /// `round * interval` and written by the pipeline's background
+    /// threads while the application keeps running. The returned schedule
+    /// kills one seeded-random rank a few ops into that window — while
+    /// the round's writes may still be in flight — so recovery must come
+    /// from the *previous committed* checkpoint, never from the
+    /// half-written one.
+    pub fn kill_during_async_write(
+        seed: u64,
+        nranks: usize,
+        interval: u64,
+        round: u64,
+    ) -> Self {
+        assert!(nranks > 0 && interval > 1 && round > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rank = rng.random_range(0..nranks);
+        let offset = rng.random_range(1..interval / 2 + 2);
+        FailureSchedule::single(rank, round * interval + offset)
+    }
+
     /// Geometric inter-failure gaps with the given expected spacing in
     /// protocol operations — a discrete stand-in for an exponential MTBF.
     /// Failures keep arriving until `horizon_ops`.
@@ -121,6 +144,20 @@ mod tests {
             assert!((10..20).contains(&op));
         }
         assert!(s.injections.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn kill_during_async_write_targets_the_write_window() {
+        let a = FailureSchedule::kill_during_async_write(5, 4, 20, 3);
+        let b = FailureSchedule::kill_during_async_write(5, 4, 20, 3);
+        assert_eq!(a, b, "same seed must reproduce the schedule");
+        assert_eq!(a.len(), 1);
+        let (rank, op) = a.injections[0];
+        assert!(rank < 4);
+        assert!(
+            (61..=71).contains(&op),
+            "kill at op {op} must land just after the round-3 trigger"
+        );
     }
 
     #[test]

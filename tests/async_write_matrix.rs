@@ -1,0 +1,143 @@
+//! Kill-during-async-write matrix: ranks are killed while the checkpoint
+//! I/O pipeline's background writers are still flushing the current
+//! round's blobs. The job must always recover from the *previous
+//! committed* checkpoint — never from the half-written one — and
+//! reproduce the failure-free outputs bit-for-bit.
+//!
+//! Each cell runs with slow storage puts (a `FaultInjectingBackend`
+//! delay) so the asynchronous write window is wide enough for the kill to
+//! land inside it, records a protocol trace, requires `c3verify` to find
+//! zero violations (including I13 drain-before-commit), and writes the
+//! trace to `target/c3-traces/` for the CI verification job to re-check
+//! with the `c3verify` CLI.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use c3_apps::{DenseCg, Laplace};
+use c3_core::trace::encode_trace;
+use c3_core::{
+    run_job, C3App, C3Config, PipelineConfig, TraceSink, WriteMode,
+};
+use c3verify::analyze;
+use ckptstore::{
+    FaultInjectingBackend, FaultPlan, MemoryBackend, StorageBackend,
+};
+use ftsim::FailureSchedule;
+
+/// Directory the CI verification job reads recorded traces from.
+fn trace_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/c3-traces");
+    std::fs::create_dir_all(&dir).expect("create trace dir");
+    dir
+}
+
+/// Asynchronous incremental writing with a small queue, so staging and
+/// the application genuinely overlap.
+fn async_io() -> PipelineConfig {
+    PipelineConfig::default().with_mode(WriteMode::Async {
+        writers: 2,
+        queue_depth: 4,
+    })
+}
+
+/// One matrix cell: a failure-free reference run, then a run on slow
+/// storage with a kill inside checkpoint `round`'s write window.
+fn kill_mid_write_case<A>(
+    name: &str,
+    app: &A,
+    interval: u64,
+    seed: u64,
+    round: u64,
+) where
+    A: C3App,
+    A::Output: PartialEq + std::fmt::Debug,
+{
+    let reference = run_job(
+        4,
+        &C3Config::every_ops(interval).with_io(async_io()),
+        None,
+        app,
+    )
+    .unwrap_or_else(|e| panic!("{name}: reference run failed: {e}"));
+    assert_eq!(
+        reference.restarts, 0,
+        "{name}: reference must be failure-free"
+    );
+
+    // Slow puts widen the background-write window so the injected kill
+    // lands while the round's blobs are still in flight.
+    let inner: Arc<dyn StorageBackend> = Arc::new(MemoryBackend::new());
+    let backend = Arc::new(FaultInjectingBackend::new(
+        inner,
+        FaultPlan::none().slow_ms(1),
+    ));
+    let sink = TraceSink::new();
+    let schedule =
+        FailureSchedule::kill_during_async_write(seed, 4, interval, round);
+    let cfg = schedule
+        .apply(C3Config::every_ops(interval).with_io(async_io()))
+        .with_trace(sink.clone());
+    let report = run_job(4, &cfg, Some(backend), app).unwrap_or_else(|e| {
+        panic!("{name}: killed run failed to recover: {e}")
+    });
+
+    assert_eq!(
+        report.outputs, reference.outputs,
+        "{name}: recovery diverged from the failure-free reference"
+    );
+    assert!(report.restarts >= 1, "{name}: the kill must actually fire");
+    // Every rollback restarted from a committed checkpoint (or from
+    // scratch, id 0) — never beyond what was ever committed.
+    let last = report.last_committed.unwrap_or(0);
+    for &from in &report.recovered_from {
+        assert!(
+            from <= last,
+            "{name}: recovered from {from} but only {last} ever committed"
+        );
+    }
+
+    let records = sink.take();
+    let verdict = analyze(&records);
+    assert!(
+        !verdict.commits.is_empty(),
+        "{name}: expected committed checkpoints"
+    );
+    assert!(
+        verdict.is_clean(),
+        "{name}: protocol invariants violated:\n{}",
+        verdict.render()
+    );
+    std::fs::write(
+        trace_dir().join(format!("{name}.c3trace")),
+        encode_trace(&records),
+    )
+    .expect("write trace artifact");
+}
+
+#[test]
+fn dense_cg_survives_kills_during_async_writes() {
+    for (seed, round) in [(1u64, 2u64), (2, 3), (3, 4)] {
+        kill_mid_write_case(
+            &format!("dense_cg_kill_s{seed}_r{round}"),
+            &DenseCg::new(32, 30),
+            10,
+            seed,
+            round,
+        );
+    }
+}
+
+#[test]
+fn laplace_survives_kills_during_async_writes() {
+    for (seed, round) in [(4u64, 2u64), (5, 3), (6, 4)] {
+        kill_mid_write_case(
+            &format!("laplace_kill_s{seed}_r{round}"),
+            &Laplace { n: 16, iters: 36 },
+            9,
+            seed,
+            round,
+        );
+    }
+}
