@@ -90,7 +90,7 @@ fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
         pipeline.drain(round).unwrap();
         drain_ns += t1.elapsed().as_nanos();
         store.commit(round).unwrap();
-        store.gc_keeping(round).unwrap();
+        pipeline.gc_keeping(round).unwrap();
     }
     pipeline.shutdown();
     Cell {
@@ -219,7 +219,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 }
                 pipeline.drain(round).unwrap();
                 store.commit(round).unwrap();
-                store.gc_keeping(round).unwrap();
+                pipeline.gc_keeping(round).unwrap();
             })
         });
         pipeline.shutdown();

@@ -12,10 +12,10 @@
 //!   a bounded queue applies backpressure instead of buffering without
 //!   limit.
 //! * **Chunking + dedup** — writer threads cut the blob into fixed-size
-//!   chunks addressed by `crc32 + length` and skip chunks already stored
-//!   by a previous checkpoint (incremental / delta checkpoints, per the
-//!   differential-checkpointing line of work), optionally run-length
-//!   compressing what remains.
+//!   chunks addressed by a 128-bit content hash + length and skip chunks
+//!   already stored by a previous checkpoint (incremental / delta
+//!   checkpoints, per the differential-checkpointing line of work),
+//!   optionally run-length compressing what remains.
 //! * **Retry** — transient storage faults (see
 //!   `ckptstore::FaultInjectingBackend`) are retried with exponential
 //!   backoff.
@@ -25,6 +25,10 @@
 //!   an uncommitted, invisible checkpoint and recovery falls back to the
 //!   previous committed one. The offline analyzer (`c3verify`) checks
 //!   this ordering on recorded traces.
+//! * **GC through the pipeline** — the initiator's post-commit
+//!   [`CheckpointPipeline::gc_keeping`] serializes the store's orphan
+//!   sweep against in-flight blob writes, so a chunk a writer just wrote
+//!   or deduplicated against is never swept before its manifest lands.
 
 #![deny(missing_docs)]
 
@@ -39,8 +43,8 @@ mod tests {
     use std::sync::Arc;
 
     use ckptstore::{
-        CheckpointStore, FaultInjectingBackend, FaultPlan, MemoryBackend,
-        RankBlobKind, StorageBackend,
+        CheckpointStore, ChunkRef, FaultInjectingBackend, FaultPlan,
+        MemoryBackend, RankBlobKind, StorageBackend,
     };
 
     use super::*;
@@ -108,8 +112,11 @@ mod tests {
         pipe.drain(2).unwrap();
         store.commit(2).unwrap();
         let delta = backend.bytes_written() - after_first;
+        // The delta is one rewritten 128-byte chunk plus the new manifest
+        // (25 bytes per chunk entry for the 128-bit content address) —
+        // far below rewriting the 4 KiB blob.
         assert!(
-            delta < v2.len() as u64 / 4,
+            delta < v2.len() as u64 / 3,
             "checkpoint 2 should be a small delta, wrote {delta} bytes"
         );
         let stats = pipe.stats();
@@ -118,7 +125,7 @@ mod tests {
             store.get_rank_blob(2, 0, RankBlobKind::State).unwrap(),
             v2
         );
-        store.gc_keeping(2).unwrap();
+        pipe.gc_keeping(2).unwrap();
         assert_eq!(
             store.get_rank_blob(2, 0, RankBlobKind::State).unwrap(),
             v2
@@ -194,6 +201,105 @@ mod tests {
         assert!(err.is_transient(), "{err}");
         // The checkpoint has no complete blob set; commit refuses.
         assert!(store.commit(1).is_err());
+    }
+
+    #[test]
+    fn drain_error_with_in_flight_writes_leaves_pipeline_usable() {
+        // Regression: drain used to retire the ticket as soon as it saw
+        // an error, even with writes still outstanding; the straggling
+        // writer's completion then resurrected the ticket at count zero
+        // and underflowed it (panic + poisoned mutex in debug builds, a
+        // wrapped counter and a hung later drain in release builds).
+        // First two puts fail: blob 1's write and its only retry. The
+        // slow-put keeps blobs 2 and 3 in flight long enough that drain
+        // reliably observes the error while outstanding > 0.
+        let inject = Arc::new(FaultInjectingBackend::new(
+            Arc::new(MemoryBackend::new()),
+            FaultPlan::none().fail_n(2).slow_ms(5),
+        ));
+        let store =
+            CheckpointStore::new(inject.clone() as Arc<dyn StorageBackend>, 1);
+        let pipe = CheckpointPipeline::new(
+            store.clone(),
+            PipelineConfig::default()
+                .with_mode(WriteMode::Async {
+                    writers: 1,
+                    queue_depth: 8,
+                })
+                .with_incremental(false)
+                .with_retry(RetryPolicy {
+                    max_retries: 1,
+                    backoff_base_ms: 0,
+                }),
+        );
+        // Three staged blobs, one writer: when the first write fails,
+        // the other two are still queued/in flight at drain time.
+        for kind in [
+            RankBlobKind::State,
+            RankBlobKind::Log,
+            RankBlobKind::MpiObjects,
+        ] {
+            pipe.stage(1, 0, kind, blob(5, 400)).unwrap();
+        }
+        assert!(pipe.drain(1).is_err());
+        assert!(inject.faults_injected() >= 2);
+        // The next checkpoint must succeed on the same pipeline, with no
+        // panic, poisoned lock, or hung drain.
+        pipe.stage(2, 0, RankBlobKind::State, blob(6, 400)).unwrap();
+        pipe.stage(2, 0, RankBlobKind::Log, b"log".to_vec())
+            .unwrap();
+        assert_eq!(pipe.drain(2).unwrap(), 2);
+        store.commit(2).unwrap();
+        assert_eq!(
+            store.get_rank_blob(2, 0, RankBlobKind::State).unwrap(),
+            blob(6, 400)
+        );
+    }
+
+    #[test]
+    fn gc_does_not_break_dedup_of_resurrected_chunks() {
+        // A chunk whose only references were in collected checkpoints is
+        // swept by GC; if the same content reappears later, the dedup
+        // path must notice the chunk is gone and write it again rather
+        // than trusting a stale dedup set (which would commit a manifest
+        // naming a deleted chunk — unrecoverable).
+        let (backend, store) = mem_store(1);
+        let cfg = PipelineConfig::default()
+            .with_mode(WriteMode::Sync)
+            .with_chunk_size(64)
+            .with_compression(false);
+        let pipe = CheckpointPipeline::new(store.clone(), cfg);
+        let a = vec![0xAAu8; 64];
+        let b = vec![0xBBu8; 64];
+        let ab: Vec<u8> = [a.clone(), b.clone()].concat();
+        let aa: Vec<u8> = [a.clone(), a.clone()].concat();
+        // Checkpoint 1 stores chunks A and B; checkpoint 2 drops B.
+        for (ckpt, state) in [(1u64, &ab), (2u64, &aa)] {
+            pipe.stage(ckpt, 0, RankBlobKind::State, state.clone())
+                .unwrap();
+            pipe.stage(ckpt, 0, RankBlobKind::Log, b"log".to_vec())
+                .unwrap();
+            pipe.drain(ckpt).unwrap();
+            store.commit(ckpt).unwrap();
+        }
+        pipe.gc_keeping(2).unwrap();
+        // B's only reference was checkpoint 1's manifest: it is gone
+        // (chunk A and the log blob's chunk survive).
+        assert!(!store.has_chunk(&ChunkRef::for_piece(&b)).unwrap());
+        assert_eq!(backend.list("chunk/").unwrap().len(), 2);
+        // Checkpoint 3 resurrects content B. It must round-trip after a
+        // GC that keeps only checkpoint 3.
+        let ba: Vec<u8> = [b.clone(), a.clone()].concat();
+        pipe.stage(3, 0, RankBlobKind::State, ba.clone()).unwrap();
+        pipe.stage(3, 0, RankBlobKind::Log, b"log".to_vec())
+            .unwrap();
+        pipe.drain(3).unwrap();
+        store.commit(3).unwrap();
+        pipe.gc_keeping(3).unwrap();
+        assert_eq!(
+            store.get_rank_blob(3, 0, RankBlobKind::State).unwrap(),
+            ba
+        );
     }
 
     #[test]

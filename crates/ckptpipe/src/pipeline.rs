@@ -13,11 +13,11 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use ckptstore::manifest::{ChunkRef, Manifest};
 use ckptstore::{
-    crc32, CheckpointStore, CkptId, RankBlobKind, StoreError, StoreResult,
+    CheckpointStore, CkptId, RankBlobKind, StoreError, StoreResult,
 };
 
 use crate::config::{PipelineConfig, WriteMode};
@@ -76,9 +76,12 @@ struct StatCells {
     retries: AtomicU64,
 }
 
-/// Chunk addresses `(crc32, len)` in the manifest most recently written
-/// for one `(rank, kind)` stream: the fast-path dedup set.
-type PrevChunkSets = HashMap<(usize, u8), HashSet<(u32, u32)>>;
+/// Chunk addresses `(hash128, len)` in the manifest most recently written
+/// for one `(rank, kind)` stream, tagged with the checkpoint that wrote
+/// it: the fast-path dedup set. The tag lets [`CheckpointPipeline::
+/// gc_keeping`] drop sets whose manifest was just collected, so dedup
+/// never trusts a chunk that only a dead checkpoint referenced.
+type PrevChunkSets = HashMap<(usize, u8), (CkptId, HashSet<(u128, u32)>)>;
 
 struct Shared {
     store: CheckpointStore,
@@ -91,6 +94,13 @@ struct Shared {
     // Dedup misses fall back to `CheckpointStore::has_chunk`, which also
     // catches chunks written by earlier job attempts.
     prev_chunks: Mutex<PrevChunkSets>,
+    // Writer-vs-GC gate. A blob write holds it shared from its first
+    // chunk probe to its manifest put, so chunks and the manifest that
+    // makes them live become visible to GC atomically; `gc_keeping`
+    // holds it exclusively so the orphan sweep can neither delete a
+    // chunk a writer just deduplicated against nor reap chunks whose
+    // manifest is still in flight.
+    gc_gate: RwLock<()>,
     stats: StatCells,
 }
 
@@ -144,6 +154,7 @@ impl CheckpointPipeline {
             tickets: Mutex::new(HashMap::new()),
             drained: Condvar::new(),
             prev_chunks: Mutex::new(HashMap::new()),
+            gc_gate: RwLock::new(()),
             stats: StatCells::default(),
         });
         let mut handles = Vec::new();
@@ -267,17 +278,41 @@ impl CheckpointPipeline {
         let mut tickets = self.shared.tickets.lock().unwrap();
         loop {
             let t = tickets.entry(ckpt).or_default();
-            if let Some(err) = t.error.take() {
-                tickets.remove(&ckpt);
-                return Err(err);
-            }
+            // Wait for every in-flight writer even when an error has
+            // already been recorded: retiring the ticket while a write
+            // is still outstanding would let that writer's completion
+            // resurrect it at count zero and underflow `outstanding`.
             if t.outstanding == 0 {
-                let staged = t.staged;
-                tickets.remove(&ckpt);
-                return Ok(staged);
+                let mut t = tickets.remove(&ckpt).expect("entry exists");
+                return match t.error.take() {
+                    Some(err) => Err(err),
+                    None => Ok(t.staged),
+                };
             }
             tickets = self.shared.drained.wait(tickets).unwrap();
         }
+    }
+
+    /// Garbage-collect through the pipeline: run
+    /// [`CheckpointStore::gc_keeping`] while no blob write is in flight.
+    ///
+    /// Calling the store's GC directly while background writers run is
+    /// unsound: a writer that deduplicated against (or just wrote) a
+    /// chunk whose referencing manifest is not yet on storage would see
+    /// that chunk swept as an orphan, and the checkpoint later commits
+    /// with a manifest naming a deleted chunk. The exclusive gate here
+    /// serializes the sweep against each whole blob write, and dedup
+    /// sets recorded by collected checkpoints' manifests are dropped so
+    /// they cannot vouch for chunks the sweep removed.
+    pub fn gc_keeping(&self, keep: CkptId) -> StoreResult<()> {
+        let _gate = self.shared.gc_gate.write().unwrap();
+        self.shared.store.gc_keeping(keep)?;
+        self.shared
+            .prev_chunks
+            .lock()
+            .unwrap()
+            .retain(|_, (ckpt, _)| *ckpt >= keep);
+        Ok(())
     }
 
     /// Shut the pipeline down explicitly: finish every queued write and
@@ -316,11 +351,17 @@ fn worker_loop(shared: &Shared) {
 impl Shared {
     fn complete_job(&self, ckpt: CkptId, result: StoreResult<()>) {
         let mut tickets = self.tickets.lock().unwrap();
-        let t = tickets.entry(ckpt).or_default();
-        t.outstanding -= 1;
-        if let Err(err) = result {
-            if t.error.is_none() {
-                t.error = Some(err);
+        // `stage` registers the job before any writer can complete it,
+        // and `drain` retires a ticket only once outstanding == 0, so
+        // the ticket exists here. Tolerate (rather than resurrect) a
+        // missing one: recreating it via or_default would decrement a
+        // fresh counter from zero.
+        if let Some(t) = tickets.get_mut(&ckpt) {
+            t.outstanding = t.outstanding.saturating_sub(1);
+            if let Err(err) = result {
+                if t.error.is_none() {
+                    t.error = Some(err);
+                }
             }
         }
         drop(tickets);
@@ -328,6 +369,10 @@ impl Shared {
     }
 
     fn write_blob(&self, job: &Job) -> StoreResult<()> {
+        // Shared side of the writer-vs-GC gate: everything this write
+        // stores (chunks, then the manifest that makes them live) lands
+        // atomically with respect to `CheckpointPipeline::gc_keeping`.
+        let _gate = self.gc_gate.read().unwrap();
         if !self.cfg.incremental {
             return self.retrying(|| {
                 self.store
@@ -336,21 +381,16 @@ impl Shared {
         }
         let mut manifest = Manifest::for_blob(&job.bytes);
         let dedup_slot = (job.rank, kind_tag(job.kind));
-        let prev: HashSet<(u32, u32)> = self
+        let prev: HashSet<(u128, u32)> = self
             .prev_chunks
             .lock()
             .unwrap()
             .get(&dedup_slot)
-            .cloned()
+            .map(|(_, set)| set.clone())
             .unwrap_or_default();
         for piece in job.bytes.chunks(self.cfg.chunk_size.max(1)) {
-            let mut chunk = ChunkRef {
-                crc: crc32(piece),
-                len: piece.len() as u32,
-                stored_len: piece.len() as u32,
-                compressed: false,
-            };
-            let known = prev.contains(&(chunk.crc, chunk.len))
+            let mut chunk = ChunkRef::for_piece(piece);
+            let known = prev.contains(&(chunk.hash, chunk.len))
                 || self.store.has_chunk(&chunk)?;
             if known {
                 self.stats.chunks_deduped.fetch_add(1, Ordering::Relaxed);
@@ -359,7 +399,7 @@ impl Shared {
                     .fetch_add(piece.len() as u64, Ordering::Relaxed);
                 // The stored form of a deduplicated chunk is whatever the
                 // first writer chose; record the raw address only. Reads
-                // locate chunks by (crc, len), so the stored_len and
+                // locate chunks by (hash, len), so the stored_len and
                 // compressed fields just need to match that first write —
                 // recompute them the same deterministic way.
                 let (stored, compressed) = self.stored_form(piece);
@@ -385,7 +425,10 @@ impl Shared {
         })?;
         self.prev_chunks.lock().unwrap().insert(
             dedup_slot,
-            manifest.chunks.iter().map(|c| (c.crc, c.len)).collect(),
+            (
+                job.ckpt,
+                manifest.chunks.iter().map(|c| (c.hash, c.len)).collect(),
+            ),
         );
         Ok(())
     }

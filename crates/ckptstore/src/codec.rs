@@ -108,6 +108,11 @@ impl Encoder {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Append a little-endian `u128` (chunk content addresses).
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Append a little-endian `i32`.
     pub fn put_i32(&mut self, v: i32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -231,6 +236,13 @@ impl<'a> Decoder<'a> {
     /// Decode a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_le_bytes(self.take(8, "u64")?.try_into().unwrap()))
+    }
+
+    /// Decode a little-endian `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(
+            self.take(16, "u128")?.try_into().unwrap(),
+        ))
     }
 
     /// Decode a little-endian `i32`.

@@ -18,7 +18,9 @@
 //!   backend (fast, used by tests and most benchmarks) and an on-disk backend
 //!   (atomic-rename writes; retains real I/O cost for overhead experiments).
 //! * [`integrity`] — CRC-32 sealing of every stored blob, so corruption
-//!   surfaces as an explicit recovery error instead of a wrong state.
+//!   surfaces as an explicit recovery error instead of a wrong state, plus
+//!   the 128-bit content hash that addresses incremental-checkpoint
+//!   chunks (wide enough that accidental dedup collisions are negligible).
 //! * [`store`] — [`store::CheckpointStore`], the two-phase commit layer:
 //!   per-rank local checkpoints are written under a checkpoint number, and a
 //!   separate `COMMIT` record marks the checkpoint recoverable. Recovery
@@ -47,6 +49,6 @@ pub use backend::{DiskBackend, MemoryBackend, StorageBackend};
 pub use codec::{Decoder, Encoder, SaveLoad};
 pub use error::{StoreError, StoreResult};
 pub use fault::{FaultInjectingBackend, FaultPlan};
-pub use integrity::{crc32, seal, unseal};
+pub use integrity::{crc32, hash128, seal, unseal};
 pub use manifest::{chunk_key, ChunkRef, Manifest};
 pub use store::{CheckpointStore, CkptId, RankBlobKind};

@@ -2,10 +2,13 @@
 //!
 //! Instead of one opaque blob per rank, the write pipeline splits a
 //! snapshot into fixed-size chunks addressed by content —
-//! `crc32(chunk) + length` — and stores a small **manifest** listing the
-//! chunk references in order. Chunks are immutable and shared: if a chunk
-//! of checkpoint `n+1` hashes identically to one already stored by
-//! checkpoint `n`, it is not written again. Recovery reassembles the blob
+//! `hash128(chunk) + length` (see [`crate::integrity::hash128`]; 128 bits
+//! so accidental collision, which would silently dedup one chunk to
+//! another's bytes, is negligible) — and stores a small **manifest**
+//! listing the chunk references in order. Chunks are immutable and
+//! shared: if a chunk of checkpoint `n+1` hashes identically to one
+//! already stored by checkpoint `n`, it is not written again. Recovery
+//! reassembles the blob
 //! from the manifest, and [`crate::store::CheckpointStore::gc_keeping`]
 //! refcounts chunks through the manifests of the surviving checkpoints so
 //! shared chunks outlive the checkpoints that first wrote them.
@@ -16,23 +19,24 @@
 //! snapshots, which dominates its Figure 8 overhead numbers.
 
 use crate::codec::{CodecError, Decoder, Encoder, SaveLoad};
-use crate::integrity::crc32;
+use crate::integrity::{crc32, hash128};
 
 /// Magic prefix of an encoded manifest (also a format version marker).
-const MANIFEST_MAGIC: u32 = 0xC3A1_0001;
+/// `…0002` widened chunk addresses from CRC-32 to a 128-bit content hash.
+const MANIFEST_MAGIC: u32 = 0xC3A1_0002;
 
 /// Storage key of the chunk with the given content address. Chunks live in
 /// a flat `chunk/` namespace outside any checkpoint directory, because
 /// they are shared across checkpoints.
-pub fn chunk_key(crc: u32, len: u32) -> String {
-    format!("chunk/{crc:08x}-{len}")
+pub fn chunk_key(hash: u128, len: u32) -> String {
+    format!("chunk/{hash:032x}-{len}")
 }
 
 /// A reference to one content-addressed chunk of a blob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChunkRef {
-    /// CRC-32 of the chunk's raw (uncompressed) bytes.
-    pub crc: u32,
+    /// [`hash128`] of the chunk's raw (uncompressed) bytes.
+    pub hash: u128,
     /// Raw (uncompressed) length in bytes.
     pub len: u32,
     /// Length of the stored representation (compressed or raw), before
@@ -44,22 +48,32 @@ pub struct ChunkRef {
 }
 
 impl ChunkRef {
+    /// Reference for a raw (uncompressed, not-yet-stored) chunk.
+    pub fn for_piece(piece: &[u8]) -> Self {
+        ChunkRef {
+            hash: hash128(piece),
+            len: piece.len() as u32,
+            stored_len: piece.len() as u32,
+            compressed: false,
+        }
+    }
+
     /// The storage key this chunk lives under.
     pub fn key(&self) -> String {
-        chunk_key(self.crc, self.len)
+        chunk_key(self.hash, self.len)
     }
 }
 
 impl SaveLoad for ChunkRef {
     fn save(&self, enc: &mut Encoder) {
-        enc.put_u32(self.crc);
+        enc.put_u128(self.hash);
         enc.put_u32(self.len);
         enc.put_u32(self.stored_len);
         enc.put_bool(self.compressed);
     }
     fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(ChunkRef {
-            crc: dec.get_u32()?,
+            hash: dec.get_u128()?,
             len: dec.get_u32()?,
             stored_len: dec.get_u32()?,
             compressed: dec.get_bool()?,
@@ -100,7 +114,7 @@ impl Manifest {
     /// Serialize for storage (the result is additionally CRC-sealed by the
     /// store like every other blob).
     pub fn encode(&self) -> Vec<u8> {
-        let mut enc = Encoder::with_capacity(16 + self.chunks.len() * 13);
+        let mut enc = Encoder::with_capacity(16 + self.chunks.len() * 25);
         enc.put_u32(MANIFEST_MAGIC);
         enc.put_u64(self.total_len);
         enc.put_u32(self.blob_crc);
@@ -143,14 +157,23 @@ mod tests {
 
     #[test]
     fn chunk_key_is_stable() {
-        assert_eq!(chunk_key(0xdead_beef, 4096), "chunk/deadbeef-4096");
+        assert_eq!(
+            chunk_key(0xdead_beef, 4096),
+            "chunk/000000000000000000000000deadbeef-4096"
+        );
         let c = ChunkRef {
-            crc: 0xff,
+            hash: 0xff,
             len: 7,
             stored_len: 7,
             compressed: false,
         };
-        assert_eq!(c.key(), "chunk/000000ff-7");
+        assert_eq!(c.key(), "chunk/000000000000000000000000000000ff-7");
+        // `for_piece` agrees with the content hash.
+        let piece = b"chunk bytes";
+        let r = ChunkRef::for_piece(piece);
+        assert_eq!(r.hash, hash128(piece));
+        assert_eq!(r.len, piece.len() as u32);
+        assert!(!r.compressed);
     }
 
     #[test]
@@ -159,13 +182,13 @@ mod tests {
         let mut m = Manifest::for_blob(&blob);
         m.chunks = vec![
             ChunkRef {
-                crc: 1,
+                hash: 1 << 100,
                 len: 64,
                 stored_len: 4,
                 compressed: true,
             },
             ChunkRef {
-                crc: 2,
+                hash: 2,
                 len: 36,
                 stored_len: 36,
                 compressed: false,
@@ -185,7 +208,7 @@ mod tests {
             total_len: 10,
             blob_crc: 0,
             chunks: vec![ChunkRef {
-                crc: 0,
+                hash: 0,
                 len: 5,
                 stored_len: 5,
                 compressed: false,

@@ -276,7 +276,7 @@ impl CheckpointStore {
             stored.to_vec()
         };
         if raw.len() as u32 != chunk.len
-            || crate::integrity::crc32(&raw) != chunk.crc
+            || crate::integrity::hash128(&raw) != chunk.hash
         {
             return Err(corrupt("chunk content disagrees with its address"));
         }
@@ -391,6 +391,14 @@ impl CheckpointStore {
     /// written) is retained even if it was first written by a checkpoint
     /// being collected; chunks no surviving manifest references are
     /// deleted.
+    ///
+    /// **Concurrency**: the orphan sweep can only see chunks whose
+    /// referencing manifest is already on storage. Callers with
+    /// background writers in flight (the async I/O pipeline) must
+    /// serialize GC against whole blob writes — use
+    /// `ckptpipe::CheckpointPipeline::gc_keeping`, which wraps this
+    /// under the pipeline's writer-vs-GC gate — or a freshly written /
+    /// deduplicated chunk may be swept before its manifest lands.
     pub fn gc_keeping(&self, keep: CkptId) -> StoreResult<()> {
         // Pass 1: live chunk set, from the manifests of every surviving
         // checkpoint.
@@ -592,12 +600,7 @@ mod tests {
     ) {
         let mut manifest = Manifest::for_blob(blob);
         for piece in blob.chunks(chunk_size.max(1)) {
-            let chunk = ChunkRef {
-                crc: crate::integrity::crc32(piece),
-                len: piece.len() as u32,
-                stored_len: piece.len() as u32,
-                compressed: false,
-            };
+            let chunk = ChunkRef::for_piece(piece);
             if !s.has_chunk(&chunk).unwrap() {
                 s.put_chunk(&chunk, piece).unwrap();
             }
@@ -666,12 +669,7 @@ mod tests {
         let mut m = m.unwrap();
         // Splice in a chunk from another blob with matching length.
         let other = [2u8; 50];
-        let chunk = ChunkRef {
-            crc: crate::integrity::crc32(&other),
-            len: 50,
-            stored_len: 50,
-            compressed: false,
-        };
+        let chunk = ChunkRef::for_piece(&other);
         s.put_chunk(&chunk, &other).unwrap();
         m.chunks[0] = chunk;
         s.put_rank_manifest(1, 0, RankBlobKind::State, &m).unwrap();
@@ -705,12 +703,7 @@ mod tests {
         // (a) shared chunk A and live chunk C survive; (b) orphan B is
         // gone.
         assert_eq!(chunks_after.len(), 2, "kept {chunks_after:?}");
-        let b_chunk = ChunkRef {
-            crc: crate::integrity::crc32(&[0xBBu8; 64]),
-            len: 64,
-            stored_len: 64,
-            compressed: false,
-        };
+        let b_chunk = ChunkRef::for_piece(&[0xBBu8; 64]);
         assert!(!s.has_chunk(&b_chunk).unwrap(), "orphan chunk not GCed");
         // (c) recovery from the kept checkpoint round-trips.
         assert_eq!(s.latest_committed().unwrap(), Some(2));

@@ -509,9 +509,17 @@ impl<'a> Process<'a> {
                 });
                 self.trace_event(TraceEvent::PipelineDrained { ckpt, blobs });
                 self.trace_event(TraceEvent::Commit { ckpt });
-                let store = self.store.as_ref().expect("initiator has store");
-                store.commit(ckpt)?;
-                store.gc_keeping(ckpt)?;
+                self.store
+                    .as_ref()
+                    .expect("initiator has store")
+                    .commit(ckpt)?;
+                // GC goes through the pipeline, not the store: its orphan
+                // sweep must not race blob writes that background writers
+                // may still have in flight for other checkpoints.
+                self.pipeline
+                    .as_ref()
+                    .expect("initiator has pipeline")
+                    .gc_keeping(ckpt)?;
             }
         }
         Ok(())
