@@ -1,0 +1,171 @@
+//! Transport micro-benchmark: the cost of the netsim wire and its
+//! reliable-delivery sublayer, measured from the application's seat.
+//!
+//! Three cells, same two-rank ping-pong workload:
+//!
+//! * **perfect** — the default wire. Frames take the direct path; the
+//!   sublayer is never constructed. This is the baseline every other
+//!   cell is judged against, and the number that must not regress when
+//!   netsim is merely *available* (the zero-cost-when-disabled claim).
+//! * **sublayer** — a wire whose only fault is a one-in-a-million
+//!   duplication, so the reliable-delivery machinery (sequencing, acks,
+//!   dedup, reassembly) is fully engaged while the wire itself behaves.
+//!   The gap to *perfect* is the sublayer's bookkeeping cost.
+//! * **lossy** — the stock `NetCond::lossy` preset with drops,
+//!   duplicates, reorder, and delay. The gap to *sublayer* is the price
+//!   of actual repair traffic.
+//!
+//! Besides the printed lines, the bench rewrites `BENCH_transport.json`
+//! at the workspace root so the numbers are tracked in-repo.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use simmpi::{NetCond, NetStats, World};
+
+const ROUNDS: u64 = 1500;
+const PAYLOAD: usize = 256;
+
+struct Cell {
+    name: &'static str,
+    elapsed_ms: f64,
+    rtt_us: f64,
+    stats: NetStats,
+}
+
+/// `ROUNDS` ping-pong round trips between two ranks; returns the
+/// wall-clock time and the merged per-rank transport statistics.
+fn run_cell(name: &'static str, cond: NetCond) -> Cell {
+    let payload = vec![0xA5u8; PAYLOAD];
+    let t0 = Instant::now();
+    let stats = World::run_net(2, cond, move |mpi| {
+        let comm = mpi.world();
+        let peer = 1 - mpi.rank();
+        for round in 0..ROUNDS {
+            if mpi.rank() == 0 {
+                mpi.send(&comm, peer, round as i32 % 7, &payload)?;
+                mpi.recv(&comm, peer, round as i32 % 7)?;
+            } else {
+                mpi.recv(&comm, peer, round as i32 % 7)?;
+                mpi.send(&comm, peer, round as i32 % 7, &payload)?;
+            }
+        }
+        Ok(mpi.net_stats())
+    })
+    .expect("ping-pong failed");
+    let elapsed = t0.elapsed();
+    let mut merged = NetStats::default();
+    for s in stats {
+        merged.retransmits += s.retransmits;
+        merged.dup_delivered += s.dup_delivered;
+        merged.acks_sent += s.acks_sent;
+        merged.wire.absorb(&s.wire);
+    }
+    Cell {
+        name,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        rtt_us: elapsed.as_secs_f64() * 1e6 / ROUNDS as f64,
+        stats: merged,
+    }
+}
+
+fn cells() -> Vec<Cell> {
+    vec![
+        run_cell("perfect", NetCond::perfect()),
+        run_cell("sublayer", NetCond::perfect().with_dup_ppm(1)),
+        run_cell("lossy", NetCond::lossy(1)),
+    ]
+}
+
+fn write_json(cells: &[Cell]) {
+    let mut rows = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let w = &c.stats.wire;
+        rows.push_str(&format!(
+            "    {{\"wire\": \"{}\", \"elapsed_ms\": {:.3}, \
+             \"rtt_us\": {:.3}, \"retransmits\": {}, \
+             \"dup_delivered\": {}, \"acks_sent\": {}, \
+             \"wire_dropped\": {}, \"wire_duplicated\": {}, \
+             \"wire_reordered\": {}, \"wire_delayed\": {}}}",
+            c.name,
+            c.elapsed_ms,
+            c.rtt_us,
+            c.stats.retransmits,
+            c.stats.dup_delivered,
+            c.stats.acks_sent,
+            w.dropped + w.partition_dropped,
+            w.duplicated,
+            w.reordered,
+            w.delayed,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"micro_transport\",\n  \"ranks\": 2,\n  \
+         \"round_trips\": {ROUNDS},\n  \"payload_bytes\": {PAYLOAD},\n  \
+         \"cells\": [\n{rows}\n  ]\n}}\n",
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../BENCH_transport.json");
+    std::fs::write(&path, json).expect("write BENCH_transport.json");
+    println!("wrote {}", path.display());
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let results = cells();
+    for cell in &results {
+        println!(
+            "transport/{}: {:.3} ms for {ROUNDS} round trips \
+             ({:.2} us/rtt), {} retransmit(s), {} wire fault(s)",
+            cell.name,
+            cell.elapsed_ms,
+            cell.rtt_us,
+            cell.stats.retransmits,
+            cell.stats.wire.dropped
+                + cell.stats.wire.duplicated
+                + cell.stats.wire.reordered
+                + cell.stats.wire.delayed,
+        );
+    }
+    write_json(&results);
+
+    // Criterion display: one short ping-pong burst per iteration.
+    let mut g = c.benchmark_group("transport_pingpong");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(100));
+    for (name, cond) in [
+        ("perfect", NetCond::perfect()),
+        ("lossy", NetCond::lossy(1)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                World::run_net(2, cond.clone(), |mpi| {
+                    let comm = mpi.world();
+                    let peer = 1 - mpi.rank();
+                    for _ in 0..100u32 {
+                        if mpi.rank() == 0 {
+                            mpi.send(&comm, peer, 1, b"ping")?;
+                            mpi.recv(&comm, peer, 1)?;
+                        } else {
+                            mpi.recv(&comm, peer, 1)?;
+                            mpi.send(&comm, peer, 1, b"pong")?;
+                        }
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_transport
+}
+criterion_main!(benches);

@@ -139,6 +139,14 @@ pub struct C3Config {
     /// [`ckptpipe::PipelineConfig::sync_full`] for the paper's original
     /// blocking full-snapshot behavior.
     pub io: ckptpipe::PipelineConfig,
+    /// Network conditions of the simulated interconnect. The default is
+    /// the perfect wire (the paper's reliable-fabric assumption, §1.1),
+    /// which bypasses the netsim sublayer entirely; a lossy
+    /// [`simmpi::NetCond`] runs the whole job — protocol control traffic,
+    /// piggybacked application messages, collectives, recovery — over a
+    /// seeded drop/duplicate/reorder/delay wire with reliable delivery
+    /// rebuilt above it.
+    pub net: simmpi::NetCond,
 }
 
 impl Default for C3Config {
@@ -152,6 +160,7 @@ impl Default for C3Config {
             max_restarts: 16,
             trace: None,
             io: ckptpipe::PipelineConfig::default(),
+            net: simmpi::NetCond::perfect(),
         }
     }
 }
@@ -189,6 +198,12 @@ impl C3Config {
     /// Set the checkpoint I/O pipeline configuration.
     pub fn with_io(mut self, io: ckptpipe::PipelineConfig) -> Self {
         self.io = io;
+        self
+    }
+
+    /// Set the simulated network conditions.
+    pub fn with_net(mut self, net: simmpi::NetCond) -> Self {
+        self.net = net;
         self
     }
 }

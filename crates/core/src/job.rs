@@ -142,39 +142,44 @@ pub fn run_job<A: C3App>(
 
         type Inner<O> = C3Result<(O, ProcStats)>;
         let results: Vec<Result<Inner<A::Output>, MpiError>> =
-            World::run_collect(nprocs, control.clone(), |mpi| {
-                let mut body = || -> Inner<A::Output> {
-                    let mut p = Process::new(
-                        mpi,
-                        cfg.clone(),
-                        pipeline.clone(),
-                        attempt as u64,
-                        recover,
-                    )?;
-                    let mut state =
-                        match p.take_recovered_state::<A::State>()? {
-                            Some(s) => s,
-                            None => app.init(&mut p)?,
-                        };
-                    let out = app.run(&mut p, &mut state)?;
-                    p.finalize()?;
-                    Ok((out, p.stats().clone()))
-                };
-                match body() {
-                    Err(e) if e.is_rollback() => Err(match e {
-                        C3Error::Mpi(m) => m,
-                        _ => unreachable!("is_rollback implies Mpi"),
-                    }),
-                    other => {
-                        if other.is_err() {
-                            // A genuine error (bug, storage failure, app
-                            // failure): unblock peers so the attempt ends.
-                            mpi.control().abort();
+            World::run_collect_net(
+                nprocs,
+                control.clone(),
+                cfg.net.clone(),
+                |mpi| {
+                    let mut body = || -> Inner<A::Output> {
+                        let mut p = Process::new(
+                            mpi,
+                            cfg.clone(),
+                            pipeline.clone(),
+                            attempt as u64,
+                            recover,
+                        )?;
+                        let mut state =
+                            match p.take_recovered_state::<A::State>()? {
+                                Some(s) => s,
+                                None => app.init(&mut p)?,
+                            };
+                        let out = app.run(&mut p, &mut state)?;
+                        p.finalize()?;
+                        Ok((out, p.final_stats()))
+                    };
+                    match body() {
+                        Err(e) if e.is_rollback() => Err(match e {
+                            C3Error::Mpi(m) => m,
+                            _ => unreachable!("is_rollback implies Mpi"),
+                        }),
+                        other => {
+                            if other.is_err() {
+                                // A genuine error (bug, storage failure, app
+                                // failure): unblock peers so the attempt ends.
+                                mpi.control().abort();
+                            }
+                            Ok(other)
                         }
-                        Ok(other)
                     }
-                }
-            });
+                },
+            );
         detector.stop();
         if let Some(p) = &pipeline {
             p.shutdown();

@@ -281,6 +281,24 @@ pub enum TraceEvent {
         /// Number of blobs the barrier accounted for.
         blobs: u64,
     },
+    /// End-of-run summary of the simulated network sublayer on this rank
+    /// (emitted at finalize when the job ran over a lossy wire). The
+    /// analyzer treats it as diagnostic context: its presence certifies
+    /// that the invariants I1–I13 held *under* wire loss, duplication,
+    /// and reordering, not over a perfect fabric.
+    NetSummary {
+        /// Data frames this rank retransmitted.
+        retransmits: u64,
+        /// Duplicate data frames this rank received and discarded.
+        dup_delivered: u64,
+        /// Frames the wire dropped on this rank's outgoing links.
+        wire_dropped: u64,
+        /// Frames the wire duplicated on this rank's outgoing links.
+        wire_duplicated: u64,
+        /// Frames the wire held back (reorder + delay) on this rank's
+        /// outgoing links.
+        wire_held: u64,
+    },
 }
 
 fn class_code(c: MsgClass) -> u8 {
@@ -469,6 +487,20 @@ impl TraceEvent {
                 enc.put_u64(*ckpt);
                 enc.put_u64(*blobs);
             }
+            TraceEvent::NetSummary {
+                retransmits,
+                dup_delivered,
+                wire_dropped,
+                wire_duplicated,
+                wire_held,
+            } => {
+                enc.put_u8(20);
+                enc.put_u64(*retransmits);
+                enc.put_u64(*dup_delivered);
+                enc.put_u64(*wire_dropped);
+                enc.put_u64(*wire_duplicated);
+                enc.put_u64(*wire_held);
+            }
         }
     }
 
@@ -571,6 +603,13 @@ impl TraceEvent {
             19 => TraceEvent::PipelineDrained {
                 ckpt: dec.get_u64()?,
                 blobs: dec.get_u64()?,
+            },
+            20 => TraceEvent::NetSummary {
+                retransmits: dec.get_u64()?,
+                dup_delivered: dec.get_u64()?,
+                wire_dropped: dec.get_u64()?,
+                wire_duplicated: dec.get_u64()?,
+                wire_held: dec.get_u64()?,
             },
             k => {
                 return Err(CodecError::new(format!(
@@ -804,6 +843,13 @@ mod tests {
             TraceEvent::FailStop { op: 99 },
             TraceEvent::BlobStaged { ckpt: 4, kind: 0 },
             TraceEvent::PipelineDrained { ckpt: 4, blobs: 6 },
+            TraceEvent::NetSummary {
+                retransmits: 7,
+                dup_delivered: 3,
+                wire_dropped: 11,
+                wire_duplicated: 2,
+                wire_held: 5,
+            },
         ]
     }
 

@@ -5,11 +5,17 @@ use rand::{Rng, SeedableRng};
 
 use c3_core::C3Config;
 
-/// A reproducible plan of stopping failures for a job.
+/// A reproducible plan of stopping failures for a job, optionally paired
+/// with the network conditions the job runs under. Keeping the wire in the
+/// schedule lets a chaos campaign sweep process faults and network faults
+/// as one reproducible unit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailureSchedule {
     /// `(rank, at_op)` pairs; each fires at most once across attempts.
     pub injections: Vec<(usize, u64)>,
+    /// Simulated interconnect conditions; `None` leaves the config's wire
+    /// untouched (the perfect wire, unless the caller set one).
+    pub net: Option<simmpi::NetCond>,
 }
 
 impl FailureSchedule {
@@ -17,6 +23,7 @@ impl FailureSchedule {
     pub fn none() -> Self {
         FailureSchedule {
             injections: Vec::new(),
+            net: None,
         }
     }
 
@@ -24,7 +31,14 @@ impl FailureSchedule {
     pub fn single(rank: usize, at_op: u64) -> Self {
         FailureSchedule {
             injections: vec![(rank, at_op)],
+            net: None,
         }
+    }
+
+    /// Run this schedule's failures over the given simulated network.
+    pub fn with_net(mut self, net: simmpi::NetCond) -> Self {
+        self.net = Some(net);
+        self
     }
 
     /// `count` failures at random ranks and operation counts drawn
@@ -48,7 +62,10 @@ impl FailureSchedule {
         // Sort by op so earlier failures fire on earlier attempts; a rank
         // can appear multiple times (repeated failures of one node).
         injections.sort_by_key(|&(_, op)| op);
-        FailureSchedule { injections }
+        FailureSchedule {
+            injections,
+            net: None,
+        }
     }
 
     /// A failure aimed at the asynchronous checkpoint-write window.
@@ -100,13 +117,19 @@ impl FailureSchedule {
             }
             injections.push((rng.random_range(0..nranks), t));
         }
-        FailureSchedule { injections }
+        FailureSchedule {
+            injections,
+            net: None,
+        }
     }
 
     /// Apply this schedule to a configuration.
     pub fn apply(&self, mut cfg: C3Config) -> C3Config {
         for &(rank, at_op) in &self.injections {
             cfg = cfg.with_failure(rank, at_op);
+        }
+        if let Some(net) = &self.net {
+            cfg = cfg.with_net(net.clone());
         }
         cfg
     }
@@ -172,5 +195,19 @@ mod tests {
         let cfg = FailureSchedule::single(2, 30).apply(C3Config::default());
         assert_eq!(cfg.failures.len(), 1);
         assert_eq!(cfg.failures[0].rank, 2);
+        assert!(cfg.net.is_perfect(), "no net in schedule leaves the wire");
+    }
+
+    #[test]
+    fn apply_installs_network_conditions() {
+        let sched =
+            FailureSchedule::single(1, 40).with_net(simmpi::NetCond::lossy(9));
+        assert_eq!(sched, sched.clone(), "schedule stays comparable");
+        let cfg = sched.apply(C3Config::default());
+        assert_eq!(cfg.net, simmpi::NetCond::lossy(9));
+        // A pre-set wire survives a schedule that carries none.
+        let cfg2 = FailureSchedule::none()
+            .apply(C3Config::default().with_net(simmpi::NetCond::lossy(7)));
+        assert_eq!(cfg2.net, simmpi::NetCond::lossy(7));
     }
 }

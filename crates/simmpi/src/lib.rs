@@ -54,6 +54,7 @@ pub mod datatype;
 pub mod envelope;
 pub mod error;
 pub mod matching;
+pub mod netsim;
 pub mod rank;
 pub mod request;
 pub mod transport;
@@ -63,6 +64,7 @@ pub use comm::Comm;
 pub use datatype::{DType, MpiType, ReduceOp};
 pub use envelope::{Message, RecvMsg};
 pub use error::{MpiError, MpiResult};
+pub use netsim::{NetCond, NetStats, Partition, RetransmitPolicy, WireStats};
 pub use rank::{Mpi, ANY_SOURCE, ANY_TAG};
 pub use request::Request;
 pub use world::{JobControl, World};

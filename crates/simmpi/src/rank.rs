@@ -1,7 +1,7 @@
 //! Per-rank MPI handle: point-to-point operations and request completion.
 
 use std::collections::HashMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, RecvTimeoutError};
@@ -11,6 +11,7 @@ use crate::datatype::MpiType;
 use crate::envelope::{Message, RecvMsg};
 use crate::error::{MpiError, MpiResult};
 use crate::matching::{MatchEngine, PostOutcome, RecvId};
+use crate::netsim::{Frame, NetEndpoint, NetStats};
 use crate::request::{ReqState, Request};
 use crate::transport::Fabric;
 use crate::world::JobControl;
@@ -38,7 +39,11 @@ pub struct Mpi {
     size: usize,
     world: Comm,
     fabric: Fabric,
-    inbox: Receiver<Message>,
+    inbox: Receiver<Frame>,
+    /// Reliable-delivery sublayer endpoint; present iff the fabric runs
+    /// over a lossy wire. With the default perfect wire this is `None`
+    /// and frames take the original direct path.
+    net: Option<NetEndpoint>,
     engine: MatchEngine,
     /// Receives completed by a drain while their owner was waiting on a
     /// different request.
@@ -58,14 +63,18 @@ impl Mpi {
         rank: usize,
         size: usize,
         fabric: Fabric,
-        inbox: Receiver<Message>,
+        inbox: Receiver<Frame>,
     ) -> Self {
+        let net = fabric
+            .net_cond()
+            .map(|c| NetEndpoint::new(rank, size, c.retransmit.clone()));
         Mpi {
             rank,
             size,
             world: crate::world::world_comm(rank, size),
             fabric,
             inbox,
+            net,
             engine: MatchEngine::new(),
             completed: HashMap::new(),
             send_seq: vec![0; size],
@@ -112,11 +121,83 @@ impl Mpi {
         Ok(())
     }
 
-    /// Move every message waiting in the mailbox into the matching engine.
-    fn drain(&mut self) {
-        while let Ok(msg) = self.inbox.try_recv() {
-            if let Some((id, msg)) = self.engine.deliver(msg) {
-                self.completed.insert(id, msg);
+    /// Hand one application message to the matching engine.
+    fn feed(&mut self, msg: Message) {
+        if let Some((id, msg)) = self.engine.deliver(msg) {
+            self.completed.insert(id, msg);
+        }
+    }
+
+    /// Route one frame from the mailbox: direct frames go straight to the
+    /// matching engine; sublayer frames pass through the reliable-delivery
+    /// endpoint, which may emit zero or more messages in wire order.
+    fn dispatch(&mut self, frame: Frame) {
+        match frame {
+            Frame::Direct(msg) => self.feed(msg),
+            other => {
+                let msgs = match self.net.as_mut() {
+                    Some(ep) => {
+                        ep.on_frame(&self.fabric, other, Instant::now())
+                    }
+                    // Sublayer frames cannot arrive on a perfect-wire
+                    // fabric; drop defensively.
+                    None => Vec::new(),
+                };
+                for m in msgs {
+                    self.feed(m);
+                }
+            }
+        }
+    }
+
+    /// Drive the reliable-delivery sublayer's timers (held-frame release
+    /// and retransmission). No-op on the perfect wire.
+    fn net_poll(&mut self) -> MpiResult<()> {
+        if let Some(ep) = self.net.as_mut() {
+            ep.poll(&self.fabric, Instant::now())?;
+        }
+        Ok(())
+    }
+
+    /// Move every frame waiting in the mailbox into the matching engine.
+    fn drain(&mut self) -> MpiResult<()> {
+        self.net_poll()?;
+        while let Ok(frame) = self.inbox.try_recv() {
+            self.dispatch(frame);
+        }
+        Ok(())
+    }
+
+    /// Linger until every frame this rank sent has been acknowledged (or
+    /// written off to dead/departed peers). Called by the job runner after
+    /// the rank function returns; immediate on the perfect wire.
+    pub(crate) fn net_flush(&mut self) -> MpiResult<()> {
+        if self.net.is_none() {
+            return Ok(());
+        }
+        loop {
+            if self.fabric.control().is_aborted() {
+                // Every rank is rolling back; undelivered frames die with
+                // the attempt.
+                return Ok(());
+            }
+            self.drain()?;
+            if self.net.as_ref().is_none_or(NetEndpoint::all_acked) {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Counters of the reliable-delivery sublayer and this rank's outgoing
+    /// wire links. All zero on the perfect wire.
+    pub fn net_stats(&self) -> NetStats {
+        match &self.net {
+            None => NetStats::default(),
+            Some(ep) => {
+                let mut s = ep.stats();
+                s.wire = self.fabric.wire_stats_for(self.rank);
+                s
             }
         }
     }
@@ -179,14 +260,18 @@ impl Mpi {
         let dst_world = Self::resolve_dst(comm, dst)?;
         let seq = self.send_seq[dst_world];
         self.send_seq[dst_world] += 1;
-        self.fabric.send(Message {
+        let msg = Message {
             src: self.rank,
             dst: dst_world,
             context: Self::plane_context(comm, plane),
             tag,
             payload,
             seq,
-        })
+        };
+        match self.net.as_mut() {
+            None => self.fabric.send(msg),
+            Some(ep) => ep.send(&self.fabric, msg, Instant::now()),
+        }
     }
 
     pub(crate) fn irecv_on(
@@ -200,7 +285,7 @@ impl Mpi {
         self.ops += 1;
         let src_world = Self::resolve_src(comm, src)?;
         let tag = Self::resolve_tag(tag);
-        self.drain();
+        self.drain()?;
         let context = Self::plane_context(comm, plane);
         match self.engine.post(src_world, context, tag) {
             PostOutcome::Matched(msg) => {
@@ -263,13 +348,11 @@ impl Mpi {
                     // Not complete: restore state and block for traffic.
                     req.state = ReqState::RecvPending(id);
                     self.liveness()?;
+                    self.net_poll()?;
                     match self.inbox.recv_timeout(Duration::from_millis(1)) {
-                        Ok(msg) => {
-                            if let Some((done, msg)) = self.engine.deliver(msg)
-                            {
-                                self.completed.insert(done, msg);
-                            }
-                            self.drain();
+                        Ok(frame) => {
+                            self.dispatch(frame);
+                            self.drain()?;
                         }
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => {
@@ -409,7 +492,7 @@ impl Mpi {
             ));
         }
         self.liveness()?;
-        self.drain();
+        self.drain()?;
         match &req.state {
             ReqState::SendDone | ReqState::RecvReady(_) => Ok(true),
             ReqState::Consumed => Err(MpiError::BadRequest(
@@ -441,7 +524,7 @@ impl Mpi {
     ) -> MpiResult<(usize, Option<RecvMsg>)> {
         loop {
             self.liveness()?;
-            self.drain();
+            self.drain()?;
             let mut any_live = false;
             for (i, req) in reqs.iter_mut().enumerate() {
                 match &req.state {
@@ -465,11 +548,7 @@ impl Mpi {
                 ));
             }
             match self.inbox.recv_timeout(Duration::from_millis(1)) {
-                Ok(msg) => {
-                    if let Some((done, msg)) = self.engine.deliver(msg) {
-                        self.completed.insert(done, msg);
-                    }
-                }
+                Ok(frame) => self.dispatch(frame),
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(MpiError::Aborted)
@@ -520,7 +599,7 @@ impl Mpi {
         tag: i32,
     ) -> MpiResult<Option<(usize, i32, usize)>> {
         self.liveness()?;
-        self.drain();
+        self.drain()?;
         let src_world = Self::resolve_src(comm, src)?;
         let tag = Self::resolve_tag(tag);
         Ok(self.engine.probe(src_world, comm.context(), tag).map(|m| {

@@ -7,6 +7,7 @@ use crate::comm::Comm;
 #[cfg(test)]
 use crate::error::MpiError;
 use crate::error::MpiResult;
+use crate::netsim::NetCond;
 use crate::rank::Mpi;
 use crate::transport::Fabric;
 
@@ -29,6 +30,7 @@ pub struct JobControl {
 struct ControlInner {
     aborted: AtomicBool,
     failed: Vec<AtomicBool>,
+    done: Vec<AtomicBool>,
 }
 
 impl JobControl {
@@ -38,6 +40,7 @@ impl JobControl {
             inner: Arc::new(ControlInner {
                 aborted: AtomicBool::new(false),
                 failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+                done: (0..n).map(|_| AtomicBool::new(false)).collect(),
             }),
         }
     }
@@ -73,6 +76,25 @@ impl JobControl {
         self.inner.failed.iter().any(|f| f.load(Ordering::Acquire))
     }
 
+    /// Record that `rank`'s rank function has returned (it will issue no
+    /// further MPI calls). The reliable-delivery sublayer uses this to
+    /// write off unacknowledged frames to a departed rank instead of
+    /// retransmitting into its abandoned mailbox forever — the in-process
+    /// analogue of a connection's final ack being lost at close.
+    pub fn mark_done(&self, rank: usize) {
+        if let Some(flag) = self.inner.done.get(rank) {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether `rank`'s rank function has returned.
+    pub fn is_done(&self, rank: usize) -> bool {
+        self.inner
+            .done
+            .get(rank)
+            .is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
     /// Number of ranks this control block covers.
     pub fn size(&self) -> usize {
         self.inner.failed.len()
@@ -97,17 +119,45 @@ impl World {
         T: Send,
         F: Fn(&mut Mpi) -> MpiResult<T> + Send + Sync,
     {
+        Self::run_collect_net(n, control, NetCond::perfect(), f)
+    }
+
+    /// Like [`World::run_collect`], but the fabric runs over the (possibly
+    /// lossy) wire described by `cond`. With a perfect `cond` this is
+    /// byte-for-byte the original direct-channel fabric.
+    pub fn run_collect_net<T, F>(
+        n: usize,
+        control: JobControl,
+        cond: NetCond,
+        f: F,
+    ) -> Vec<MpiResult<T>>
+    where
+        T: Send,
+        F: Fn(&mut Mpi) -> MpiResult<T> + Send + Sync,
+    {
         assert!(n > 0, "a job has at least one rank");
         assert_eq!(control.size(), n, "control block sized for wrong job");
-        let (fabric, receivers) = Fabric::new(n, control);
+        let (fabric, receivers) =
+            Fabric::new_with_net(n, control.clone(), cond);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (rank, inbox) in receivers.into_iter().enumerate() {
                 let fabric = fabric.clone();
+                let control = control.clone();
                 let f = &f;
                 handles.push(scope.spawn(move || {
                     let mut mpi = Mpi::new(rank, n, fabric, inbox);
-                    f(&mut mpi)
+                    let out = f(&mut mpi);
+                    // The rank stops issuing MPI calls now; let the
+                    // sublayer write off whatever nobody will ever ack.
+                    control.mark_done(rank);
+                    match out {
+                        // Linger until every frame this rank sent has been
+                        // acknowledged, so late retransmission requests
+                        // aren't orphaned by our exit.
+                        Ok(v) => mpi.net_flush().map(|_| v),
+                        err => err,
+                    }
                 }));
             }
             handles
@@ -115,6 +165,21 @@ impl World {
                 .map(|h| h.join().expect("rank panicked"))
                 .collect()
         })
+    }
+
+    /// Run `f` once per rank over the wire described by `cond`; returns
+    /// every rank's output, or the first rank error encountered.
+    pub fn run_net<T, F>(n: usize, cond: NetCond, f: F) -> MpiResult<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Mpi) -> MpiResult<T> + Send + Sync,
+    {
+        let control = JobControl::new(n);
+        let mut out = Vec::with_capacity(n);
+        for r in Self::run_collect_net(n, control, cond, f) {
+            out.push(r?);
+        }
+        Ok(out)
     }
 
     /// Run `f` once per rank; returns every rank's output, or the first

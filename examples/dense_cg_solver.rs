@@ -38,6 +38,7 @@ fn main() {
     // Two failures at different points of the solve.
     let schedule = FailureSchedule {
         injections: vec![(1, 900), (3, 2200)],
+        net: None,
     };
     let faulty_cfg = schedule.apply(cfg);
     let report = run_job(nprocs, &faulty_cfg, None, &app).expect("faulty run");

@@ -122,6 +122,59 @@ fn chaos_on_laplace_with_short_mtbf() {
     .unwrap();
 }
 
+/// Network column of the matrix: the same kill schedules, but the
+/// attempt runs over a seeded lossy wire. Rollback, recovery, and replay
+/// must still reproduce the perfect-wire failure-free reference exactly
+/// — the reliable-delivery sublayer may not leak a single wire fault
+/// into the protocol.
+#[test]
+fn chaos_kills_ride_a_lossy_wire() {
+    let schedules: Vec<FailureSchedule> = (0..3)
+        .map(|seed| {
+            FailureSchedule::random(seed + 40, 3, 1, 15..110)
+                .with_net(simmpi::NetCond::lossy(seed + 40))
+        })
+        .collect();
+    let report = chaos_check(
+        3,
+        &C3Config::every_ops(14),
+        &MixedApp { iters: 30 },
+        &schedules,
+    )
+    .unwrap();
+    assert!(report.total_restarts >= 1, "no kill fired over the wire");
+}
+
+/// Kill-during-retransmission column: the drop rate is cranked high
+/// enough that repair traffic is always in flight, so the kill lands
+/// while the victim (or its peers) hold unacknowledged frames. Dead-rank
+/// write-off must keep the survivors from diagnosing a spurious
+/// `NetUnreachable`; the failure detector alone ends the attempt.
+#[test]
+fn chaos_kill_lands_during_retransmission() {
+    let wire = simmpi::NetCond::lossy(77)
+        .with_drop_ppm(150_000)
+        .with_retransmit(simmpi::RetransmitPolicy {
+            base_delay_us: 100,
+            max_delay_us: 1_000,
+            budget: 64,
+        });
+    let schedules: Vec<FailureSchedule> = (0..3)
+        .map(|seed| {
+            FailureSchedule::random(seed + 70, 3, 1, 20..100)
+                .with_net(wire.clone())
+        })
+        .collect();
+    let report = chaos_check(
+        3,
+        &C3Config::every_ops(12),
+        &MixedApp { iters: 30 },
+        &schedules,
+    )
+    .unwrap();
+    assert!(report.total_restarts >= 1, "no kill fired mid-repair");
+}
+
 /// Non-determinism under chaos: outputs legitimately differ from a
 /// reference run (fresh draws happen beyond the logged region after a
 /// rollback), but the protocol must keep every rank's view of the shared
