@@ -20,11 +20,11 @@ fn sample_log(messages: usize, payload: usize) -> RecoveryLog {
             src: i % 4,
             message_id: i as u32,
             tag: (i % 7) as i32,
-            payload: vec![i as u8; payload],
+            payload: vec![i as u8; payload].into(),
         });
         log.push_nondet(i as u64);
     }
-    log.push_collective(coll_kind::ALLREDUCE, vec![1u8; payload]);
+    log.push_collective(coll_kind::ALLREDUCE, vec![1u8; payload].into());
     log
 }
 
@@ -38,7 +38,7 @@ fn bench_append(c: &mut Criterion) {
                 src: 1,
                 message_id: 0,
                 tag: 5,
-                payload: vec![9u8; payload],
+                payload: vec![9u8; payload].into(),
             };
             b.iter_batched(
                 RecoveryLog::new,

@@ -1,0 +1,445 @@
+//! Figure 8 analog for the zero-copy message hot path: per-message
+//! protocol overhead versus raw `simmpi`, across payload sizes and
+//! piggyback representations.
+//!
+//! The workload is two-rank batched streaming: rank 0 sends a window of
+//! messages back-to-back and then waits for one ack per window, so the
+//! expensive thread wake-up rendezvous is amortized across the window
+//! and the timer sees the real per-message work (a ping-pong hides
+//! per-message costs inside condvar wait time — an instrumented sender
+//! can even measure *faster* because its extra work overlaps the
+//! receiver's wake-up). Rank 0 times its own loop, so thread
+//! spawn/teardown is excluded. Cells:
+//!
+//! * **raw** — plain `simmpi` with a pre-built refcounted payload; the
+//!   floor every other cell is judged against.
+//! * **copying** — raw plus the pre-zero-copy per-message tax, staged
+//!   explicitly: each send concatenates a 4-byte header and the payload
+//!   into a fresh buffer (`Vec::with_capacity(4 + len)`), and each
+//!   receive peels the payload back off with `to_vec()`. This is exactly
+//!   what the protocol layer did before headers became a separate inline
+//!   segment, so `copying − raw` is the copy tax the refactor removed.
+//! * **packed / explicit** — the C³ process at the `Piggyback`
+//!   instrumentation level (headers on every message, no checkpoints),
+//!   one cell per wire representation. `cell − raw` is the surviving
+//!   O(header) protocol cost.
+//! * **packed_ckpt / explicit_ckpt** — instrumentation level `Full`
+//!   with checkpoints every few hundred operations, so epochs advance
+//!   and the logging machinery engages mid-stream.
+//!
+//! The report's summary cells compare the pre-refactor overhead
+//! (`copy tax + header cost`) against the post-refactor overhead
+//! (`header cost` alone); the acceptance bar is a ≥ 2× reduction once
+//! payloads reach 64 KiB and no regression at 16 B. Two `fig8` cells
+//! rerun the paper's Dense CG and Laplace instrumented-vs-uninstrumented
+//! ratios through [`c3_bench::measure_levels`].
+//!
+//! Besides the printed lines, the bench rewrites `BENCH_overhead.json`
+//! at the workspace root (skipped under `C3_BENCH_SMOKE=1`).
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use c3_apps::{DenseCg, Laplace};
+use c3_bench::report::{self, Report};
+use c3_bench::{measure_levels, Fig8Row};
+use c3_core::{
+    run_job, C3App, C3Config, C3Result, CheckpointTrigger,
+    InstrumentationLevel, PiggybackMode, Process,
+};
+use simmpi::World;
+
+const SIZES: [usize; 4] = [16, 1 << 10, 64 << 10, 1 << 20];
+const DATA_TAG: i32 = 7;
+const ACK_TAG: i32 = 8;
+/// Messages sent back-to-back before waiting for one ack.
+const BATCH: u64 = 32;
+
+fn sizes() -> Vec<usize> {
+    if report::smoke() {
+        vec![16, 4 << 10]
+    } else {
+        SIZES.to_vec()
+    }
+}
+
+/// Windows per cell: enough traffic to time, bounded in total bytes.
+fn batches_for(size: usize) -> u64 {
+    let budget = (16u64 << 20) / (BATCH * size as u64);
+    let n = budget.clamp(2, 256);
+    if report::smoke() {
+        n.min(4)
+    } else {
+        n
+    }
+}
+
+fn repeats() -> u32 {
+    if report::smoke() {
+        1
+    } else {
+        5
+    }
+}
+
+/// Raw simmpi streaming; `copying` adds the emulated pre-zero-copy
+/// per-message tax on both the send and the receive side. Returns the
+/// loop time in nanoseconds as measured by rank 0.
+fn raw_stream_ns(size: usize, batches: u64, copying: bool) -> u64 {
+    let out = World::run(2, |mpi| {
+        let comm = mpi.world();
+        let peer = 1 - mpi.rank();
+        let payload = Bytes::from(vec![0xC3u8; size]);
+        let header = [0xA5u8; 4];
+        let t0 = Instant::now();
+        for _ in 0..batches {
+            if mpi.rank() == 0 {
+                for _ in 0..BATCH {
+                    if copying {
+                        let mut buf =
+                            Vec::with_capacity(header.len() + payload.len());
+                        buf.extend_from_slice(&header);
+                        buf.extend_from_slice(&payload);
+                        mpi.send_bytes(
+                            &comm,
+                            peer,
+                            DATA_TAG,
+                            Bytes::from(buf),
+                        )?;
+                    } else {
+                        mpi.send_bytes(
+                            &comm,
+                            peer,
+                            DATA_TAG,
+                            payload.clone(),
+                        )?;
+                    }
+                }
+                black_box(mpi.recv(&comm, peer, ACK_TAG)?);
+            } else {
+                for _ in 0..BATCH {
+                    let msg = mpi.recv(&comm, peer, DATA_TAG)?;
+                    if copying {
+                        black_box(msg.payload[header.len()..].to_vec());
+                    } else {
+                        black_box(msg);
+                    }
+                }
+                mpi.send(&comm, peer, ACK_TAG, &[1u8])?;
+            }
+        }
+        Ok(t0.elapsed().as_nanos() as u64)
+    })
+    .expect("raw streaming failed");
+    out[0]
+}
+
+/// The same batched stream as a C³ application; rank 0 stashes its loop
+/// nanoseconds.
+struct Stream {
+    size: usize,
+    batches: u64,
+    loop_ns: Arc<AtomicU64>,
+}
+
+impl C3App for Stream {
+    type State = u64;
+    type Output = ();
+
+    fn init(&self, _p: &mut Process<'_>) -> C3Result<u64> {
+        Ok(0)
+    }
+
+    fn run(&self, p: &mut Process<'_>, state: &mut u64) -> C3Result<()> {
+        let comm = p.world();
+        let peer = 1 - p.rank();
+        let payload = Bytes::from(vec![0xC3u8; self.size]);
+        let t0 = Instant::now();
+        while *state < self.batches {
+            if p.rank() == 0 {
+                for _ in 0..BATCH {
+                    p.send_bytes(comm, peer, DATA_TAG, payload.clone())?;
+                }
+                black_box(p.recv(comm, peer, ACK_TAG)?);
+            } else {
+                for _ in 0..BATCH {
+                    black_box(p.recv(comm, peer, DATA_TAG)?);
+                }
+                p.send(comm, peer, ACK_TAG, &[1u8])?;
+            }
+            *state += 1;
+            p.potential_checkpoint(state)?;
+        }
+        if p.rank() == 0 {
+            self.loop_ns
+                .store(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+        }
+        Ok(())
+    }
+}
+
+/// One instrumented streaming run; returns rank 0's loop nanoseconds.
+fn c3_stream_ns(
+    size: usize,
+    batches: u64,
+    mode: PiggybackMode,
+    checkpoints: bool,
+) -> u64 {
+    let loop_ns = Arc::new(AtomicU64::new(0));
+    let app = Stream {
+        size,
+        batches,
+        loop_ns: loop_ns.clone(),
+    };
+    let mut cfg = C3Config::default().with_piggyback(mode);
+    if checkpoints {
+        cfg.level = InstrumentationLevel::Full;
+        // A handful of checkpoints per run so logging engages.
+        cfg.trigger =
+            CheckpointTrigger::EveryOps((batches * BATCH / 3).max(8));
+    } else {
+        cfg.level = InstrumentationLevel::Piggyback;
+    }
+    run_job(2, &cfg, None, &app).expect("instrumented streaming failed");
+    loop_ns.load(Ordering::SeqCst)
+}
+
+#[derive(Debug, Clone)]
+struct PpCell {
+    variant: &'static str,
+    size: usize,
+    msgs: u64,
+    ns_per_msg: f64,
+}
+
+/// Best-of-N wall time, converted to per-message nanoseconds.
+fn best_ns_per_msg(
+    variant: &'static str,
+    size: usize,
+    run: impl Fn() -> u64,
+) -> PpCell {
+    let msgs = batches_for(size) * BATCH;
+    let best = (0..repeats()).map(|_| run()).min().expect("repeats >= 1");
+    PpCell {
+        variant,
+        size,
+        msgs,
+        ns_per_msg: best as f64 / msgs as f64,
+    }
+}
+
+fn stream_cells() -> Vec<PpCell> {
+    let mut cells = Vec::new();
+    for size in sizes() {
+        let b = batches_for(size);
+        cells.push(best_ns_per_msg("raw", size, || {
+            raw_stream_ns(size, b, false)
+        }));
+        cells.push(best_ns_per_msg("copying", size, || {
+            raw_stream_ns(size, b, true)
+        }));
+        for (name, mode) in [
+            ("packed", PiggybackMode::Packed),
+            ("explicit", PiggybackMode::Explicit),
+        ] {
+            cells.push(best_ns_per_msg(name, size, || {
+                c3_stream_ns(size, b, mode, false)
+            }));
+        }
+        for (name, mode) in [
+            ("packed_ckpt", PiggybackMode::Packed),
+            ("explicit_ckpt", PiggybackMode::Explicit),
+        ] {
+            cells.push(best_ns_per_msg(name, size, || {
+                c3_stream_ns(size, b, mode, true)
+            }));
+        }
+    }
+    cells
+}
+
+fn cell_ns(cells: &[PpCell], variant: &str, size: usize) -> f64 {
+    cells
+        .iter()
+        .find(|c| c.variant == variant && c.size == size)
+        .map(|c| c.ns_per_msg)
+        .expect("cell present")
+}
+
+/// Pre- vs post-refactor overhead for one (size, mode) pair.
+#[derive(Debug, Clone)]
+struct Summary {
+    mode: &'static str,
+    size: usize,
+    copy_tax_ns: f64,
+    header_cost_ns: f64,
+    pre_overhead_ns: f64,
+    post_overhead_ns: f64,
+    reduction_ratio: f64,
+}
+
+fn summarize(cells: &[PpCell]) -> Vec<Summary> {
+    let mut out = Vec::new();
+    for size in sizes() {
+        let raw = cell_ns(cells, "raw", size);
+        let copy_tax = cell_ns(cells, "copying", size) - raw;
+        for mode in ["packed", "explicit"] {
+            let header_cost = cell_ns(cells, mode, size) - raw;
+            let pre = copy_tax + header_cost;
+            let post = header_cost;
+            out.push(Summary {
+                mode,
+                size,
+                copy_tax_ns: copy_tax,
+                header_cost_ns: header_cost,
+                pre_overhead_ns: pre,
+                post_overhead_ns: post,
+                // Scheduler noise can push tiny overheads below zero;
+                // floor the denominator at 1 ns so the ratio stays
+                // finite and meaningful.
+                reduction_ratio: pre / post.max(1.0),
+            });
+        }
+    }
+    out
+}
+
+fn fig8_rows() -> Vec<(&'static str, Fig8Row)> {
+    if report::smoke() {
+        println!("C3_BENCH_SMOKE set; skipping fig8 ratio rows");
+        return Vec::new();
+    }
+    vec![
+        (
+            "dense_cg",
+            measure_levels(4, &DenseCg::new(192, 800), "192x192", 25, 2),
+        ),
+        (
+            "laplace",
+            measure_levels(4, &Laplace { n: 96, iters: 2000 }, "96x96", 50, 2),
+        ),
+    ]
+}
+
+fn write_json(
+    cells: &[PpCell],
+    summaries: &[Summary],
+    rows: &[(&'static str, Fig8Row)],
+) {
+    let size_list = sizes()
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut report = Report::new("micro_overhead")
+        .param("ranks", 2usize)
+        .param("batch", BATCH)
+        .param("payload_sizes", size_list)
+        .param("repeats", u64::from(repeats()));
+    for c in cells {
+        report.push_cell(
+            report::Cell::new()
+                .field("kind", "stream")
+                .field("variant", c.variant)
+                .field("size_bytes", c.size)
+                .field("messages", c.msgs)
+                .field("ns_per_msg", c.ns_per_msg),
+        );
+    }
+    for s in summaries {
+        report.push_cell(
+            report::Cell::new()
+                .field("kind", "summary")
+                .field("mode", s.mode)
+                .field("size_bytes", s.size)
+                .field("copy_tax_ns", s.copy_tax_ns)
+                .field("header_cost_ns", s.header_cost_ns)
+                .field("pre_overhead_ns_per_msg", s.pre_overhead_ns)
+                .field("post_overhead_ns_per_msg", s.post_overhead_ns)
+                .field("reduction_ratio", s.reduction_ratio),
+        );
+    }
+    for (app, row) in rows {
+        report.push_cell(
+            report::Cell::new()
+                .field("kind", "fig8")
+                .field("app", *app)
+                .field("size", row.label.clone())
+                .field("base_secs", row.cells[0].elapsed.as_secs_f64())
+                .field("piggyback_overhead_pct", row.overhead_pct(1))
+                .field("protocol_overhead_pct", row.overhead_pct(2))
+                .field("full_overhead_pct", row.overhead_pct(3)),
+        );
+    }
+    report.write("BENCH_overhead.json");
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let cells = stream_cells();
+    for cell in &cells {
+        println!(
+            "overhead/{}/{}B: {:.1} ns/msg over {} messages",
+            cell.variant, cell.size, cell.ns_per_msg, cell.msgs
+        );
+    }
+    let summaries = summarize(&cells);
+    for s in &summaries {
+        println!(
+            "overhead/summary/{}/{}B: copy tax {:.1} ns + header {:.1} ns \
+             -> pre {:.1} ns vs post {:.1} ns ({:.2}x reduction)",
+            s.mode,
+            s.size,
+            s.copy_tax_ns,
+            s.header_cost_ns,
+            s.pre_overhead_ns,
+            s.post_overhead_ns,
+            s.reduction_ratio
+        );
+        if s.size >= 64 << 10 && s.reduction_ratio < 2.0 {
+            println!(
+                "NOTE: expected >= 2x overhead reduction at {}B, got {:.2}x; \
+                 rerun on a quiet machine",
+                s.size, s.reduction_ratio
+            );
+        }
+    }
+    let rows = fig8_rows();
+    for (app, row) in &rows {
+        println!(
+            "overhead/fig8/{app}/{}: base {:.3}s, +piggyback {:+.1}%, \
+             +protocol {:+.1}%, full {:+.1}%",
+            row.label,
+            row.cells[0].elapsed.as_secs_f64(),
+            row.overhead_pct(1),
+            row.overhead_pct(2),
+            row.overhead_pct(3)
+        );
+    }
+    write_json(&cells, &summaries, &rows);
+
+    // Criterion display: one 1 KiB window per iteration, raw versus
+    // instrumented.
+    let windows = if report::smoke() { 1 } else { 4 };
+    let mut g = c.benchmark_group("overhead_stream_1k");
+    g.sample_size(5);
+    g.throughput(Throughput::Elements(windows * BATCH));
+    g.bench_function("raw", |b| {
+        b.iter(|| raw_stream_ns(1 << 10, windows, false))
+    });
+    g.bench_function("packed", |b| {
+        b.iter(|| c3_stream_ns(1 << 10, windows, PiggybackMode::Packed, false))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_overhead
+}
+criterion_main!(benches);

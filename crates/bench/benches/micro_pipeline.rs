@@ -22,6 +22,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+use c3_bench::report::{self, Report};
 use ckptpipe::{CheckpointPipeline, PipelineConfig, WriteMode};
 use ckptstore::{
     CheckpointStore, MemoryBackend, RankBlobKind, StorageBackend,
@@ -32,6 +33,15 @@ const STATE_BYTES: usize = 1 << 20;
 const CHUNK: usize = 4096;
 const DIRTY_ONE_IN: usize = 8;
 const ROUNDS: u64 = 6;
+
+/// Commit rounds per cell, shrunk under `C3_BENCH_SMOKE=1`.
+fn rounds() -> u64 {
+    if report::smoke() {
+        2
+    } else {
+        ROUNDS
+    }
+}
 
 /// Rank `rank`'s state at round `round`: a fixed byte pattern with every
 /// `DIRTY_ONE_IN`-th chunk rewritten per round (rotating which chunks).
@@ -64,7 +74,7 @@ struct Cell {
     bytes_written: u64,
 }
 
-/// Run `ROUNDS` commit rounds under one pipeline configuration.
+/// Run `rounds()` commit rounds under one pipeline configuration.
 fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
     let incremental = io.incremental;
     let backend = Arc::new(MemoryBackend::new());
@@ -75,7 +85,7 @@ fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
     let pipeline = CheckpointPipeline::new(store.clone(), io);
     let mut stage_ns = 0u128;
     let mut drain_ns = 0u128;
-    for round in 1..=ROUNDS {
+    for round in 1..=rounds() {
         let t0 = Instant::now();
         for rank in 0..RANKS {
             pipeline
@@ -96,8 +106,8 @@ fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
     Cell {
         mode,
         incremental,
-        stage_ms_per_ckpt: stage_ns as f64 / ROUNDS as f64 / 1e6,
-        drain_ms_per_ckpt: drain_ns as f64 / ROUNDS as f64 / 1e6,
+        stage_ms_per_ckpt: stage_ns as f64 / rounds() as f64 / 1e6,
+        drain_ms_per_ckpt: drain_ns as f64 / rounds() as f64 / 1e6,
         bytes_written: backend.bytes_written(),
     }
 }
@@ -133,34 +143,23 @@ fn cells() -> Vec<Cell> {
 }
 
 fn write_json(cells: &[Cell]) {
-    let mut rows = String::new();
-    for (i, c) in cells.iter().enumerate() {
-        if i > 0 {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"incremental\": {}, \
-             \"stage_ms_per_ckpt\": {:.3}, \"drain_ms_per_ckpt\": {:.3}, \
-             \"bytes_written\": {}}}",
-            c.mode,
-            c.incremental,
-            c.stage_ms_per_ckpt,
-            c.drain_ms_per_ckpt,
-            c.bytes_written
-        ));
+    let mut report = Report::new("micro_pipeline")
+        .param("ranks", RANKS)
+        .param("state_bytes_per_rank", STATE_BYTES)
+        .param("chunk_bytes", CHUNK)
+        .param("dirty_chunk_fraction", 1.0 / DIRTY_ONE_IN as f64)
+        .param("checkpoints", rounds());
+    for c in cells {
+        report.push_cell(
+            report::Cell::new()
+                .field("mode", c.mode)
+                .field("incremental", c.incremental)
+                .field("stage_ms_per_ckpt", c.stage_ms_per_ckpt)
+                .field("drain_ms_per_ckpt", c.drain_ms_per_ckpt)
+                .field("bytes_written", c.bytes_written),
+        );
     }
-    let json = format!(
-        "{{\n  \"bench\": \"micro_pipeline\",\n  \"ranks\": {RANKS},\n  \
-         \"state_bytes_per_rank\": {STATE_BYTES},\n  \
-         \"chunk_bytes\": {CHUNK},\n  \
-         \"dirty_chunk_fraction\": {:.4},\n  \
-         \"checkpoints\": {ROUNDS},\n  \"cells\": [\n{rows}\n  ]\n}}\n",
-        1.0 / DIRTY_ONE_IN as f64
-    );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../BENCH_pipeline.json");
-    std::fs::write(&path, json).expect("write BENCH_pipeline.json");
-    println!("wrote {}", path.display());
+    report.write("BENCH_pipeline.json");
 }
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -173,11 +172,12 @@ fn bench_pipeline(c: &mut Criterion) {
         };
         println!(
             "pipeline/{}/{kind}: stage {:.3} ms/ckpt, drain {:.3} ms/ckpt, \
-             {} bytes written over {ROUNDS} checkpoints",
+             {} bytes written over {} checkpoints",
             cell.mode,
             cell.stage_ms_per_ckpt,
             cell.drain_ms_per_ckpt,
-            cell.bytes_written
+            cell.bytes_written,
+            rounds()
         );
     }
     write_json(&results);

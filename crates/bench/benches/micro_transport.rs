@@ -22,10 +22,20 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
+use c3_bench::report::{self, Report};
 use simmpi::{NetCond, NetStats, World};
 
 const ROUNDS: u64 = 1500;
 const PAYLOAD: usize = 256;
+
+/// Round-trip count, shrunk under `C3_BENCH_SMOKE=1`.
+fn rounds() -> u64 {
+    if report::smoke() {
+        50
+    } else {
+        ROUNDS
+    }
+}
 
 struct Cell {
     name: &'static str,
@@ -34,15 +44,16 @@ struct Cell {
     stats: NetStats,
 }
 
-/// `ROUNDS` ping-pong round trips between two ranks; returns the
+/// `rounds()` ping-pong round trips between two ranks; returns the
 /// wall-clock time and the merged per-rank transport statistics.
 fn run_cell(name: &'static str, cond: NetCond) -> Cell {
     let payload = vec![0xA5u8; PAYLOAD];
+    let n = rounds();
     let t0 = Instant::now();
     let stats = World::run_net(2, cond, move |mpi| {
         let comm = mpi.world();
         let peer = 1 - mpi.rank();
-        for round in 0..ROUNDS {
+        for round in 0..n {
             if mpi.rank() == 0 {
                 mpi.send(&comm, peer, round as i32 % 7, &payload)?;
                 mpi.recv(&comm, peer, round as i32 % 7)?;
@@ -65,7 +76,7 @@ fn run_cell(name: &'static str, cond: NetCond) -> Cell {
     Cell {
         name,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
-        rtt_us: elapsed.as_secs_f64() * 1e6 / ROUNDS as f64,
+        rtt_us: elapsed.as_secs_f64() * 1e6 / n as f64,
         stats: merged,
     }
 }
@@ -79,49 +90,38 @@ fn cells() -> Vec<Cell> {
 }
 
 fn write_json(cells: &[Cell]) {
-    let mut rows = String::new();
-    for (i, c) in cells.iter().enumerate() {
-        if i > 0 {
-            rows.push_str(",\n");
-        }
+    let mut report = Report::new("micro_transport")
+        .param("ranks", 2usize)
+        .param("round_trips", rounds())
+        .param("payload_bytes", PAYLOAD);
+    for c in cells {
         let w = &c.stats.wire;
-        rows.push_str(&format!(
-            "    {{\"wire\": \"{}\", \"elapsed_ms\": {:.3}, \
-             \"rtt_us\": {:.3}, \"retransmits\": {}, \
-             \"dup_delivered\": {}, \"acks_sent\": {}, \
-             \"wire_dropped\": {}, \"wire_duplicated\": {}, \
-             \"wire_reordered\": {}, \"wire_delayed\": {}}}",
-            c.name,
-            c.elapsed_ms,
-            c.rtt_us,
-            c.stats.retransmits,
-            c.stats.dup_delivered,
-            c.stats.acks_sent,
-            w.dropped + w.partition_dropped,
-            w.duplicated,
-            w.reordered,
-            w.delayed,
-        ));
+        report.push_cell(
+            report::Cell::new()
+                .field("wire", c.name)
+                .field("elapsed_ms", c.elapsed_ms)
+                .field("rtt_us", c.rtt_us)
+                .field("retransmits", c.stats.retransmits)
+                .field("dup_delivered", c.stats.dup_delivered)
+                .field("acks_sent", c.stats.acks_sent)
+                .field("wire_dropped", w.dropped + w.partition_dropped)
+                .field("wire_duplicated", w.duplicated)
+                .field("wire_reordered", w.reordered)
+                .field("wire_delayed", w.delayed),
+        );
     }
-    let json = format!(
-        "{{\n  \"bench\": \"micro_transport\",\n  \"ranks\": 2,\n  \
-         \"round_trips\": {ROUNDS},\n  \"payload_bytes\": {PAYLOAD},\n  \
-         \"cells\": [\n{rows}\n  ]\n}}\n",
-    );
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../BENCH_transport.json");
-    std::fs::write(&path, json).expect("write BENCH_transport.json");
-    println!("wrote {}", path.display());
+    report.write("BENCH_transport.json");
 }
 
 fn bench_transport(c: &mut Criterion) {
     let results = cells();
     for cell in &results {
         println!(
-            "transport/{}: {:.3} ms for {ROUNDS} round trips \
+            "transport/{}: {:.3} ms for {} round trips \
              ({:.2} us/rtt), {} retransmit(s), {} wire fault(s)",
             cell.name,
             cell.elapsed_ms,
+            rounds(),
             cell.rtt_us,
             cell.stats.retransmits,
             cell.stats.wire.dropped
@@ -133,19 +133,20 @@ fn bench_transport(c: &mut Criterion) {
     write_json(&results);
 
     // Criterion display: one short ping-pong burst per iteration.
+    let burst: u32 = if report::smoke() { 5 } else { 100 };
     let mut g = c.benchmark_group("transport_pingpong");
     g.sample_size(5);
-    g.throughput(Throughput::Elements(100));
+    g.throughput(Throughput::Elements(burst as u64));
     for (name, cond) in [
         ("perfect", NetCond::perfect()),
         ("lossy", NetCond::lossy(1)),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                World::run_net(2, cond.clone(), |mpi| {
+                World::run_net(2, cond.clone(), move |mpi| {
                     let comm = mpi.world();
                     let peer = 1 - mpi.rank();
-                    for _ in 0..100u32 {
+                    for _ in 0..burst {
                         if mpi.rank() == 0 {
                             mpi.send(&comm, peer, 1, b"ping")?;
                             mpi.recv(&comm, peer, 1)?;

@@ -18,6 +18,8 @@
 
 #![deny(missing_docs)]
 
+pub mod report;
+
 use std::time::Duration;
 
 use c3_core::{

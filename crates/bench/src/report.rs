@@ -1,0 +1,611 @@
+//! Shared machine-readable benchmark report format.
+//!
+//! Every micro-benchmark that tracks its numbers in-repo writes a
+//! `BENCH_<name>.json` file at the workspace root, and every one of those
+//! files has the same shape:
+//!
+//! ```json
+//! {
+//!   "bench": "<benchmark name>",
+//!   "params": { "<knob>": <scalar>, ... },
+//!   "cells":  [ { "<metric>": <scalar>, ... }, ... ]
+//! }
+//! ```
+//!
+//! `params` holds the fixed configuration of the run (rank counts,
+//! payload sizes, iteration counts); `cells` holds one flat object per
+//! measured cell. Scalars are strings, finite numbers, or booleans —
+//! nothing nests deeper, so downstream tooling can load any report with
+//! a two-level loop and no schema registry.
+//!
+//! [`Report`] builds and serializes the format; [`validate`] checks an
+//! arbitrary JSON document against it (used by the `report_schema`
+//! integration test and the CI `bench-smoke` job to keep every checked-in
+//! artifact conforming). [`smoke`] reads the `C3_BENCH_SMOKE` environment
+//! variable so benches can shrink their iteration counts for CI without
+//! clobbering the checked-in full-run artifacts.
+
+/// A scalar JSON value as allowed inside `params` and `cells`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonVal {
+    /// An integer, printed without a decimal point.
+    Int(i64),
+    /// A finite float, printed with four decimal places.
+    Num(f64),
+    /// A string, printed with minimal escaping.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<i64> for JsonVal {
+    fn from(v: i64) -> Self {
+        JsonVal::Int(v)
+    }
+}
+
+impl From<u64> for JsonVal {
+    fn from(v: u64) -> Self {
+        match i64::try_from(v) {
+            Ok(i) => JsonVal::Int(i),
+            Err(_) => JsonVal::Num(v as f64),
+        }
+    }
+}
+
+impl From<usize> for JsonVal {
+    fn from(v: usize) -> Self {
+        JsonVal::from(v as u64)
+    }
+}
+
+impl From<u32> for JsonVal {
+    fn from(v: u32) -> Self {
+        JsonVal::Int(v as i64)
+    }
+}
+
+impl From<f64> for JsonVal {
+    fn from(v: f64) -> Self {
+        JsonVal::Num(v)
+    }
+}
+
+impl From<&str> for JsonVal {
+    fn from(v: &str) -> Self {
+        JsonVal::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonVal {
+    fn from(v: String) -> Self {
+        JsonVal::Str(v)
+    }
+}
+
+impl From<bool> for JsonVal {
+    fn from(v: bool) -> Self {
+        JsonVal::Bool(v)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32))
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl JsonVal {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonVal::Int(i) => out.push_str(&i.to_string()),
+            JsonVal::Num(n) => {
+                assert!(n.is_finite(), "non-finite number in report: {n}");
+                out.push_str(&format!("{n:.4}"));
+            }
+            JsonVal::Str(s) => {
+                out.push('"');
+                escape_into(out, s);
+                out.push('"');
+            }
+            JsonVal::Bool(b) => {
+                out.push_str(if *b { "true" } else { "false" })
+            }
+        }
+    }
+}
+
+/// One flat measurement record: ordered `key: scalar` fields.
+#[derive(Debug, Clone, Default)]
+pub struct Cell {
+    fields: Vec<(String, JsonVal)>,
+}
+
+impl Cell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Cell::default()
+    }
+
+    /// Append a field (insertion order is preserved in the output).
+    pub fn field(mut self, key: &str, val: impl Into<JsonVal>) -> Self {
+        self.fields.push((key.to_string(), val.into()));
+        self
+    }
+}
+
+/// Builder for one `BENCH_<name>.json` report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    bench: String,
+    params: Vec<(String, JsonVal)>,
+    cells: Vec<Cell>,
+}
+
+impl Report {
+    /// Start a report for the benchmark named `bench`.
+    pub fn new(bench: &str) -> Self {
+        Report {
+            bench: bench.to_string(),
+            params: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Record one fixed configuration knob of the run.
+    pub fn param(mut self, key: &str, val: impl Into<JsonVal>) -> Self {
+        self.params.push((key.to_string(), val.into()));
+        self
+    }
+
+    /// Append one measured cell.
+    pub fn push_cell(&mut self, cell: Cell) {
+        self.cells.push(cell);
+    }
+
+    /// Serialize to the canonical pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": ");
+        JsonVal::Str(self.bench.clone()).render_into(&mut out);
+        out.push_str(",\n  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            escape_into(&mut out, k);
+            out.push_str("\": ");
+            v.render_into(&mut out);
+        }
+        out.push_str("\n  },\n  \"cells\": [");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {");
+            for (j, (k, v)) in cell.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push('"');
+                escape_into(&mut out, k);
+                out.push_str("\": ");
+                v.render_into(&mut out);
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write the report to `<workspace root>/<file_name>`.
+    ///
+    /// In smoke mode ([`smoke`]) this is a no-op: CI's tiny iteration
+    /// counts must not overwrite the checked-in full-run artifacts.
+    pub fn write(&self, file_name: &str) {
+        if smoke() {
+            println!("C3_BENCH_SMOKE set; not rewriting {file_name}");
+            return;
+        }
+        let json = self.to_json();
+        validate(&json).expect("generated report must satisfy its own schema");
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(file_name);
+        std::fs::write(&path, json)
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Whether the `C3_BENCH_SMOKE` environment variable asks for a tiny CI
+/// run (set to anything but `0` or the empty string).
+pub fn smoke() -> bool {
+    std::env::var("C3_BENCH_SMOKE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+// ---------------------------------------------------------------------
+// Schema validation: a minimal hand-rolled JSON reader, just deep enough
+// to check the two-level report shape. No external parser dependency.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "dangling escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(
+                                &self.bytes[self.pos..self.pos + 4],
+                            )
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or("bad \\u code point")?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported escape '\\{}'",
+                                other as char
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance one whole UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// A scalar value: string, finite number, or boolean. Nested arrays,
+    /// objects, and `null` are schema violations.
+    fn parse_scalar(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(|_| ()),
+            Some(b't') | Some(b'f') => {
+                let lit: &[u8] = if self.peek() == Some(b't') {
+                    b"true"
+                } else {
+                    b"false"
+                };
+                if self.bytes[self.pos..].starts_with(lit) {
+                    self.pos += lit.len();
+                    Ok(())
+                } else {
+                    Err(format!("bad literal at byte {}", self.pos))
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit()
+                        || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                    {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<f64>()
+                    .map_err(|_| format!("bad number {text:?}"))
+                    .and_then(|n| {
+                        if n.is_finite() {
+                            Ok(())
+                        } else {
+                            Err(format!("non-finite number {text:?}"))
+                        }
+                    })
+            }
+            other => Err(format!(
+                "expected scalar at byte {}, found {:?}",
+                self.pos,
+                other.map(|c| c as char)
+            )),
+        }
+    }
+
+    /// An object whose values are all scalars; returns its keys.
+    fn parse_flat_object(&mut self) -> Result<Vec<String>, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut keys = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(keys);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.parse_scalar()?;
+            keys.push(key);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(keys);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Check a JSON document against the shared benchmark report schema:
+/// a top-level object with exactly the keys `bench` (non-empty string),
+/// `params` (object of scalars), and `cells` (non-empty array of
+/// non-empty objects of scalars), and nothing else.
+pub fn validate(json: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut saw_bench = false;
+    let mut saw_params = false;
+    let mut saw_cells = false;
+    loop {
+        p.skip_ws();
+        if p.peek() == Some(b'}') && !(saw_bench || saw_params || saw_cells) {
+            return Err("empty top-level object".into());
+        }
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "bench" => {
+                if saw_bench {
+                    return Err("duplicate \"bench\" key".into());
+                }
+                let name = p.parse_string()?;
+                if name.is_empty() {
+                    return Err("\"bench\" must be a non-empty string".into());
+                }
+                saw_bench = true;
+            }
+            "params" => {
+                if saw_params {
+                    return Err("duplicate \"params\" key".into());
+                }
+                p.parse_flat_object()?;
+                saw_params = true;
+            }
+            "cells" => {
+                if saw_cells {
+                    return Err("duplicate \"cells\" key".into());
+                }
+                p.expect(b'[')?;
+                let mut n = 0usize;
+                p.skip_ws();
+                if p.peek() == Some(b']') {
+                    return Err("\"cells\" must be non-empty".into());
+                }
+                loop {
+                    let keys = p.parse_flat_object()?;
+                    if keys.is_empty() {
+                        return Err(format!("cell {n} has no fields"));
+                    }
+                    n += 1;
+                    p.skip_ws();
+                    match p.peek() {
+                        Some(b',') => p.pos += 1,
+                        Some(b']') => {
+                            p.pos += 1;
+                            break;
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected ',' or ']' in cells, found {:?}",
+                                other.map(|c| c as char)
+                            ))
+                        }
+                    }
+                }
+                saw_cells = true;
+            }
+            other => {
+                return Err(format!("unexpected top-level key {other:?}"))
+            }
+        }
+        p.skip_ws();
+        match p.peek() {
+            Some(b',') => p.pos += 1,
+            Some(b'}') => {
+                p.pos += 1;
+                break;
+            }
+            other => {
+                return Err(format!(
+                    "expected ',' or '}}' at top level, found {:?}",
+                    other.map(|c| c as char)
+                ))
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    if !saw_bench {
+        return Err("missing \"bench\" key".into());
+    }
+    if !saw_params {
+        return Err("missing \"params\" key".into());
+    }
+    if !saw_cells {
+        return Err("missing \"cells\" key".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("unit")
+            .param("ranks", 2usize)
+            .param("fraction", 0.125)
+            .param("label", "a \"quoted\" name")
+            .param("enabled", true);
+        r.push_cell(
+            Cell::new()
+                .field("variant", "raw")
+                .field("ns_per_msg", 41.5)
+                .field("count", 1500u64),
+        );
+        r.push_cell(
+            Cell::new().field("variant", "packed").field("neg", -3i64),
+        );
+        r
+    }
+
+    #[test]
+    fn roundtrip_validates() {
+        let json = sample().to_json();
+        validate(&json).unwrap();
+        assert!(json.contains("\"bench\": \"unit\""));
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"count\": 1500"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for (doc, why) in [
+            ("{}", "empty object"),
+            ("{\"bench\": \"x\", \"params\": {}}", "missing cells"),
+            (
+                "{\"bench\": \"x\", \"params\": {}, \"cells\": []}",
+                "empty cells",
+            ),
+            (
+                "{\"bench\": \"x\", \"params\": {}, \"cells\": [{}]}",
+                "empty cell object",
+            ),
+            (
+                "{\"bench\": \"x\", \"params\": {\"a\": [1]}, \
+                 \"cells\": [{\"k\": 1}]}",
+                "nested array in params",
+            ),
+            (
+                "{\"bench\": \"x\", \"params\": {\"a\": null}, \
+                 \"cells\": [{\"k\": 1}]}",
+                "null scalar",
+            ),
+            (
+                "{\"bench\": \"x\", \"extra\": 1, \"params\": {}, \
+                 \"cells\": [{\"k\": 1}]}",
+                "unexpected key",
+            ),
+            (
+                "{\"bench\": \"x\", \"params\": {}, \
+                 \"cells\": [{\"k\": 1}]} trailing",
+                "trailing garbage",
+            ),
+        ] {
+            assert!(validate(doc).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn accepts_numbers_and_bools() {
+        let doc = "{\"bench\": \"n\", \
+                   \"params\": {\"x\": -1.5e3, \"y\": false}, \
+                   \"cells\": [{\"a\": 0.0001, \"b\": true, \"c\": \"s\"}]}";
+        validate(doc).unwrap();
+    }
+
+    #[test]
+    fn u64_overflow_degrades_to_float() {
+        assert!(matches!(JsonVal::from(u64::MAX), JsonVal::Num(_)));
+        assert!(matches!(JsonVal::from(5u64), JsonVal::Int(5)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Every checked-in `BENCH_*.json` artifact at the workspace root must
+//! satisfy the shared benchmark report schema (see
+//! [`c3_bench::report`]): `{"bench": <str>, "params": {<scalar>...},
+//! "cells": [{<scalar>...}, ...]}`. This keeps the artifacts loadable by
+//! one downstream tool regardless of which bench wrote them, and fails
+//! tier-1 the moment a bench drifts back to an ad-hoc writer.
+
+use c3_bench::report::validate;
+
+#[test]
+fn checked_in_artifacts_satisfy_schema() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut seen = Vec::new();
+    for entry in std::fs::read_dir(&root).expect("read workspace root") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let body = std::fs::read_to_string(entry.path())
+            .unwrap_or_else(|e| panic!("read {name}: {e}"));
+        validate(&body).unwrap_or_else(|e| panic!("{name}: {e}"));
+        seen.push(name);
+    }
+    seen.sort();
+    // The three micro benches that track their numbers in-repo.
+    for expected in [
+        "BENCH_overhead.json",
+        "BENCH_pipeline.json",
+        "BENCH_transport.json",
+    ] {
+        assert!(
+            seen.iter().any(|n| n == expected),
+            "missing artifact {expected} (have {seen:?})"
+        );
+    }
+}

@@ -15,6 +15,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
+use bytes::Bytes;
 use ckptstore::manifest::{ChunkRef, Manifest};
 use ckptstore::{
     CheckpointStore, CkptId, RankBlobKind, StoreError, StoreResult,
@@ -22,12 +23,14 @@ use ckptstore::{
 
 use crate::config::{PipelineConfig, WriteMode};
 
-/// One staged blob write.
+/// One staged blob write. The payload is a refcounted [`Bytes`] so the
+/// protocol layer can stage a checkpoint blob it still holds a view of
+/// without copying it into the pipeline.
 struct Job {
     ckpt: CkptId,
     rank: usize,
     kind: RankBlobKind,
-    bytes: Vec<u8>,
+    bytes: Bytes,
 }
 
 /// Per-checkpoint barrier state: how many staged blobs are still in
@@ -207,8 +210,9 @@ impl CheckpointPipeline {
         ckpt: CkptId,
         rank: usize,
         kind: RankBlobKind,
-        bytes: Vec<u8>,
+        bytes: impl Into<Bytes>,
     ) -> StoreResult<()> {
+        let bytes = bytes.into();
         let shared = &self.shared;
         shared.stats.blobs_staged.fetch_add(1, Ordering::Relaxed);
         shared

@@ -22,7 +22,8 @@
 //! simply absent, which is why the log, not communication, must supply the
 //! value.
 
-use ckptstore::codec::{CodecError, Decoder, Encoder};
+use bytes::Bytes;
+use ckptstore::codec::CodecError;
 use simmpi::{Comm, DType, Mpi, MpiResult, MpiType, ReduceOp};
 use statesave::snapshot::SaveState;
 
@@ -48,54 +49,72 @@ struct CollControl {
     max_epoch: u32,
 }
 
-/// Frame a list of per-rank chunks into one loggable byte string.
-fn frame_chunks(chunks: &[Vec<u8>]) -> Vec<u8> {
-    let mut enc = Encoder::new();
-    enc.put_usize(chunks.len());
+/// Frame a list of per-rank chunks into one loggable byte string: a
+/// little-endian `u64` count followed by `u64`-length-prefixed chunks.
+/// The buffer has exact capacity, so the `Bytes` conversion is a move.
+fn frame_chunks(chunks: &[Bytes]) -> Bytes {
+    let total = 8 + chunks.iter().map(|c| 8 + c.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&(chunks.len() as u64).to_le_bytes());
     for c in chunks {
-        enc.put_bytes(c);
+        out.extend_from_slice(&(c.len() as u64).to_le_bytes());
+        out.extend_from_slice(c);
     }
-    enc.into_bytes()
+    Bytes::from(out)
 }
 
-fn unframe_chunks(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CodecError> {
-    let mut dec = Decoder::new(bytes);
-    let n = dec.get_usize()?;
-    let mut out = Vec::with_capacity(n.min(dec.remaining()));
-    for _ in 0..n {
-        out.push(dec.get_bytes()?.to_vec());
+/// Split a framed byte string back into per-rank chunks, each a
+/// refcounted slice of `bytes` — no per-chunk copy.
+fn unframe_chunks(bytes: &Bytes) -> Result<Vec<Bytes>, CodecError> {
+    let err = || CodecError::new("malformed framed chunks");
+    let mut pos = 0usize;
+    let read_len = |pos: &mut usize| -> Result<usize, CodecError> {
+        if bytes.len() - *pos < 8 {
+            return Err(err());
+        }
+        let n = u64::from_le_bytes(bytes[*pos..*pos + 8].try_into().unwrap())
+            as usize;
+        *pos += 8;
+        Ok(n)
+    };
+    let count = read_len(&mut pos)?;
+    let mut out = Vec::with_capacity(count.min(bytes.len()));
+    for _ in 0..count {
+        let len = read_len(&mut pos)?;
+        if bytes.len() - pos < len {
+            return Err(err());
+        }
+        out.push(bytes.slice(pos..pos + len));
+        pos += len;
     }
-    if !dec.is_exhausted() {
-        return Err(CodecError::new("trailing bytes in framed chunks"));
+    if pos != bytes.len() {
+        return Err(err());
     }
     Ok(out)
 }
 
-/// Frame an `Option<Vec<u8>>` (rooted collectives return data only at the
-/// root, but the log stores every rank's view uniformly).
-fn frame_option(v: &Option<Vec<u8>>) -> Vec<u8> {
-    let mut enc = Encoder::new();
+/// Frame an optional byte string (rooted collectives return data only at
+/// the root, but the log stores every rank's view uniformly): a presence
+/// byte followed by the bytes themselves.
+fn frame_option(v: &Option<impl AsRef<[u8]>>) -> Bytes {
     match v {
-        None => enc.put_u8(0),
+        None => Bytes::from_static(&[0]),
         Some(b) => {
-            enc.put_u8(1);
-            enc.put_bytes(b);
+            let b = b.as_ref();
+            let mut out = Vec::with_capacity(1 + b.len());
+            out.push(1);
+            out.extend_from_slice(b);
+            Bytes::from(out)
         }
     }
-    enc.into_bytes()
 }
 
-fn unframe_option(bytes: &[u8]) -> Result<Option<Vec<u8>>, CodecError> {
-    let mut dec = Decoder::new(bytes);
-    let out = match dec.get_u8()? {
-        0 => None,
-        1 => Some(dec.get_bytes()?.to_vec()),
-        k => return Err(CodecError::new(format!("bad option tag {k}"))),
-    };
-    if !dec.is_exhausted() {
-        return Err(CodecError::new("trailing bytes in framed option"));
+fn unframe_option(bytes: &Bytes) -> Result<Option<Bytes>, CodecError> {
+    match bytes.first() {
+        Some(0) if bytes.len() == 1 => Ok(None),
+        Some(1) => Ok(Some(bytes.slice(1..))),
+        _ => Err(CodecError::new("malformed framed option")),
     }
-    Ok(out)
 }
 
 impl<'a> Process<'a> {
@@ -131,9 +150,9 @@ impl<'a> Process<'a> {
         kind: u8,
         comm: CommHandle,
         f: F,
-    ) -> C3Result<Vec<u8>>
+    ) -> C3Result<Bytes>
     where
-        F: FnOnce(&mut Mpi, &Comm) -> MpiResult<Vec<u8>>,
+        F: FnOnce(&mut Mpi, &Comm) -> MpiResult<Bytes>,
     {
         self.pump_public()?;
         let app = self.app_of(comm)?;
@@ -154,6 +173,7 @@ impl<'a> Process<'a> {
                 // 4.5's conjunction rule, Figure 5's call B).
                 self.finalize_log_public()?;
             } else {
+                // Refcount clone: the log and the caller share the buffer.
                 self.log_collective(kind, result.clone());
                 logged = true;
             }
@@ -210,7 +230,7 @@ impl<'a> Process<'a> {
             if ctl.stopped_at_max {
                 self.finalize_log_public()?;
             } else {
-                self.log_collective(coll_kind::BARRIER, Vec::new());
+                self.log_collective(coll_kind::BARRIER, Bytes::new());
                 logged = true;
             }
         }
@@ -230,16 +250,17 @@ impl<'a> Process<'a> {
     // Data collectives
     // ------------------------------------------------------------------
 
-    /// Broadcast `root`'s payload to all members.
+    /// Broadcast `root`'s payload to all members. The result is the
+    /// broadcast buffer itself, shared by refcount.
     pub fn bcast(
         &mut self,
         comm: CommHandle,
         root: usize,
         data: &[u8],
-    ) -> C3Result<Vec<u8>> {
-        let payload = bytes::Bytes::copy_from_slice(data);
+    ) -> C3Result<Bytes> {
+        let payload = Bytes::copy_from_slice(data);
         self.run_collective(coll_kind::BCAST, comm, move |mpi, app| {
-            Ok(mpi.bcast(app, root, payload)?.to_vec())
+            mpi.bcast(app, root, payload)
         })
     }
 
@@ -261,7 +282,7 @@ impl<'a> Process<'a> {
         op: ReduceOp,
         dtype: DType,
         data: &[u8],
-    ) -> C3Result<Vec<u8>> {
+    ) -> C3Result<Bytes> {
         let data = data.to_vec();
         self.run_collective(coll_kind::ALLREDUCE, comm, move |mpi, app| {
             mpi.allreduce_bytes(app, op, dtype, &data)
@@ -292,7 +313,12 @@ impl<'a> Process<'a> {
         let framed =
             self.run_collective(coll_kind::REDUCE, comm, move |mpi, app| {
                 let out = mpi.reduce_bytes(app, root, op, T::DTYPE, &data)?;
-                Ok(frame_option(&out))
+                let framed = frame_option(&out);
+                if let Some(acc) = out {
+                    // The accumulator came from simmpi's buffer pool.
+                    simmpi::pool::give(acc);
+                }
+                Ok(framed)
             })?;
         match unframe_option(&framed)? {
             None => Ok(None),
@@ -307,7 +333,7 @@ impl<'a> Process<'a> {
         comm: CommHandle,
         root: usize,
         data: &[u8],
-    ) -> C3Result<Option<Vec<Vec<u8>>>> {
+    ) -> C3Result<Option<Vec<Bytes>>> {
         let data = data.to_vec();
         let framed =
             self.run_collective(coll_kind::GATHER, comm, move |mpi, app| {
@@ -340,11 +366,13 @@ impl<'a> Process<'a> {
     }
 
     /// Gather every member's payload at every member (ragged allowed).
+    /// Each returned chunk is a refcounted slice of the one broadcast
+    /// buffer (which is also what the recovery log stores).
     pub fn allgather(
         &mut self,
         comm: CommHandle,
         data: &[u8],
-    ) -> C3Result<Vec<Vec<u8>>> {
+    ) -> C3Result<Vec<Bytes>> {
         let data = data.to_vec();
         let framed = self.run_collective(
             coll_kind::ALLGATHER,
@@ -381,13 +409,16 @@ impl<'a> Process<'a> {
             .collect())
     }
 
-    /// Personalized all-to-all exchange (ragged allowed).
+    /// Personalized all-to-all exchange (ragged allowed). Chunks are
+    /// copied into refcounted buffers once at ingress; everything after
+    /// that travels by refcount.
     pub fn alltoall(
         &mut self,
         comm: CommHandle,
         chunks: &[Vec<u8>],
-    ) -> C3Result<Vec<Vec<u8>>> {
-        let chunks = chunks.to_vec();
+    ) -> C3Result<Vec<Bytes>> {
+        let chunks: Vec<Bytes> =
+            chunks.iter().map(|c| Bytes::copy_from_slice(c)).collect();
         let framed = self.run_collective(
             coll_kind::ALLTOALL,
             comm,
@@ -402,8 +433,12 @@ impl<'a> Process<'a> {
         comm: CommHandle,
         root: usize,
         chunks: Option<&[Vec<u8>]>,
-    ) -> C3Result<Vec<u8>> {
-        let chunks = chunks.map(|c| c.to_vec());
+    ) -> C3Result<Bytes> {
+        let chunks: Option<Vec<Bytes>> = chunks.map(|c| {
+            c.iter()
+                .map(|chunk| Bytes::copy_from_slice(chunk))
+                .collect()
+        });
         self.run_collective(coll_kind::SCATTER, comm, move |mpi, app| {
             mpi.scatter(app, root, chunks.as_deref())
         })
@@ -419,7 +454,9 @@ impl<'a> Process<'a> {
         let data = data.to_vec();
         let bytes =
             self.run_collective(coll_kind::SCAN, comm, move |mpi, app| {
-                Ok(T::slice_to_bytes(&mpi.scan_t(app, op, &data)?))
+                Ok(Bytes::from(T::slice_to_bytes(
+                    &mpi.scan_t(app, op, &data)?,
+                )))
             })?;
         T::bytes_to_vec(&bytes).map_err(Into::into)
     }
@@ -431,16 +468,33 @@ mod tests {
 
     #[test]
     fn chunk_framing_round_trip() {
-        let chunks = vec![vec![1u8, 2], vec![], vec![3u8; 40]];
+        let chunks = vec![
+            Bytes::from_static(&[1u8, 2]),
+            Bytes::new(),
+            Bytes::copy_from_slice(&[3u8; 40]),
+        ];
         assert_eq!(unframe_chunks(&frame_chunks(&chunks)).unwrap(), chunks);
-        assert!(unframe_chunks(&[1, 2, 3]).is_err());
+        assert!(unframe_chunks(&Bytes::from_static(&[1, 2, 3])).is_err());
+    }
+
+    #[test]
+    fn unframed_chunks_are_views_of_the_framed_buffer() {
+        let framed = frame_chunks(&[Bytes::from_static(b"hello")]);
+        let parts = unframe_chunks(&framed).unwrap();
+        let base = framed.as_slice().as_ptr() as usize;
+        let at = parts[0].as_slice().as_ptr() as usize;
+        assert!(at >= base && at < base + framed.len());
     }
 
     #[test]
     fn option_framing_round_trip() {
-        assert_eq!(unframe_option(&frame_option(&None)).unwrap(), None);
-        let some = Some(vec![7u8, 8]);
+        let none: Option<Bytes> = None;
+        assert_eq!(unframe_option(&frame_option(&none)).unwrap(), None);
+        let some = Some(Bytes::from_static(&[7u8, 8]));
         assert_eq!(unframe_option(&frame_option(&some)).unwrap(), some);
-        assert!(unframe_option(&[9]).is_err());
+        assert!(unframe_option(&Bytes::from_static(&[9])).is_err());
+        // A bare presence byte with trailing garbage in the None case.
+        assert!(unframe_option(&Bytes::from_static(&[0, 1])).is_err());
+        assert!(unframe_option(&Bytes::new()).is_err());
     }
 }

@@ -206,6 +206,13 @@ impl C3Config {
         self.net = net;
         self
     }
+
+    /// Select the piggyback wire representation (all ranks must agree;
+    /// the job driver hands every rank the same config).
+    pub fn with_piggyback(mut self, mode: PiggybackMode) -> Self {
+        self.piggyback_mode = mode;
+        self
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 //! recovery it is reloaded and consumed through per-kind cursors by
 //! [`crate::recovery`].
 
+use bytes::Bytes;
 use ckptstore::codec::{CodecError, Decoder, Encoder, SaveLoad};
 
 /// One logged late message.
@@ -32,8 +33,10 @@ pub struct LateMessage {
     pub message_id: u32,
     /// Application tag.
     pub tag: i32,
-    /// Application payload (header already stripped).
-    pub payload: Vec<u8>,
+    /// Application payload (header already stripped). A refcounted view
+    /// of the received message — logging a late message shares the
+    /// payload instead of copying it.
+    pub payload: Bytes,
 }
 
 impl SaveLoad for LateMessage {
@@ -50,7 +53,8 @@ impl SaveLoad for LateMessage {
             src: dec.get_usize()?,
             message_id: dec.get_u32()?,
             tag: dec.get_i32()?,
-            payload: dec.get_bytes()?.to_vec(),
+            // Recovery reload is cold; one copy out of the blob is fine.
+            payload: Bytes::copy_from_slice(dec.get_bytes()?),
         })
     }
 }
@@ -62,8 +66,9 @@ impl SaveLoad for LateMessage {
 pub struct CollectiveRecord {
     /// Which collective produced this (see the [`coll_kind`] constants).
     pub kind: u8,
-    /// The result returned to the application.
-    pub result: Vec<u8>,
+    /// The result returned to the application, shared by refcount with
+    /// the buffer the collective handed back.
+    pub result: Bytes,
 }
 
 impl SaveLoad for CollectiveRecord {
@@ -74,7 +79,7 @@ impl SaveLoad for CollectiveRecord {
     fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(CollectiveRecord {
             kind: dec.get_u8()?,
-            result: dec.get_bytes()?.to_vec(),
+            result: Bytes::copy_from_slice(dec.get_bytes()?),
         })
     }
 }
@@ -129,7 +134,7 @@ impl RecoveryLog {
     }
 
     /// Record a collective-call result.
-    pub fn push_collective(&mut self, kind: u8, result: Vec<u8>) {
+    pub fn push_collective(&mut self, kind: u8, result: Bytes) {
         self.collectives.push(CollectiveRecord { kind, result });
     }
 
@@ -182,11 +187,11 @@ mod tests {
             src: 3,
             message_id: 17,
             tag: -5,
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
         });
         log.push_nondet(0xdead_beef);
         log.push_nondet(42);
-        log.push_collective(coll_kind::ALLREDUCE, vec![9; 16]);
+        log.push_collective(coll_kind::ALLREDUCE, vec![9; 16].into());
         assert!(!log.is_empty());
 
         let mut enc = Encoder::new();
@@ -216,7 +221,7 @@ mod tests {
             src: 0,
             message_id: 0,
             tag: 0,
-            payload: vec![0; 100],
+            payload: vec![0; 100].into(),
         });
         assert!(log.byte_size() >= empty + 100);
     }

@@ -25,10 +25,11 @@
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
+use bytes::Bytes;
 use ckptpipe::CheckpointPipeline;
 use ckptstore::codec::{Decoder, Encoder};
 use ckptstore::{CheckpointStore, RankBlobKind, SaveLoad};
-use simmpi::{Comm, Mpi, MpiError, RecvMsg, ANY_SOURCE, ANY_TAG};
+use simmpi::{Comm, HeaderBytes, Mpi, MpiError, RecvMsg, ANY_SOURCE, ANY_TAG};
 use statesave::snapshot::{restore_from_bytes, snapshot_to_bytes, SaveState};
 
 use crate::config::{C3Config, CheckpointTrigger};
@@ -65,7 +66,12 @@ impl C3Request {
 }
 
 /// Per-rank statistics, reported by the job driver.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Marked `#[non_exhaustive]`: construct with [`ProcStats::default`] and
+/// update fields individually, so adding a counter is never a breaking
+/// change for downstream crates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ProcStats {
     /// Local checkpoints taken.
     pub checkpoints: u64,
@@ -97,6 +103,17 @@ pub struct ProcStats {
     /// Frames the lossy wire held back (reorder + delay) on this rank's
     /// outgoing links.
     pub net_wire_held: u64,
+    /// Application payload bytes the *protocol layer* copied on the
+    /// message path. The ingress copy from a borrowed `&[u8]` into a
+    /// refcounted buffer is not counted — raw simmpi pays it identically.
+    /// Pinned at zero by the zero-copy send/receive path; the
+    /// `zero_copy` regression test asserts it. Any change that
+    /// reintroduces a payload copy must account for it here.
+    pub payload_bytes_copied: u64,
+    /// Heap allocations the protocol layer performed per message on the
+    /// send path (header buffers, concatenation buffers). Pinned at zero
+    /// by the inline header segment; see [`ProcStats::payload_bytes_copied`].
+    pub allocs_on_send_path: u64,
 }
 
 /// A communicator pair: the application-visible communicator plus its
@@ -282,7 +299,7 @@ impl<'a> Process<'a> {
     /// (the job driver does); on the perfect wire the net fields are
     /// zero and this equals [`Process::stats`].
     pub fn final_stats(&self) -> ProcStats {
-        let mut s = self.stats.clone();
+        let mut s = self.stats;
         let ns = self.mpi.net_stats();
         s.net_retransmits = ns.retransmits;
         s.net_dup_delivered = ns.dup_delivered;
@@ -349,7 +366,7 @@ impl<'a> Process<'a> {
     pub(crate) fn replay_collective(
         &mut self,
         kind: u8,
-    ) -> C3Result<Option<Vec<u8>>> {
+    ) -> C3Result<Option<Bytes>> {
         let Some(rep) = self.replay.as_mut() else {
             return Ok(None);
         };
@@ -360,7 +377,7 @@ impl<'a> Process<'a> {
         Ok(r)
     }
 
-    pub(crate) fn log_collective(&mut self, kind: u8, result: Vec<u8>) {
+    pub(crate) fn log_collective(&mut self, kind: u8, result: Bytes) {
         self.log.push_collective(kind, result);
         self.stats.collectives_logged += 1;
     }
@@ -593,13 +610,29 @@ impl<'a> Process<'a> {
     // Point-to-point (Figure 4's communicationEventHandler)
     // ==================================================================
 
-    /// Blocking send.
+    /// Blocking send. Copies `payload` into a refcounted buffer once at
+    /// ingress (exactly what raw simmpi's borrowed-slice send does); use
+    /// [`Process::send_bytes`] to skip even that copy.
     pub fn send(
         &mut self,
         comm: CommHandle,
         dst: usize,
         tag: i32,
         payload: &[u8],
+    ) -> C3Result<()> {
+        self.send_bytes(comm, dst, tag, Bytes::copy_from_slice(payload))
+    }
+
+    /// Blocking send of an owned refcounted payload — the zero-copy hot
+    /// path. The protocol's control word travels in the frame's inline
+    /// header segment; the payload is never copied or reallocated, so the
+    /// per-message protocol cost is O(header), not O(payload).
+    pub fn send_bytes(
+        &mut self,
+        comm: CommHandle,
+        dst: usize,
+        tag: i32,
+        payload: Bytes,
     ) -> C3Result<()> {
         self.pump()?;
         self.send_inner(comm, dst, tag, payload)
@@ -610,11 +643,11 @@ impl<'a> Process<'a> {
         comm: CommHandle,
         dst: usize,
         tag: i32,
-        payload: &[u8],
+        payload: Bytes,
     ) -> C3Result<()> {
         let app = self.pair(comm)?.app.clone();
         if !self.cfg.level.piggybacks() {
-            self.mpi.send(&app, dst, tag, payload)?;
+            self.mpi.send_bytes(&app, dst, tag, payload)?;
             return Ok(());
         }
         let pb = Piggyback {
@@ -643,10 +676,10 @@ impl<'a> Process<'a> {
             self.stats.suppressed_sends += 1;
             return Ok(());
         }
-        let buf = pb
-            .encode_header(self.cfg.piggyback_mode, payload)
+        let hdr = pb
+            .encode_inline(self.cfg.piggyback_mode)
             .map_err(C3Error::Codec)?;
-        self.mpi.send_bytes(&app, dst, tag, buf.into())?;
+        self.mpi.send_parts(&app, dst, tag, hdr, payload)?;
         Ok(())
     }
 
@@ -738,19 +771,41 @@ impl<'a> Process<'a> {
         Some(RecvMsg {
             src: m.src,
             tag: m.tag,
-            payload: m.payload.into(),
+            header: HeaderBytes::empty(),
+            payload: m.payload,
         })
     }
 
-    /// Strip the piggyback header, classify the message, update counters
-    /// and logs (the receive half of Figure 4).
+    /// Decode the piggyback control word, classify the message, update
+    /// counters and logs (the receive half of Figure 4).
+    ///
+    /// The control word normally arrives in the frame's inline header
+    /// segment and the payload passes through untouched. A message whose
+    /// header segment is empty is treated as legacy traffic with the
+    /// control word embedded at the front of the payload; the payload is
+    /// then a zero-copy slice past it.
     fn deliver(
         &mut self,
         comm: CommHandle,
         msg: RecvMsg,
     ) -> C3Result<RecvMsg> {
-        let (header, offset) =
-            decode_header(self.cfg.piggyback_mode, &msg.payload)?;
+        let (header, payload) = if msg.header.is_empty() {
+            let (h, offset) =
+                decode_header(self.cfg.piggyback_mode, &msg.payload)?;
+            (h, msg.payload.slice(offset..))
+        } else {
+            let (h, offset) =
+                decode_header(self.cfg.piggyback_mode, &msg.header)?;
+            if offset != msg.header.len() {
+                return Err(C3Error::Protocol(format!(
+                    "piggyback header segment is {} bytes but the {:?} \
+                     control word is {offset}",
+                    msg.header.len(),
+                    self.cfg.piggyback_mode
+                )));
+            }
+            (h, msg.payload.clone())
+        };
         let class = match header {
             DecodedHeader::Explicit(pb) => {
                 classify_by_epoch(pb.epoch, self.epoch)
@@ -761,7 +816,6 @@ impl<'a> Process<'a> {
                 self.am_logging,
             ),
         };
-        let payload = msg.payload.slice(offset..);
         // Counters are indexed by world rank; translate the comm-frame src.
         let src_world = self.pair(comm)?.app.world_rank(msg.src)?;
         self.trace_event(TraceEvent::RecvClassified {
@@ -791,12 +845,15 @@ impl<'a> Process<'a> {
                          logging"
                     )));
                 }
+                // Logging a late message shares the payload by refcount;
+                // nothing is copied until the log is serialized to stable
+                // storage at finalizeLog.
                 self.log.push_late(LateMessage {
                     comm: comm.0,
                     src: msg.src,
                     message_id: header.message_id(),
                     tag: msg.tag,
-                    payload: payload.to_vec(),
+                    payload: payload.clone(),
                 });
                 self.trace_event(TraceEvent::LateLogged {
                     src: src_world as u32,
@@ -823,6 +880,7 @@ impl<'a> Process<'a> {
         Ok(RecvMsg {
             src: msg.src,
             tag: msg.tag,
+            header: HeaderBytes::empty(),
             payload,
         })
     }

@@ -18,6 +18,7 @@
 //! layer) — this preserves the invariant that suppressed re-sends carry the
 //! message ids the receivers recorded.
 
+use bytes::Bytes;
 use ckptstore::codec::{CodecError, Decoder, Encoder, SaveLoad};
 
 use crate::error::{C3Error, C3Result};
@@ -115,7 +116,7 @@ impl Replay {
     /// Next logged collective result, if any remain. Validates the call
     /// kind so a re-execution that drifted from the original call sequence
     /// fails loudly instead of returning the wrong bytes.
-    pub fn next_collective(&mut self, kind: u8) -> C3Result<Option<Vec<u8>>> {
+    pub fn next_collective(&mut self, kind: u8) -> C3Result<Option<Bytes>> {
         match self.log.collectives.get(self.coll_cursor) {
             None => Ok(None),
             Some(rec) if rec.kind == kind => {
@@ -154,7 +155,7 @@ mod tests {
             src,
             message_id: id,
             tag,
-            payload: vec![byte],
+            payload: vec![byte].into(),
         }
     }
 
@@ -212,18 +213,18 @@ mod tests {
     #[test]
     fn collective_replay_checks_kind() {
         let mut log = RecoveryLog::new();
-        log.push_collective(coll_kind::ALLREDUCE, vec![1]);
-        log.push_collective(coll_kind::BARRIER, vec![]);
+        log.push_collective(coll_kind::ALLREDUCE, vec![1].into());
+        log.push_collective(coll_kind::BARRIER, Bytes::new());
         let mut rep = Replay::new(log);
         assert_eq!(
             rep.next_collective(coll_kind::ALLREDUCE).unwrap(),
-            Some(vec![1])
+            Some(vec![1].into())
         );
         // Wrong kind next: loud failure.
         assert!(rep.next_collective(coll_kind::ALLGATHER).is_err());
         assert_eq!(
             rep.next_collective(coll_kind::BARRIER).unwrap(),
-            Some(vec![])
+            Some(Bytes::new())
         );
         assert_eq!(rep.next_collective(coll_kind::BARRIER).unwrap(), None);
     }
@@ -233,7 +234,7 @@ mod tests {
         let mut log = RecoveryLog::new();
         log.push_late(late(0, 0, 1, 0));
         log.push_nondet(1);
-        log.push_collective(coll_kind::BCAST, vec![]);
+        log.push_collective(coll_kind::BCAST, Bytes::new());
         let mut rep = Replay::new(log);
         assert!(!rep.is_drained());
         rep.take_late(0, Some(0), Some(1)).unwrap();

@@ -153,7 +153,7 @@ proptest! {
                 src,
                 message_id: i as u32,
                 tag,
-                payload: vec![i as u8],
+                payload: vec![i as u8].into(),
             });
         }
         let mut rep = Replay::new(log);
@@ -206,14 +206,14 @@ proptest! {
                 src,
                 message_id: id,
                 tag,
-                payload,
+                payload: payload.into(),
             });
         }
         for v in nondets {
             log.push_nondet(v);
         }
         for (kind, result) in colls {
-            log.push_collective(kind, result);
+            log.push_collective(kind, result.into());
         }
         let mut enc = Encoder::new();
         log.save(&mut enc);

@@ -40,8 +40,9 @@ fn coll_tag(seq: u32, op: CollOp, round: u32) -> i32 {
 }
 
 /// Frame a list of byte chunks into one payload (used when a gathered
-/// result is re-broadcast).
-fn frame_chunks(chunks: &[Vec<u8>]) -> Vec<u8> {
+/// result is re-broadcast). The output has exact capacity, so converting
+/// it to [`Bytes`] is a move, not a copy.
+fn frame_chunks(chunks: &[Bytes]) -> Vec<u8> {
     let total: usize = 8 + chunks.iter().map(|c| 8 + c.len()).sum::<usize>();
     let mut out = Vec::with_capacity(total);
     out.extend_from_slice(&(chunks.len() as u64).to_le_bytes());
@@ -52,24 +53,29 @@ fn frame_chunks(chunks: &[Vec<u8>]) -> Vec<u8> {
     out
 }
 
-fn unframe_chunks(payload: &[u8]) -> MpiResult<Vec<Vec<u8>>> {
+/// Split a framed payload back into its chunks. Each chunk is a
+/// refcounted slice of `payload` — no per-chunk allocation or copy.
+fn unframe_chunks(payload: &Bytes) -> MpiResult<Vec<Bytes>> {
     let err = || MpiError::BadPayload("malformed framed chunks".into());
-    let mut pos = 0;
-    let take = |pos: &mut usize, n: usize| -> MpiResult<&[u8]> {
-        if payload.len() - *pos < n {
+    let mut pos = 0usize;
+    let read_len = |pos: &mut usize| -> MpiResult<usize> {
+        if payload.len() - *pos < 8 {
             return Err(err());
         }
-        let s = &payload[*pos..*pos + n];
-        *pos += n;
-        Ok(s)
+        let n = u64::from_le_bytes(payload[*pos..*pos + 8].try_into().unwrap())
+            as usize;
+        *pos += 8;
+        Ok(n)
     };
-    let count =
-        u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+    let count = read_len(&mut pos)?;
     let mut chunks = Vec::with_capacity(count.min(payload.len()));
     for _ in 0..count {
-        let len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())
-            as usize;
-        chunks.push(take(&mut pos, len)?.to_vec());
+        let len = read_len(&mut pos)?;
+        if payload.len() - pos < len {
+            return Err(err());
+        }
+        chunks.push(payload.slice(pos..pos + len));
+        pos += len;
     }
     if pos != payload.len() {
         return Err(err());
@@ -198,13 +204,14 @@ impl Mpi {
 
     /// Gather every member's payload at `root` (the `MPI_Gather` analogue,
     /// ragged payloads allowed). Returns `Some(chunks)` — indexed by
-    /// communicator rank — at the root, `None` elsewhere.
+    /// communicator rank — at the root, `None` elsewhere. Received chunks
+    /// are the senders' payloads by refcount, never re-copied.
     pub fn gather(
         &mut self,
         comm: &Comm,
         root: usize,
         data: &[u8],
-    ) -> MpiResult<Option<Vec<Vec<u8>>>> {
+    ) -> MpiResult<Option<Vec<Bytes>>> {
         let n = comm.size();
         if root >= n {
             return Err(MpiError::InvalidRank {
@@ -216,11 +223,11 @@ impl Mpi {
         let seq = comm.next_coll_seq();
         let tag = coll_tag(seq, CollOp::Gather, 0);
         if me == root {
-            let mut chunks = vec![Vec::new(); n];
-            chunks[me].extend_from_slice(data);
+            let mut chunks = vec![Bytes::new(); n];
+            chunks[me] = Bytes::copy_from_slice(data);
             for (src, chunk) in chunks.iter_mut().enumerate() {
                 if src != me {
-                    *chunk = self.crecv(comm, src, tag)?.to_vec();
+                    *chunk = self.crecv(comm, src, tag)?;
                 }
             }
             Ok(Some(chunks))
@@ -250,12 +257,13 @@ impl Mpi {
     }
 
     /// Gather every member's payload at every member (the `MPI_Allgather`
-    /// analogue, ragged payloads allowed). `chunks[r]` is rank `r`'s data.
+    /// analogue, ragged payloads allowed). `chunks[r]` is rank `r`'s data,
+    /// a refcounted slice of the one broadcast buffer.
     pub fn allgather(
         &mut self,
         comm: &Comm,
         data: &[u8],
-    ) -> MpiResult<Vec<Vec<u8>>> {
+    ) -> MpiResult<Vec<Bytes>> {
         let gathered = self.gather(comm, 0, data)?;
         let framed = match gathered {
             Some(chunks) => Bytes::from(frame_chunks(&chunks)),
@@ -294,13 +302,14 @@ impl Mpi {
     }
 
     /// Distribute `root`'s per-rank chunks (the `MPI_Scatter` analogue,
-    /// ragged chunks allowed). Non-roots pass `None` for `chunks`.
+    /// ragged chunks allowed). Non-roots pass `None` for `chunks`. Every
+    /// chunk travels — and is returned — by refcount.
     pub fn scatter(
         &mut self,
         comm: &Comm,
         root: usize,
-        chunks: Option<&[Vec<u8>]>,
-    ) -> MpiResult<Vec<u8>> {
+        chunks: Option<&[Bytes]>,
+    ) -> MpiResult<Bytes> {
         let n = comm.size();
         if root >= n {
             return Err(MpiError::InvalidRank {
@@ -331,12 +340,12 @@ impl Mpi {
             let chunks = chunks.expect("validated above");
             for (dst, chunk) in chunks.iter().enumerate() {
                 if dst != me {
-                    self.csend(comm, dst, tag, Bytes::copy_from_slice(chunk))?;
+                    self.csend(comm, dst, tag, chunk.clone())?;
                 }
             }
             Ok(chunks[me].clone())
         } else {
-            Ok(self.crecv(comm, root, tag)?.to_vec())
+            self.crecv(comm, root, tag)
         }
     }
 
@@ -363,11 +372,19 @@ impl Mpi {
         )?;
         match bytes {
             None => Ok(None),
-            Some(b) => Ok(Some(T::bytes_to_vec(&b)?)),
+            Some(b) => {
+                let out = T::bytes_to_vec(&b)?;
+                crate::pool::give(b);
+                Ok(Some(out))
+            }
         }
     }
 
     /// Byte-level reduction to `root`.
+    ///
+    /// The returned accumulator comes from the thread-local
+    /// [`crate::pool`]; callers that are done with it may
+    /// [`crate::pool::give`] it back.
     pub fn reduce_bytes(
         &mut self,
         comm: &Comm,
@@ -382,9 +399,11 @@ impl Mpi {
             None => Ok(None),
             Some(chunks) => {
                 let mut iter = chunks.into_iter();
-                let mut acc = iter.next().ok_or_else(|| {
+                let first = iter.next().ok_or_else(|| {
                     MpiError::CollectiveMismatch("empty reduce group".into())
                 })?;
+                let mut acc = crate::pool::take(first.len());
+                acc.extend_from_slice(&first);
                 for chunk in iter {
                     op.combine(dtype, &mut acc, &chunk)?;
                 }
@@ -410,20 +429,29 @@ impl Mpi {
         T::bytes_to_vec(&bytes)
     }
 
-    /// Byte-level allreduce.
+    /// Byte-level allreduce. The result is the broadcast buffer itself,
+    /// shared by refcount at every rank.
     pub fn allreduce_bytes(
         &mut self,
         comm: &Comm,
         op: ReduceOp,
         dtype: DType,
         data: &[u8],
-    ) -> MpiResult<Vec<u8>> {
+    ) -> MpiResult<Bytes> {
         let reduced = self.reduce_bytes(comm, 0, op, dtype, data)?;
         let payload = match reduced {
-            Some(b) => Bytes::from(b),
+            // A pooled accumulator with spare capacity would be copied by
+            // `Bytes::from`; share it with one explicit copy and return
+            // the buffer to the pool instead of leaking the capacity.
+            Some(b) if b.capacity() == b.len() => Bytes::from(b),
+            Some(b) => {
+                let out = Bytes::copy_from_slice(&b);
+                crate::pool::give(b);
+                out
+            }
             None => Bytes::new(),
         };
-        Ok(self.bcast(comm, 0, payload)?.to_vec())
+        self.bcast(comm, 0, payload)
     }
 
     /// Inclusive prefix reduction (the `MPI_Scan` analogue): rank `r`
@@ -442,14 +470,17 @@ impl Mpi {
         T::DTYPE.check(&acc)?;
         if me > 0 {
             let prev = self.crecv(comm, me - 1, tag)?;
-            let mut combined = prev.to_vec();
+            let mut combined = crate::pool::take(prev.len());
+            combined.extend_from_slice(&prev);
             op.combine(T::DTYPE, &mut combined, &acc)?;
-            acc = combined;
+            crate::pool::give(std::mem::replace(&mut acc, combined));
         }
         if me + 1 < n {
             self.csend(comm, me + 1, tag, Bytes::copy_from_slice(&acc))?;
         }
-        T::bytes_to_vec(&acc)
+        let out = T::bytes_to_vec(&acc)?;
+        crate::pool::give(acc);
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -458,12 +489,13 @@ impl Mpi {
 
     /// Personalized all-to-all exchange (the `MPI_Alltoall` analogue,
     /// ragged chunks allowed). `chunks[d]` goes to rank `d`; the result's
-    /// entry `s` came from rank `s`.
+    /// entry `s` came from rank `s`. Chunks travel by refcount in both
+    /// directions.
     pub fn alltoall(
         &mut self,
         comm: &Comm,
-        chunks: &[Vec<u8>],
-    ) -> MpiResult<Vec<Vec<u8>>> {
+        chunks: &[Bytes],
+    ) -> MpiResult<Vec<Bytes>> {
         let n = comm.size();
         let me = comm.rank();
         if chunks.len() != n {
@@ -481,13 +513,13 @@ impl Mpi {
             reqs.push((src, self.irecv_on(comm, Plane::Coll, src, tag)?));
         }
         for dst in (0..n).filter(|&d| d != me) {
-            self.csend(comm, dst, tag, Bytes::copy_from_slice(&chunks[dst]))?;
+            self.csend(comm, dst, tag, chunks[dst].clone())?;
         }
-        let mut out = vec![Vec::new(); n];
+        let mut out = vec![Bytes::new(); n];
         out[me] = chunks[me].clone();
         for (src, mut req) in reqs {
             let msg = self.wait_recv(comm, &mut req)?;
-            out[src] = msg.payload.to_vec();
+            out[src] = msg.payload;
         }
         Ok(out)
     }
@@ -574,23 +606,50 @@ impl Mpi {
 mod tests {
     use super::*;
 
+    fn chunk(data: &'static [u8]) -> Bytes {
+        Bytes::from_static(data)
+    }
+
     #[test]
     fn frame_round_trip() {
-        let chunks = vec![vec![1u8, 2, 3], vec![], vec![9u8; 100], vec![42]];
+        let chunks = vec![
+            chunk(&[1, 2, 3]),
+            chunk(&[]),
+            Bytes::copy_from_slice(&[9u8; 100]),
+            chunk(&[42]),
+        ];
         let framed = frame_chunks(&chunks);
-        assert_eq!(unframe_chunks(&framed).unwrap(), chunks);
+        // Exact capacity: converting to Bytes must be a move, not a copy.
+        assert_eq!(framed.capacity(), framed.len());
+        assert_eq!(unframe_chunks(&Bytes::from(framed)).unwrap(), chunks);
+    }
+
+    #[test]
+    fn unframed_chunks_share_the_framed_buffer() {
+        let framed =
+            Bytes::from(frame_chunks(&[chunk(&[1, 2, 3]), chunk(&[4])]));
+        let parts = unframe_chunks(&framed).unwrap();
+        // Each part is a slice of `framed`'s backing allocation.
+        let base = framed.as_slice().as_ptr() as usize;
+        for p in &parts {
+            if p.is_empty() {
+                continue;
+            }
+            let at = p.as_slice().as_ptr() as usize;
+            assert!(at >= base && at < base + framed.len());
+        }
     }
 
     #[test]
     fn unframe_rejects_garbage() {
-        assert!(unframe_chunks(&[1, 2, 3]).is_err());
-        let mut framed = frame_chunks(&[vec![1, 2, 3]]);
+        assert!(unframe_chunks(&Bytes::from_static(&[1, 2, 3])).is_err());
+        let mut framed = frame_chunks(&[chunk(&[1, 2, 3])]);
         framed.truncate(framed.len() - 1);
-        assert!(unframe_chunks(&framed).is_err());
+        assert!(unframe_chunks(&Bytes::from(framed)).is_err());
         // Trailing junk is also rejected.
-        let mut framed = frame_chunks(&[vec![1, 2, 3]]);
+        let mut framed = frame_chunks(&[chunk(&[1, 2, 3])]);
         framed.push(0);
-        assert!(unframe_chunks(&framed).is_err());
+        assert!(unframe_chunks(&Bytes::from(framed)).is_err());
     }
 
     #[test]

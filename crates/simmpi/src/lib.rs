@@ -55,6 +55,7 @@ pub mod envelope;
 pub mod error;
 pub mod matching;
 pub mod netsim;
+pub mod pool;
 pub mod rank;
 pub mod request;
 pub mod transport;
@@ -62,7 +63,7 @@ pub mod world;
 
 pub use comm::Comm;
 pub use datatype::{DType, MpiType, ReduceOp};
-pub use envelope::{Message, RecvMsg};
+pub use envelope::{HeaderBytes, Message, RecvMsg, MAX_HEADER_LEN};
 pub use error::{MpiError, MpiResult};
 pub use netsim::{NetCond, NetStats, Partition, RetransmitPolicy, WireStats};
 pub use rank::{Mpi, ANY_SOURCE, ANY_TAG};

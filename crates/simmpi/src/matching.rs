@@ -157,6 +157,7 @@ mod tests {
             dst: 0,
             context: 7,
             tag,
+            header: crate::envelope::HeaderBytes::empty(),
             payload: Bytes::from_static(body),
             seq: 0,
         }

@@ -694,6 +694,7 @@ mod tests {
             dst,
             context: 0,
             tag,
+            header: crate::envelope::HeaderBytes::empty(),
             payload: Bytes::copy_from_slice(&uid.to_le_bytes()),
             seq: uid,
         }

@@ -1,0 +1,141 @@
+//! Thread-local buffer pool for the scratch buffers the collectives
+//! genuinely must build (reduction accumulators, scan combine buffers,
+//! chunk framing).
+//!
+//! The zero-copy message path removes every per-message allocation from
+//! the point-to-point hot path; what remains are buffers whose *contents*
+//! are new — a reduction result cannot be a view of any input. Those
+//! buffers are short-lived and same-sized across iterations, the classic
+//! freelist shape. The pool is thread-local because each rank is a
+//! thread with its own `Mpi` handle; there is no cross-thread traffic and
+//! therefore no locking.
+//!
+//! Rules (documented for DESIGN.md's "zero-copy message path" section):
+//!
+//! * [`take`] returns a cleared `Vec<u8>` with at least the requested
+//!   capacity — from the freelist when one fits, freshly allocated
+//!   otherwise.
+//! * [`give`] returns a buffer to the freelist. Buffers smaller than
+//!   [`MIN_POOLED_CAP`] or larger than [`MAX_POOLED_CAP`] are dropped
+//!   (not worth pooling / would pin too much memory), and the freelist
+//!   holds at most [`MAX_POOLED_BUFS`] buffers.
+//! * A pooled buffer must never be converted into a shared [`bytes::Bytes`]
+//!   while still owed back to the pool — give back only buffers the
+//!   caller fully owns.
+
+use std::cell::RefCell;
+
+/// Smallest buffer capacity worth keeping on the freelist.
+pub const MIN_POOLED_CAP: usize = 64;
+
+/// Largest buffer capacity the pool will retain.
+pub const MAX_POOLED_CAP: usize = 1 << 20;
+
+/// Maximum number of buffers held per thread.
+pub const MAX_POOLED_BUFS: usize = 8;
+
+/// Counters describing a thread's pool activity (for tests and the
+/// overhead benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers requested via [`take`].
+    pub takes: u64,
+    /// Requests satisfied from the freelist (no allocation).
+    pub hits: u64,
+    /// Buffers returned via [`give`].
+    pub gives: u64,
+    /// Returned buffers dropped (size limits or full freelist).
+    pub dropped: u64,
+}
+
+struct PoolInner {
+    free: Vec<Vec<u8>>,
+    stats: PoolStats,
+}
+
+thread_local! {
+    static POOL: RefCell<PoolInner> = RefCell::new(PoolInner {
+        free: Vec::new(),
+        stats: PoolStats::default(),
+    });
+}
+
+/// Take a cleared buffer with capacity ≥ `min_cap` from this thread's
+/// pool, allocating only when no pooled buffer fits.
+pub fn take(min_cap: usize) -> Vec<u8> {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.stats.takes += 1;
+        if let Some(i) = p.free.iter().position(|b| b.capacity() >= min_cap) {
+            p.stats.hits += 1;
+            let mut buf = p.free.swap_remove(i);
+            buf.clear();
+            buf
+        } else {
+            Vec::with_capacity(min_cap)
+        }
+    })
+}
+
+/// Return a buffer to this thread's pool for reuse.
+pub fn give(buf: Vec<u8>) {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.stats.gives += 1;
+        let cap = buf.capacity();
+        if !(MIN_POOLED_CAP..=MAX_POOLED_CAP).contains(&cap)
+            || p.free.len() >= MAX_POOLED_BUFS
+        {
+            p.stats.dropped += 1;
+            return;
+        }
+        p.free.push(buf);
+    });
+}
+
+/// This thread's cumulative pool counters.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_reuses_capacity() {
+        let before = stats();
+        let mut a = take(256);
+        a.extend_from_slice(&[7; 200]);
+        let cap = a.capacity();
+        give(a);
+        let b = take(128);
+        assert!(b.is_empty(), "pooled buffers come back cleared");
+        assert!(b.capacity() >= 128);
+        assert_eq!(b.capacity(), cap, "freelist buffer was reused");
+        let after = stats();
+        assert_eq!(after.takes - before.takes, 2);
+        assert!(after.hits > before.hits);
+        assert_eq!(after.gives - before.gives, 1);
+    }
+
+    #[test]
+    fn tiny_and_huge_buffers_are_not_pooled() {
+        let before = stats();
+        give(Vec::with_capacity(MIN_POOLED_CAP / 2));
+        give(Vec::with_capacity(MAX_POOLED_CAP + 1));
+        let after = stats();
+        assert_eq!(after.dropped - before.dropped, 2);
+    }
+
+    #[test]
+    fn freelist_is_bounded() {
+        // Saturate, then one more give must drop.
+        for _ in 0..MAX_POOLED_BUFS + 4 {
+            give(Vec::with_capacity(MIN_POOLED_CAP));
+        }
+        let before = stats();
+        give(Vec::with_capacity(MIN_POOLED_CAP));
+        assert_eq!(stats().dropped - before.dropped, 1);
+    }
+}

@@ -8,7 +8,7 @@ use crossbeam::channel::{Receiver, RecvTimeoutError};
 
 use crate::comm::Comm;
 use crate::datatype::MpiType;
-use crate::envelope::{Message, RecvMsg};
+use crate::envelope::{HeaderBytes, Message, RecvMsg};
 use crate::error::{MpiError, MpiResult};
 use crate::matching::{MatchEngine, PostOutcome, RecvId};
 use crate::netsim::{Frame, NetEndpoint, NetStats};
@@ -239,6 +239,7 @@ impl Mpi {
         RecvMsg {
             src,
             tag: msg.tag,
+            header: msg.header,
             payload: msg.payload,
         }
     }
@@ -255,6 +256,25 @@ impl Mpi {
         tag: i32,
         payload: Bytes,
     ) -> MpiResult<()> {
+        self.send_segments_on(
+            comm,
+            plane,
+            dst,
+            tag,
+            HeaderBytes::empty(),
+            payload,
+        )
+    }
+
+    pub(crate) fn send_segments_on(
+        &mut self,
+        comm: &Comm,
+        plane: Plane,
+        dst: usize,
+        tag: i32,
+        header: HeaderBytes,
+        payload: Bytes,
+    ) -> MpiResult<()> {
         self.liveness()?;
         self.ops += 1;
         let dst_world = Self::resolve_dst(comm, dst)?;
@@ -265,6 +285,7 @@ impl Mpi {
             dst: dst_world,
             context: Self::plane_context(comm, plane),
             tag,
+            header,
             payload,
             seq,
         };
@@ -400,6 +421,22 @@ impl Mpi {
         payload: Bytes,
     ) -> MpiResult<()> {
         self.send_on(comm, Plane::P2p, dst, tag, payload)
+    }
+
+    /// Blocking vectored send: a small inline header segment plus an
+    /// owned payload, shipped as one two-segment frame. Neither segment
+    /// is copied into a combined buffer; the receiver sees them as
+    /// [`RecvMsg::header`] and [`RecvMsg::payload`]. This is the
+    /// protocol layer's O(header)-cost send primitive.
+    pub fn send_parts(
+        &mut self,
+        comm: &Comm,
+        dst: usize,
+        tag: i32,
+        header: HeaderBytes,
+        payload: Bytes,
+    ) -> MpiResult<()> {
+        self.send_segments_on(comm, Plane::P2p, dst, tag, header, payload)
     }
 
     /// Blocking typed send.
@@ -591,7 +628,8 @@ impl Mpi {
     }
 
     /// Non-destructive check for a matching unexpected message; returns
-    /// `(comm_src, tag, payload_len)`.
+    /// `(comm_src, tag, total_len)` where `total_len` counts the header
+    /// segment plus the payload.
     pub fn iprobe(
         &mut self,
         comm: &Comm,
@@ -606,7 +644,7 @@ impl Mpi {
             let s = comm
                 .comm_rank_of_world(m.src)
                 .expect("sender must be a member");
-            (s, m.tag, m.payload.len())
+            (s, m.tag, m.header.len() + m.payload.len())
         }))
     }
 }

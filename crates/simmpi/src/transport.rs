@@ -199,6 +199,7 @@ mod tests {
             dst,
             context: 0,
             tag: 1,
+            header: crate::envelope::HeaderBytes::empty(),
             payload: Bytes::from_static(b"x"),
             seq,
         }

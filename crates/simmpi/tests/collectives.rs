@@ -111,8 +111,8 @@ fn scatter_distributes_root_chunks() {
     World::run(4, |mpi| {
         let comm = mpi.world();
         let me = mpi.rank();
-        let chunks: Option<Vec<Vec<u8>>> = if me == 0 {
-            Some((0..4).map(|r| vec![r as u8; 3]).collect())
+        let chunks: Option<Vec<Bytes>> = if me == 0 {
+            Some((0..4).map(|r| Bytes::from(vec![r as u8; 3])).collect())
         } else {
             None
         };
@@ -128,13 +128,15 @@ fn scatter_wrong_chunk_count_errors_at_root() {
     World::run(2, |mpi| {
         let comm = mpi.world();
         if mpi.rank() == 0 {
-            let chunks = vec![vec![1u8]; 3]; // wrong: 3 chunks for 2 ranks
+            // Wrong: 3 chunks for 2 ranks.
+            let chunks = vec![Bytes::from_static(&[1u8]); 3];
             match mpi.scatter(&comm, 0, Some(&chunks)) {
                 Err(MpiError::CollectiveMismatch(_)) => {}
                 other => panic!("expected mismatch, got {other:?}"),
             }
             // Unblock rank 1, which is waiting for its chunk.
-            let good = vec![vec![7u8], vec![8u8]];
+            let good =
+                vec![Bytes::from_static(&[7u8]), Bytes::from_static(&[8u8])];
             let mine = mpi.scatter(&comm, 0, Some(&good))?;
             assert_eq!(mine, vec![7]);
         } else {
@@ -233,8 +235,9 @@ fn alltoall_personalized_exchange() {
             let comm = mpi.world();
             let me = mpi.rank();
             // chunk for dst d: [me, d]
-            let chunks: Vec<Vec<u8>> =
-                (0..n).map(|d| vec![me as u8, d as u8]).collect();
+            let chunks: Vec<Bytes> = (0..n)
+                .map(|d| Bytes::from(vec![me as u8, d as u8]))
+                .collect();
             let out = mpi.alltoall(&comm, &chunks)?;
             for (s, c) in out.iter().enumerate() {
                 assert_eq!(c, &vec![s as u8, me as u8]);

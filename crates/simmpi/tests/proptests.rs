@@ -19,6 +19,7 @@ fn msg(src: usize, tag: i32, uid: u64) -> Message {
         dst: 0,
         context: 1,
         tag,
+        header: simmpi::HeaderBytes::empty(),
         payload: Bytes::copy_from_slice(&uid.to_le_bytes()),
         seq: uid,
     }
@@ -151,6 +152,7 @@ proptest! {
                 dst: 2,
                 context: 1,
                 tag,
+                header: simmpi::HeaderBytes::empty(),
                 payload: Bytes::copy_from_slice(&uid.to_le_bytes()),
                 seq: uid,
             };

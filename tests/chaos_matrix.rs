@@ -93,6 +93,24 @@ fn chaos_across_rank_counts_and_intervals() {
 }
 
 #[test]
+fn chaos_with_explicit_piggyback_mode() {
+    // Same equivalence bar with the 9-byte explicit wire representation:
+    // the encoding must not change what the protocol computes.
+    let schedules: Vec<FailureSchedule> = (200..203)
+        .map(|seed| FailureSchedule::random(seed, 4, 2, 15..120))
+        .collect();
+    let report = chaos_check(
+        4,
+        &C3Config::every_ops(14)
+            .with_piggyback(c3_core::PiggybackMode::Explicit),
+        &MixedApp { iters: 30 },
+        &schedules,
+    )
+    .unwrap();
+    assert!(report.total_restarts >= 1, "no failure fired");
+}
+
+#[test]
 fn chaos_with_multi_failure_schedules() {
     let schedules: Vec<FailureSchedule> = (100..104)
         .map(|seed| FailureSchedule::random(seed, 4, 3, 15..150))

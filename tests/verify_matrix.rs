@@ -11,7 +11,7 @@
 
 use c3_apps::{DenseCg, Laplace};
 use c3_core::trace::TraceSink;
-use c3_core::{run_job, C3App, C3Config};
+use c3_core::{run_job, C3App, C3Config, PiggybackMode};
 use c3verify::analyze;
 use ftsim::FailureSchedule;
 
@@ -26,9 +26,32 @@ fn assert_invariant_clean<A>(
 ) where
     A: C3App,
 {
+    assert_invariant_clean_mode(
+        name,
+        app,
+        interval,
+        schedule,
+        expect_restart,
+        PiggybackMode::Packed,
+    );
+}
+
+/// Like [`assert_invariant_clean`], but with an explicit piggyback wire
+/// representation — the two encodings must be protocol-equivalent.
+fn assert_invariant_clean_mode<A>(
+    name: &str,
+    app: &A,
+    interval: u64,
+    schedule: &FailureSchedule,
+    expect_restart: bool,
+    mode: PiggybackMode,
+) where
+    A: C3App,
+{
     let sink = TraceSink::new();
     let cfg = schedule
         .apply(C3Config::every_ops(interval))
+        .with_piggyback(mode)
         .with_trace(sink.clone());
     let job = run_job(4, &cfg, None, app)
         .unwrap_or_else(|e| panic!("{name}: job failed: {e:?}"));
@@ -73,6 +96,28 @@ fn dense_cg_is_invariant_clean_under_fault_injection() {
         12,
         &FailureSchedule::random(11, 4, 2, 40..160),
         false,
+    );
+}
+
+#[test]
+fn explicit_mode_is_invariant_clean_under_fault_injection() {
+    // The 9-byte explicit header must drive the exact same protocol as
+    // the packed word, including across a real failure/restart.
+    assert_invariant_clean_mode(
+        "dense-cg/explicit/single-failure",
+        &DenseCg::new(32, 24),
+        10,
+        &FailureSchedule::single(2, 60),
+        true,
+        PiggybackMode::Explicit,
+    );
+    assert_invariant_clean_mode(
+        "laplace/explicit/clean",
+        &Laplace { n: 16, iters: 32 },
+        9,
+        &FailureSchedule::none(),
+        false,
+        PiggybackMode::Explicit,
     );
 }
 
