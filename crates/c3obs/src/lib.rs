@@ -1,0 +1,37 @@
+//! `c3obs` — a lock-light observability layer for the C³ stack.
+//!
+//! The paper's entire evaluation is an overhead argument, so the
+//! instrumentation that measures the protocol must not itself perturb
+//! it. This crate provides exactly the primitives the rest of the
+//! workspace needs and nothing more:
+//!
+//! * a [`Registry`] of named **counters**, **gauges**, and fixed-bucket
+//!   **log2 latency histograms** — registration takes a mutex and may
+//!   allocate, but recording through a pre-registered handle is a
+//!   handful of relaxed atomic increments: no locks, no floats, no
+//!   allocation;
+//! * lightweight **span** records ([`Registry::record_span`]) for
+//!   low-frequency protocol phases (initiator phases, local-checkpoint
+//!   duration, log drain, recovery replay) tagged with rank and epoch;
+//! * a [`Snapshot`] of everything, exportable as a JSON document
+//!   (following the `c3_bench::report` flat-scalar conventions) and as
+//!   an OpenMetrics/Prometheus text exposition, with hand-rolled
+//!   parsers for both so round-trips can be tested without external
+//!   dependencies;
+//! * a `c3obs` CLI binary that renders a per-rank, per-epoch phase
+//!   table from a snapshot file.
+//!
+//! The crate is dependency-free; downstream crates gate their use of it
+//! behind an `obs` cargo feature so the entire layer compiles out.
+
+#![deny(missing_docs)]
+
+mod hist;
+mod openmetrics;
+mod registry;
+mod snapshot;
+
+pub use hist::{bucket_bound, bucket_index, Stopwatch, BUCKETS};
+pub use openmetrics::{parse as parse_openmetrics, Family, FamilyKind};
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use snapshot::{HistogramSnapshot, MetricValue, Snapshot, SpanRecord};

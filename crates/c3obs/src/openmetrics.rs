@@ -1,0 +1,608 @@
+//! OpenMetrics/Prometheus text exposition, plus a hand-rolled parser
+//! used by tests to validate the exposition (the same spirit as
+//! `c3_bench::report::validate` for the JSON artifacts).
+//!
+//! The emitter writes one family per metric name: a `# TYPE` line
+//! followed by one sample line per label set. Histograms expand into
+//! the conventional `<name>_bucket{le="..."}` cumulative series (the
+//! `le` bounds are the inclusive log2 bucket bounds, `2^i - 1`, plus
+//! `+Inf`), along with `<name>_sum` and `<name>_count`. Spans are
+//! aggregated into per-(name, rank) histograms named
+//! `c3_span_<name>_ns` so phase timing survives into scrape-shaped
+//! output. The document ends with `# EOF`.
+
+use std::collections::BTreeMap;
+
+use crate::hist::{bucket_bound, BUCKETS};
+use crate::snapshot::Snapshot;
+
+/// The kind of a metric family in an exposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyKind {
+    /// Monotonic counter.
+    Counter,
+    /// Bidirectional gauge.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+/// One sample line of an exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (e.g. `io_write_ns_bucket`).
+    pub name: String,
+    /// Label pairs in source order (including `le` for buckets).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A parsed metric family: its `# TYPE` declaration plus samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Family name as declared.
+    pub name: String,
+    /// Declared kind.
+    pub kind: FamilyKind,
+    /// Samples belonging to the family, in source order.
+    pub samples: Vec<Sample>,
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::new();
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}")
+}
+
+fn label_block_with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut body = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect::<Vec<_>>();
+    body.push(format!("le=\"{le}\""));
+    format!("{{{}}}", body.join(","))
+}
+
+/// A span name sanitized into a metric-name segment.
+fn span_metric_name(span: &str) -> String {
+    let seg: String = span
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("c3_span_{seg}_ns")
+}
+
+struct HistAccum {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+fn emit_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    dense: &[u64; BUCKETS],
+    count: u64,
+    sum: u64,
+) {
+    let mut cum = 0u64;
+    for (i, n) in dense.iter().enumerate() {
+        if *n == 0 {
+            continue;
+        }
+        cum += n;
+        out.push_str(&format!(
+            "{name}_bucket{} {cum}\n",
+            label_block_with_le(labels, &bucket_bound(i).to_string())
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{} {cum}\n",
+        label_block_with_le(labels, "+Inf")
+    ));
+    out.push_str(&format!("{name}_sum{} {sum}\n", label_block(labels)));
+    out.push_str(&format!("{name}_count{} {count}\n", label_block(labels)));
+}
+
+impl Snapshot {
+    /// Render the snapshot as an OpenMetrics text exposition.
+    pub fn to_openmetrics(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for c in &self.counters {
+            if c.name != last_family {
+                out.push_str(&format!("# TYPE {} counter\n", c.name));
+                last_family = c.name.clone();
+            }
+            out.push_str(&format!(
+                "{}{} {}\n",
+                c.name,
+                label_block(&c.labels),
+                c.value
+            ));
+        }
+        last_family.clear();
+        for g in &self.gauges {
+            if g.name != last_family {
+                out.push_str(&format!("# TYPE {} gauge\n", g.name));
+                last_family = g.name.clone();
+            }
+            out.push_str(&format!(
+                "{}{} {}\n",
+                g.name,
+                label_block(&g.labels),
+                g.value
+            ));
+        }
+        last_family.clear();
+        for h in &self.histograms {
+            if h.name != last_family {
+                out.push_str(&format!("# TYPE {} histogram\n", h.name));
+                last_family = h.name.clone();
+            }
+            let mut dense = [0u64; BUCKETS];
+            for &(i, n) in &h.buckets {
+                dense[usize::from(i)] = n;
+            }
+            emit_histogram(
+                &mut out, &h.name, &h.labels, &dense, h.count, h.sum,
+            );
+        }
+        // Spans, aggregated per (name, rank).
+        let mut agg: BTreeMap<(String, u32), HistAccum> = BTreeMap::new();
+        for s in &self.spans {
+            let a = agg
+                .entry((span_metric_name(&s.name), s.rank))
+                .or_insert_with(|| HistAccum {
+                    buckets: [0; BUCKETS],
+                    count: 0,
+                    sum: 0,
+                });
+            a.buckets[crate::hist::bucket_index(s.nanos)] += 1;
+            a.count += 1;
+            a.sum = a.sum.saturating_add(s.nanos);
+        }
+        last_family.clear();
+        for ((name, rank), a) in &agg {
+            if *name != last_family {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                last_family = name.clone();
+            }
+            let labels = vec![("rank".to_string(), rank.to_string())];
+            emit_histogram(
+                &mut out, name, &labels, &a.buckets, a.count, a.sum,
+            );
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser / validator
+// ---------------------------------------------------------------------
+
+type LabelPairs = Vec<(String, String)>;
+
+fn parse_labels(s: &str) -> Result<(LabelPairs, &str), String> {
+    // `s` starts just after '{'. Returns labels and the rest after '}'.
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].to_string();
+        rest = &rest[eq + 1..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err(format!("label value not quoted: {rest:?}")),
+        }
+        let mut val = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    'n' => val.push('\n'),
+                    '\\' => val.push('\\'),
+                    '"' => val.push('"'),
+                    other => {
+                        return Err(format!("bad label escape '\\{other}'"))
+                    }
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                val.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key, val));
+        rest = &rest[end + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix('}') {
+            return Ok((labels, r));
+        } else {
+            return Err(format!("expected ',' or '}}': {rest:?}"));
+        }
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn histogram_series_ok(family: &Family, errors: &mut Vec<String>) {
+    // Group bucket samples by their labels-minus-le key.
+    type Series = Vec<(f64, f64)>;
+    let mut buckets: BTreeMap<String, Series> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    let fname = &family.name;
+    for s in &family.samples {
+        let base: Vec<&(String, String)> =
+            s.labels.iter().filter(|(k, _)| k != "le").collect();
+        let key = base
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        if s.name == format!("{fname}_bucket") {
+            let le = s.labels.iter().find(|(k, _)| k == "le");
+            let le = match le {
+                Some((_, v)) if v == "+Inf" => f64::INFINITY,
+                Some((_, v)) => match v.parse::<f64>() {
+                    Ok(f) => f,
+                    Err(_) => {
+                        errors.push(format!("{fname}: unparsable le {v:?}"));
+                        continue;
+                    }
+                },
+                None => {
+                    errors.push(format!("{fname}: bucket sample without le"));
+                    continue;
+                }
+            };
+            buckets.entry(key).or_default().push((le, s.value));
+        } else if s.name == format!("{fname}_count") {
+            counts.insert(key, s.value);
+        } else if s.name == format!("{fname}_sum") {
+            // Sums are free-form; nothing to cross-check without
+            // the raw observations.
+        } else {
+            errors.push(format!("{fname}: unexpected sample name {}", s.name));
+        }
+    }
+    for (key, series) in &buckets {
+        for w in series.windows(2) {
+            if w[1].0 <= w[0].0 {
+                errors.push(format!(
+                    "{fname}{{{key}}}: le bounds not increasing"
+                ));
+            }
+            if w[1].1 < w[0].1 {
+                errors.push(format!(
+                    "{fname}{{{key}}}: cumulative counts decrease"
+                ));
+            }
+        }
+        match series.last() {
+            Some((le, last)) if le.is_infinite() => {
+                if let Some(count) = counts.get(key) {
+                    if count != last {
+                        errors.push(format!(
+                            "{fname}{{{key}}}: +Inf bucket {last} \
+                             != count {count}"
+                        ));
+                    }
+                } else {
+                    errors.push(format!(
+                        "{fname}{{{key}}}: missing _count sample"
+                    ));
+                }
+            }
+            _ => errors.push(format!("{fname}{{{key}}}: missing +Inf bucket")),
+        }
+    }
+}
+
+/// Parse and validate an OpenMetrics text exposition.
+///
+/// Checks: every sample belongs to a family declared by a preceding
+/// `# TYPE` line; family names are declared once and are valid metric
+/// names; counter samples are non-negative; histogram bucket series
+/// have increasing `le` bounds, non-decreasing cumulative counts, and
+/// a `+Inf` bucket equal to the `_count` sample; the document ends
+/// with `# EOF`. Returns the parsed families on success.
+pub fn parse(doc: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
+    let mut saw_eof = false;
+    for (lineno, line) in doc.lines().enumerate() {
+        let n = lineno + 1;
+        if saw_eof && !line.trim().is_empty() {
+            errors.push(format!("line {n}: content after # EOF"));
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if rest == "EOF" {
+                saw_eof = true;
+            } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or("").to_string();
+                let kind = match parts.next() {
+                    Some("counter") => FamilyKind::Counter,
+                    Some("gauge") => FamilyKind::Gauge,
+                    Some("histogram") => FamilyKind::Histogram,
+                    other => {
+                        errors
+                            .push(format!("line {n}: unknown TYPE {other:?}"));
+                        continue;
+                    }
+                };
+                if !valid_metric_name(&name) {
+                    errors.push(format!(
+                        "line {n}: invalid family name {name:?}"
+                    ));
+                }
+                if families.iter().any(|f| f.name == name) {
+                    errors
+                        .push(format!("line {n}: duplicate TYPE for {name}"));
+                    continue;
+                }
+                families.push(Family {
+                    name,
+                    kind,
+                    samples: Vec::new(),
+                });
+            } else if rest.starts_with("HELP ") {
+                // HELP lines are legal and ignored.
+            } else {
+                errors
+                    .push(format!("line {n}: unrecognized comment {line:?}"));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name, rest) = match line.find(['{', ' ']) {
+            Some(i) => (line[..i].to_string(), &line[i..]),
+            None => {
+                errors.push(format!("line {n}: sample without value"));
+                continue;
+            }
+        };
+        if !valid_metric_name(&name) {
+            errors.push(format!("line {n}: invalid sample name {name:?}"));
+            continue;
+        }
+        let (labels, rest) = if let Some(r) = rest.strip_prefix('{') {
+            match parse_labels(r) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    errors.push(format!("line {n}: {e}"));
+                    continue;
+                }
+            }
+        } else {
+            (Vec::new(), rest)
+        };
+        let value_text = rest.trim();
+        let value: f64 = match value_text.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                errors.push(format!("line {n}: bad value {value_text:?}"));
+                continue;
+            }
+        };
+        // Attribute the sample to its family: exact name match for
+        // counters/gauges, suffixed names for histograms.
+        let fam = families.iter_mut().find(|f| match f.kind {
+            FamilyKind::Counter | FamilyKind::Gauge => f.name == name,
+            FamilyKind::Histogram => {
+                name == f.name
+                    || name == format!("{}_bucket", f.name)
+                    || name == format!("{}_sum", f.name)
+                    || name == format!("{}_count", f.name)
+            }
+        });
+        match fam {
+            Some(f) => {
+                if f.kind == FamilyKind::Counter && value < 0.0 {
+                    errors.push(format!("line {n}: negative counter {name}"));
+                }
+                f.samples.push(Sample {
+                    name,
+                    labels,
+                    value,
+                });
+            }
+            None => errors.push(format!(
+                "line {n}: sample {name} has no TYPE declaration"
+            )),
+        }
+    }
+    if !saw_eof {
+        errors.push("missing # EOF terminator".to_string());
+    }
+    for f in &families {
+        if f.kind == FamilyKind::Histogram {
+            histogram_series_ok(f, &mut errors);
+        }
+    }
+    if errors.is_empty() {
+        Ok(families)
+    } else {
+        Err(errors.join("; "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter_with("mpi_msgs_sent_total", &[("rank", "0")])
+            .add(10);
+        r.counter_with("mpi_msgs_sent_total", &[("rank", "1")])
+            .add(12);
+        r.gauge("io_queue_depth").set(3);
+        let h = r.histogram_with("io_write_ns", &[("kind", "chunk")]);
+        for v in [3, 900, 1023, 1024, 70_000] {
+            h.record(v);
+        }
+        r.record_span("local_checkpoint", 0, 1, 50_000);
+        r.record_span("local_checkpoint", 0, 2, 61_000);
+        r.record_span("commit", 0, 1, 9_000);
+        r
+    }
+
+    #[test]
+    fn exposition_parses_and_validates() {
+        let doc = sample_registry().snapshot().to_openmetrics();
+        let families = parse(&doc).unwrap();
+        let counter = families
+            .iter()
+            .find(|f| f.name == "mpi_msgs_sent_total")
+            .expect("counter family");
+        assert_eq!(counter.kind, FamilyKind::Counter);
+        assert_eq!(counter.samples.len(), 2);
+        let hist = families
+            .iter()
+            .find(|f| f.name == "io_write_ns")
+            .expect("histogram family");
+        assert_eq!(hist.kind, FamilyKind::Histogram);
+        let count = hist
+            .samples
+            .iter()
+            .find(|s| s.name == "io_write_ns_count")
+            .unwrap();
+        assert_eq!(count.value, 5.0);
+        // Spans surface as per-(name, rank) histograms.
+        let span = families
+            .iter()
+            .find(|f| f.name == "c3_span_local_checkpoint_ns")
+            .expect("span family");
+        let c = span
+            .samples
+            .iter()
+            .find(|s| s.name == "c3_span_local_checkpoint_ns_count")
+            .unwrap();
+        assert_eq!(c.value, 2.0);
+    }
+
+    #[test]
+    fn buckets_are_cumulative_with_inclusive_log2_bounds() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        h.record(1); // bucket 1, le 1
+        h.record(3); // bucket 2, le 3
+        h.record(3);
+        let doc = r.snapshot().to_openmetrics();
+        assert!(doc.contains("lat_bucket{le=\"1\"} 1\n"), "{doc}");
+        assert!(doc.contains("lat_bucket{le=\"3\"} 3\n"), "{doc}");
+        assert!(doc.contains("lat_bucket{le=\"+Inf\"} 3\n"), "{doc}");
+        assert!(doc.contains("lat_sum 7\n"), "{doc}");
+        assert!(doc.contains("lat_count 3\n"), "{doc}");
+    }
+
+    #[test]
+    fn rejects_malformed_expositions() {
+        for (doc, why) in [
+            ("x 1\n# EOF\n", "sample without TYPE"),
+            ("# TYPE x counter\nx 1\n", "missing EOF"),
+            ("# TYPE x counter\nx -1\n# EOF\n", "negative counter"),
+            (
+                "# TYPE x counter\n# TYPE x counter\nx 1\n# EOF\n",
+                "duplicate TYPE",
+            ),
+            (
+                "# TYPE h histogram\n\
+                 h_bucket{le=\"3\"} 2\n\
+                 h_bucket{le=\"1\"} 1\n\
+                 h_bucket{le=\"+Inf\"} 2\n\
+                 h_count 2\nh_sum 4\n# EOF\n",
+                "le bounds not increasing",
+            ),
+            (
+                "# TYPE h histogram\n\
+                 h_bucket{le=\"1\"} 2\n\
+                 h_bucket{le=\"+Inf\"} 1\n\
+                 h_count 1\nh_sum 2\n# EOF\n",
+                "cumulative counts decrease",
+            ),
+            (
+                "# TYPE h histogram\n\
+                 h_bucket{le=\"1\"} 1\n\
+                 h_bucket{le=\"+Inf\"} 1\n\
+                 h_count 2\nh_sum 1\n# EOF\n",
+                "+Inf bucket disagrees with count",
+            ),
+            (
+                "# TYPE h histogram\n\
+                 h_bucket{le=\"1\"} 1\n\
+                 h_count 1\nh_sum 1\n# EOF\n",
+                "missing +Inf bucket",
+            ),
+            ("# TYPE x counter\nx 1\n# EOF\nx 2\n", "content after EOF"),
+        ] {
+            assert!(parse(doc).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn label_escapes_roundtrip() {
+        let r = Registry::new();
+        r.counter_with("weird_total", &[("tag", "a\"b\\c\nd")])
+            .inc();
+        let doc = r.snapshot().to_openmetrics();
+        let families = parse(&doc).unwrap();
+        let s = &families[0].samples[0];
+        assert_eq!(s.labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn empty_snapshot_is_a_valid_exposition() {
+        let doc = crate::Snapshot::default().to_openmetrics();
+        assert_eq!(doc, "# EOF\n");
+        assert!(parse(&doc).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,719 @@
+//! Point-in-time snapshots and their JSON document form.
+//!
+//! The JSON layout follows the `c3_bench::report` conventions: a
+//! shallow document whose arrays contain only *flat objects of
+//! scalars*, so downstream tooling can read any section with a
+//! two-level loop. Structured fields are packed into scalar strings —
+//! labels as `"k=v,k=v"`, histogram buckets as `"idx:count,..."`:
+//!
+//! ```json
+//! {
+//!   "schema": "c3obs-snapshot-v1",
+//!   "counters":   [ {"name": "...", "labels": "rank=0", "value": 3} ],
+//!   "gauges":     [ {"name": "...", "labels": "", "value": -1} ],
+//!   "histograms": [ {"name": "...", "labels": "", "count": 7,
+//!                    "sum": 2953, "buckets": "0:1,2:2"} ],
+//!   "spans":      [ {"name": "...", "rank": 0, "epoch": 1,
+//!                    "nanos": 1200} ]
+//! }
+//! ```
+//!
+//! [`Snapshot::from_json`] is a full hand-rolled parser (no external
+//! dependency) so the CLI and the round-trip tests can read the files
+//! back; [`Snapshot::self_check`] verifies internal consistency
+//! (bucket sums match counts, bucket indices in range) and is part of
+//! the chaos-matrix health invariants.
+
+use crate::hist::BUCKETS;
+
+/// One completed phase span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase name (e.g. `"local_checkpoint"`).
+    pub name: String,
+    /// World rank the phase ran on.
+    pub rank: u32,
+    /// Checkpoint epoch the phase belongs to.
+    pub epoch: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// A counter or gauge reading.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricValue<T> {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: T,
+}
+
+/// A histogram reading. `buckets` holds only the non-empty buckets as
+/// `(bucket index, observation count)` pairs; see
+/// [`crate::bucket_index`] for the value-to-bucket mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Non-empty `(bucket index, count)` pairs in ascending order.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// A point-in-time copy of a [`crate::Registry`]'s contents.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters, in deterministic (name, labels) order.
+    pub counters: Vec<MetricValue<u64>>,
+    /// All gauges, in deterministic (name, labels) order.
+    pub gauges: Vec<MetricValue<i64>>,
+    /// All histograms, in deterministic (name, labels) order.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All spans, in recording order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Schema tag written into (and required from) every snapshot file.
+pub const SCHEMA: &str = "c3obs-snapshot-v1";
+
+fn labels_to_str(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn labels_from_str(s: &str) -> Result<Vec<(String, String)>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|pair| {
+            pair.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| format!("bad label pair {pair:?}"))
+        })
+        .collect()
+}
+
+fn buckets_to_str(buckets: &[(u8, u64)]) -> String {
+    buckets
+        .iter()
+        .map(|(i, n)| format!("{i}:{n}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn buckets_from_str(s: &str) -> Result<Vec<(u8, u64)>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|pair| {
+            let (i, n) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad bucket pair {pair:?}"))?;
+            let i: u8 =
+                i.parse().map_err(|_| format!("bad bucket index {i:?}"))?;
+            let n: u64 =
+                n.parse().map_err(|_| format!("bad bucket count {n:?}"))?;
+            Ok((i, n))
+        })
+        .collect()
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32))
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str, first: bool) {
+    if !first {
+        out.push_str(", ");
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": \"");
+    escape_into(out, val);
+    out.push('"');
+}
+
+fn push_int_field(out: &mut String, key: &str, val: i128, first: bool) {
+    if !first {
+        out.push_str(", ");
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(&val.to_string());
+}
+
+impl Snapshot {
+    /// Serialize to the canonical snapshot JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(SCHEMA);
+        out.push_str("\",\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    {" } else { ",\n    {" });
+            push_str_field(&mut out, "name", &c.name, true);
+            push_str_field(
+                &mut out,
+                "labels",
+                &labels_to_str(&c.labels),
+                false,
+            );
+            push_int_field(&mut out, "value", c.value as i128, false);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    {" } else { ",\n    {" });
+            push_str_field(&mut out, "name", &g.name, true);
+            push_str_field(
+                &mut out,
+                "labels",
+                &labels_to_str(&g.labels),
+                false,
+            );
+            push_int_field(&mut out, "value", g.value as i128, false);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    {" } else { ",\n    {" });
+            push_str_field(&mut out, "name", &h.name, true);
+            push_str_field(
+                &mut out,
+                "labels",
+                &labels_to_str(&h.labels),
+                false,
+            );
+            push_int_field(&mut out, "count", h.count as i128, false);
+            push_int_field(&mut out, "sum", h.sum as i128, false);
+            push_str_field(
+                &mut out,
+                "buckets",
+                &buckets_to_str(&h.buckets),
+                false,
+            );
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    {" } else { ",\n    {" });
+            push_str_field(&mut out, "name", &s.name, true);
+            push_int_field(&mut out, "rank", s.rank as i128, false);
+            push_int_field(&mut out, "epoch", s.epoch as i128, false);
+            push_int_field(&mut out, "nanos", s.nanos as i128, false);
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a snapshot document produced by [`Snapshot::to_json`].
+    pub fn from_json(doc: &str) -> Result<Snapshot, String> {
+        let mut p = Parser {
+            bytes: doc.as_bytes(),
+            pos: 0,
+        };
+        let top = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        let obj = top.as_obj("top level")?;
+        match get(obj, "schema")? {
+            JVal::Str(s) if s == SCHEMA => {}
+            other => {
+                return Err(format!(
+                    "unsupported schema {other:?}; want {SCHEMA:?}"
+                ))
+            }
+        }
+        let mut snap = Snapshot::default();
+        for item in get(obj, "counters")?.as_arr("counters")? {
+            let o = item.as_obj("counter")?;
+            snap.counters.push(MetricValue {
+                name: get(o, "name")?.as_str("name")?.to_string(),
+                labels: labels_from_str(get(o, "labels")?.as_str("labels")?)?,
+                value: get(o, "value")?.as_u64("value")?,
+            });
+        }
+        for item in get(obj, "gauges")?.as_arr("gauges")? {
+            let o = item.as_obj("gauge")?;
+            snap.gauges.push(MetricValue {
+                name: get(o, "name")?.as_str("name")?.to_string(),
+                labels: labels_from_str(get(o, "labels")?.as_str("labels")?)?,
+                value: get(o, "value")?.as_i64("value")?,
+            });
+        }
+        for item in get(obj, "histograms")?.as_arr("histograms")? {
+            let o = item.as_obj("histogram")?;
+            snap.histograms.push(HistogramSnapshot {
+                name: get(o, "name")?.as_str("name")?.to_string(),
+                labels: labels_from_str(get(o, "labels")?.as_str("labels")?)?,
+                count: get(o, "count")?.as_u64("count")?,
+                sum: get(o, "sum")?.as_u64("sum")?,
+                buckets: buckets_from_str(
+                    get(o, "buckets")?.as_str("buckets")?,
+                )?,
+            });
+        }
+        for item in get(obj, "spans")?.as_arr("spans")? {
+            let o = item.as_obj("span")?;
+            snap.spans.push(SpanRecord {
+                name: get(o, "name")?.as_str("name")?.to_string(),
+                rank: u32::try_from(get(o, "rank")?.as_u64("rank")?)
+                    .map_err(|_| "rank out of range".to_string())?,
+                epoch: get(o, "epoch")?.as_u64("epoch")?,
+                nanos: get(o, "nanos")?.as_u64("nanos")?,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Internal-consistency violations (empty when healthy): every
+    /// histogram's bucket counts must sum to its `count`, bucket
+    /// indices must be in range and strictly ascending, and `sum`
+    /// must be zero whenever `count` is zero.
+    pub fn self_check(&self) -> Vec<String> {
+        let mut bad = Vec::new();
+        for h in &self.histograms {
+            let total: u64 = self.buckets_sum(h);
+            if total != h.count {
+                bad.push(format!(
+                    "histogram {}: bucket sum {} != count {}",
+                    h.name, total, h.count
+                ));
+            }
+            if h.count == 0 && h.sum != 0 {
+                bad.push(format!(
+                    "histogram {}: empty but sum {}",
+                    h.name, h.sum
+                ));
+            }
+            let mut prev: Option<u8> = None;
+            for &(i, n) in &h.buckets {
+                if usize::from(i) >= BUCKETS {
+                    bad.push(format!(
+                        "histogram {}: bucket index {} out of range",
+                        h.name, i
+                    ));
+                }
+                if n == 0 {
+                    bad.push(format!(
+                        "histogram {}: empty bucket {} recorded",
+                        h.name, i
+                    ));
+                }
+                if let Some(p) = prev {
+                    if i <= p {
+                        bad.push(format!(
+                            "histogram {}: bucket order {} after {}",
+                            h.name, i, p
+                        ));
+                    }
+                }
+                prev = Some(i);
+            }
+        }
+        bad
+    }
+
+    fn buckets_sum(&self, h: &HistogramSnapshot) -> u64 {
+        h.buckets.iter().map(|(_, n)| *n).sum()
+    }
+
+    /// The value of one specific counter, if registered.
+    pub fn counter_value(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<u64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.labels == want)
+            .map(|c| c.value)
+    }
+
+    /// Sum of a counter across all its label sets (0 if absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Total observation count of a histogram across label sets.
+    pub fn histogram_count_total(&self, name: &str) -> u64 {
+        self.histograms
+            .iter()
+            .filter(|h| h.name == name)
+            .map(|h| h.count)
+            .sum()
+    }
+
+    /// All spans with the given name, in recording order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON reader, just deep enough for the
+// snapshot document. No external parser dependency.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum JVal {
+    Obj(Vec<(String, JVal)>),
+    Arr(Vec<JVal>),
+    Str(String),
+    Int(i128),
+}
+
+impl JVal {
+    fn as_obj(&self, what: &str) -> Result<&[(String, JVal)], String> {
+        match self {
+            JVal::Obj(o) => Ok(o),
+            _ => Err(format!("{what}: expected object")),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[JVal], String> {
+        match self {
+            JVal::Arr(a) => Ok(a),
+            _ => Err(format!("{what}: expected array")),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, String> {
+        match self {
+            JVal::Str(s) => Ok(s),
+            _ => Err(format!("{what}: expected string")),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, String> {
+        match self {
+            JVal::Int(i) => u64::try_from(*i)
+                .map_err(|_| format!("{what}: out of u64 range")),
+            _ => Err(format!("{what}: expected integer")),
+        }
+    }
+
+    fn as_i64(&self, what: &str) -> Result<i64, String> {
+        match self {
+            JVal::Int(i) => i64::try_from(*i)
+                .map_err(|_| format!("{what}: out of i64 range")),
+            _ => Err(format!("{what}: expected integer")),
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, JVal)], key: &str) -> Result<&'a JVal, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "dangling escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(
+                                &self.bytes[self.pos..self.pos + 4],
+                            )
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or("bad \\u code point")?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(format!(
+                                "unsupported escape '\\{}'",
+                                other as char
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = rest.chars().next().unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JVal, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JVal::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(JVal::Obj(fields));
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected ',' or '}}', found {:?}",
+                                other.map(|c| c as char)
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JVal::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JVal::Arr(items));
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected ',' or ']', found {:?}",
+                                other.map(|c| c as char)
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'"') => self.parse_string().map(JVal::Str),
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                if b == b'-' {
+                    self.pos += 1;
+                }
+                while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false)
+                {
+                    self.pos += 1;
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<i128>()
+                    .map(JVal::Int)
+                    .map_err(|_| format!("bad integer {text:?}"))
+            }
+            other => Err(format!(
+                "unexpected byte {:?} at {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter_with("c3_commits_total", &[("rank", "0")]).add(3);
+        r.counter_with("c3_commits_total", &[("rank", "1")]).add(3);
+        r.gauge("io_queue_depth").set(-2);
+        let h = r.histogram_with("io_write_ns", &[("kind", "chunk")]);
+        for v in [0, 5, 900, 1023, 70_000] {
+            h.record(v);
+        }
+        r.record_span("local_checkpoint", 1, 2, 48_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let snap = sample();
+        let doc = snap.to_json();
+        let back = Snapshot::from_json(&doc).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn self_check_accepts_real_snapshots() {
+        assert!(sample().self_check().is_empty());
+    }
+
+    #[test]
+    fn self_check_flags_corruption() {
+        let mut snap = sample();
+        snap.histograms[0].count += 1;
+        let bad = snap.self_check();
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].contains("bucket sum"), "{bad:?}");
+    }
+
+    #[test]
+    fn query_helpers_see_labels() {
+        let snap = sample();
+        assert_eq!(
+            snap.counter_value("c3_commits_total", &[("rank", "0")]),
+            Some(3)
+        );
+        assert_eq!(snap.counter_total("c3_commits_total"), 6);
+        assert_eq!(snap.counter_total("absent_total"), 0);
+        assert_eq!(snap.histogram_count_total("io_write_ns"), 5);
+        let spans = snap.spans_named("local_checkpoint");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].epoch, 2);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        for (doc, why) in [
+            ("", "empty"),
+            ("{}", "missing schema"),
+            ("{\"schema\": \"other\"}", "wrong schema"),
+            (
+                "{\"schema\": \"c3obs-snapshot-v1\", \
+                 \"counters\": [], \"gauges\": [], \
+                 \"histograms\": [], \"spans\": []} x",
+                "trailing garbage",
+            ),
+            (
+                "{\"schema\": \"c3obs-snapshot-v1\", \
+                 \"counters\": [{\"name\": \"a\", \
+                 \"labels\": \"oops\", \"value\": 1}], \
+                 \"gauges\": [], \"histograms\": [], \"spans\": []}",
+                "bad label pair",
+            ),
+            (
+                "{\"schema\": \"c3obs-snapshot-v1\", \
+                 \"counters\": [{\"name\": \"a\", \
+                 \"labels\": \"\", \"value\": -1}], \
+                 \"gauges\": [], \"histograms\": [], \"spans\": []}",
+                "negative counter",
+            ),
+        ] {
+            assert!(Snapshot::from_json(doc).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = Snapshot::default();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+        assert!(back.self_check().is_empty());
+    }
+}

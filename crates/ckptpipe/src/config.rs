@@ -23,8 +23,8 @@ pub enum WriteMode {
 pub struct RetryPolicy {
     /// Retries after the first failed attempt (0 = fail immediately).
     pub max_retries: u32,
-    /// Sleep before retry `k` is `backoff_base_ms << k`, capped at
-    /// 1024 × base.
+    /// Sleep before retry `k` is [`RetryPolicy::delay_ms`]`(k)`:
+    /// `backoff_base_ms * 2^k`, capped at 1024 × base.
     pub backoff_base_ms: u64,
 }
 
@@ -34,6 +34,24 @@ impl Default for RetryPolicy {
             max_retries: 4,
             backoff_base_ms: 1,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// Exponent cap: delays saturate at `backoff_base_ms << 10`
+    /// (1024 × base).
+    const MAX_EXP: u32 = 10;
+
+    /// Milliseconds to sleep before retry `attempt` (0-based).
+    ///
+    /// A plain `backoff_base_ms << attempt` would be a shift-overflow
+    /// panic (debug) or silent wrap (release) once `attempt >= 64`,
+    /// which an adversarial fault schedule can reach. The exponent is
+    /// therefore clamped first and the multiply saturates — the same
+    /// discipline as `simmpi::netsim`'s retransmit backoff.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = attempt.min(Self::MAX_EXP);
+        self.backoff_base_ms.saturating_mul(1u64 << exp)
     }
 }
 
@@ -54,6 +72,11 @@ pub struct PipelineConfig {
     pub compression: bool,
     /// Transient-fault retry discipline.
     pub retry: RetryPolicy,
+    /// Metrics registry the pipeline records into (stage/write/drain
+    /// latency, retry and byte counters). `None` disables recording;
+    /// compiled out entirely without the `obs` feature.
+    #[cfg(feature = "obs")]
+    pub obs: Option<c3obs::Registry>,
 }
 
 impl Default for PipelineConfig {
@@ -67,6 +90,8 @@ impl Default for PipelineConfig {
             chunk_size: 4096,
             compression: true,
             retry: RetryPolicy::default(),
+            #[cfg(feature = "obs")]
+            obs: None,
         }
     }
 }
@@ -111,5 +136,54 @@ impl PipelineConfig {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Builder: record pipeline metrics into `reg`.
+    #[cfg(feature = "obs")]
+    pub fn with_obs(mut self, reg: c3obs::Registry) -> Self {
+        self.obs = Some(reg);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_schedule_is_exponential_and_capped() {
+        // Mirrors netsim's backoff_schedule_is_exponential_and_capped
+        // for the storage-retry flavor of the same pattern.
+        let p = RetryPolicy {
+            max_retries: 64,
+            backoff_base_ms: 3,
+        };
+        let schedule: Vec<u64> = (0..12).map(|k| p.delay_ms(k)).collect();
+        assert_eq!(
+            schedule,
+            [
+                3,
+                6,
+                12,
+                24,
+                48,
+                96,
+                192,
+                384,
+                768,
+                1536,
+                3 * 1024,
+                3 * 1024
+            ],
+            "doubles per retry, then holds at 1024 x base"
+        );
+        // The old `base << attempt` panicked (debug) or wrapped
+        // (release) here; the clamped saturating form must not.
+        assert_eq!(p.delay_ms(u32::MAX), 3 * 1024);
+        let huge = RetryPolicy {
+            max_retries: 1,
+            backoff_base_ms: u64::MAX,
+        };
+        assert_eq!(huge.delay_ms(u32::MAX), u64::MAX, "saturates");
     }
 }

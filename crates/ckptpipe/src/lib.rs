@@ -33,6 +33,8 @@
 #![deny(missing_docs)]
 
 pub mod config;
+#[cfg(feature = "obs")]
+pub(crate) mod obs;
 pub mod pipeline;
 
 pub use config::{PipelineConfig, RetryPolicy, WriteMode};
@@ -300,6 +302,29 @@ mod tests {
             store.get_rank_blob(3, 0, RankBlobKind::State).unwrap(),
             ba
         );
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn pipeline_records_obs_metrics() {
+        let reg = c3obs::Registry::new();
+        let (_, store) = mem_store(1);
+        let pipe = CheckpointPipeline::new(
+            store.clone(),
+            PipelineConfig::default().with_obs(reg.clone()),
+        );
+        pipe.stage(1, 0, RankBlobKind::State, blob(1, 2048))
+            .unwrap();
+        pipe.stage(1, 0, RankBlobKind::Log, b"log".to_vec())
+            .unwrap();
+        pipe.drain(1).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("io_staged_bytes_total"), 2048 + 3);
+        assert_eq!(snap.histogram_count_total("io_stage_ns"), 2);
+        assert_eq!(snap.histogram_count_total("io_write_ns"), 2);
+        assert_eq!(snap.histogram_count_total("io_drain_ns"), 1);
+        assert_eq!(snap.counter_total("io_retries_total"), 0);
+        assert!(snap.self_check().is_empty());
     }
 
     #[test]

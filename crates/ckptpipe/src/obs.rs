@@ -1,0 +1,40 @@
+//! Observability handles for the write pipeline (feature `obs`).
+//!
+//! One [`PipeObs`] bundle is registered per pipeline (job-wide, not
+//! per-rank: writer threads serve every rank, so rank attribution of a
+//! write would be arbitrary). Stage/write/drain operations happen at
+//! checkpoint frequency — orders of magnitude rarer than messages — so
+//! every one is timed; no sampling is needed to stay inside the
+//! overhead budget.
+
+use c3obs::{Counter, Histogram, Registry};
+
+/// Job-wide metric handles of the checkpoint write pipeline.
+pub(crate) struct PipeObs {
+    /// `io_stage_ns` — latency of `stage` as seen by the calling rank
+    /// (queue backpressure included; in sync mode this is the write).
+    pub stage_ns: Histogram,
+    /// `io_write_ns` — latency of one whole blob write (chunking,
+    /// dedup probes, compression, storage puts, retries).
+    pub write_ns: Histogram,
+    /// `io_drain_ns` — time the initiator blocks in the drain barrier.
+    pub drain_ns: Histogram,
+    /// `io_retries_total` — storage operations retried after a
+    /// transient fault.
+    pub retries: Counter,
+    /// `io_staged_bytes_total` — raw bytes accepted by `stage`.
+    pub staged_bytes: Counter,
+}
+
+impl PipeObs {
+    /// Register the pipeline's handle bundle in `reg`.
+    pub fn register(reg: &Registry) -> Self {
+        PipeObs {
+            stage_ns: reg.histogram("io_stage_ns"),
+            write_ns: reg.histogram("io_write_ns"),
+            drain_ns: reg.histogram("io_drain_ns"),
+            retries: reg.counter("io_retries_total"),
+            staged_bytes: reg.counter("io_staged_bytes_total"),
+        }
+    }
+}

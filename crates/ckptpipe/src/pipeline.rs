@@ -105,6 +105,8 @@ struct Shared {
     // manifest is still in flight.
     gc_gate: RwLock<()>,
     stats: StatCells,
+    #[cfg(feature = "obs")]
+    obs: Option<crate::obs::PipeObs>,
 }
 
 /// Joins the writer threads when the last pipeline clone drops, after
@@ -148,9 +150,13 @@ impl CheckpointPipeline {
     /// Create a pipeline over `store`, spawning writer threads when the
     /// mode is asynchronous.
     pub fn new(store: CheckpointStore, cfg: PipelineConfig) -> Self {
+        #[cfg(feature = "obs")]
+        let obs = cfg.obs.as_ref().map(crate::obs::PipeObs::register);
         let shared = Arc::new(Shared {
             store,
             cfg,
+            #[cfg(feature = "obs")]
+            obs,
             queue: Mutex::new(QueueState::default()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -212,8 +218,29 @@ impl CheckpointPipeline {
         kind: RankBlobKind,
         bytes: impl Into<Bytes>,
     ) -> StoreResult<()> {
-        let bytes = bytes.into();
+        #[cfg(feature = "obs")]
+        let timer =
+            self.shared.obs.as_ref().map(|_| c3obs::Stopwatch::start());
+        let res = self.stage_inner(ckpt, rank, kind, bytes.into());
+        #[cfg(feature = "obs")]
+        if let (Some(o), Some(t)) = (self.shared.obs.as_ref(), timer) {
+            o.stage_ns.record(t.elapsed_ns());
+        }
+        res
+    }
+
+    fn stage_inner(
+        &self,
+        ckpt: CkptId,
+        rank: usize,
+        kind: RankBlobKind,
+        bytes: Bytes,
+    ) -> StoreResult<()> {
         let shared = &self.shared;
+        #[cfg(feature = "obs")]
+        if let Some(o) = &shared.obs {
+            o.staged_bytes.add(bytes.len() as u64);
+        }
         shared.stats.blobs_staged.fetch_add(1, Ordering::Relaxed);
         shared
             .stats
@@ -279,6 +306,18 @@ impl CheckpointPipeline {
     /// transient fault that exhausted its retries, or a permanent one),
     /// in which case the initiator must not commit `ckpt`.
     pub fn drain(&self, ckpt: CkptId) -> StoreResult<u64> {
+        #[cfg(feature = "obs")]
+        let timer =
+            self.shared.obs.as_ref().map(|_| c3obs::Stopwatch::start());
+        let res = self.drain_inner(ckpt);
+        #[cfg(feature = "obs")]
+        if let (Some(o), Some(t)) = (self.shared.obs.as_ref(), timer) {
+            o.drain_ns.record(t.elapsed_ns());
+        }
+        res
+    }
+
+    fn drain_inner(&self, ckpt: CkptId) -> StoreResult<u64> {
         let mut tickets = self.shared.tickets.lock().unwrap();
         loop {
             let t = tickets.entry(ckpt).or_default();
@@ -373,6 +412,17 @@ impl Shared {
     }
 
     fn write_blob(&self, job: &Job) -> StoreResult<()> {
+        #[cfg(feature = "obs")]
+        let timer = self.obs.as_ref().map(|_| c3obs::Stopwatch::start());
+        let res = self.write_blob_inner(job);
+        #[cfg(feature = "obs")]
+        if let (Some(o), Some(t)) = (self.obs.as_ref(), timer) {
+            o.write_ns.record(t.elapsed_ns());
+        }
+        res
+    }
+
+    fn write_blob_inner(&self, job: &Job) -> StoreResult<()> {
         // Shared side of the writer-vs-GC gate: everything this write
         // stores (chunks, then the manifest that makes them live) lands
         // atomically with respect to `CheckpointPipeline::gc_keeping`.
@@ -458,13 +508,13 @@ impl Shared {
                     if e.is_transient()
                         && attempt < self.cfg.retry.max_retries =>
                 {
-                    let delay = self
-                        .cfg
-                        .retry
-                        .backoff_base_ms
-                        .saturating_mul(1u64 << attempt.min(10));
+                    let delay = self.cfg.retry.delay_ms(attempt);
                     attempt += 1;
                     self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(feature = "obs")]
+                    if let Some(o) = &self.obs {
+                        o.retries.inc();
+                    }
                     std::thread::sleep(std::time::Duration::from_millis(
                         delay,
                     ));

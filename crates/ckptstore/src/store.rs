@@ -87,6 +87,18 @@ impl CheckpointStore {
         &self.backend
     }
 
+    /// Rewrap the backend in an [`crate::obs::ObservedBackend`] so every
+    /// put/get through this store (and its future clones) records
+    /// latency and byte metrics into `reg`. Pass-through accounting
+    /// (`bytes_written`) still reaches the original backend.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, reg: &c3obs::Registry) {
+        self.backend = Arc::new(crate::obs::ObservedBackend::new(
+            Arc::clone(&self.backend),
+            reg,
+        ));
+    }
+
     fn rank_key(ckpt: CkptId, rank: usize, kind: RankBlobKind) -> String {
         format!("ckpt/{ckpt:08}/rank{rank}/{}", kind.as_str())
     }

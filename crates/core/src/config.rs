@@ -147,6 +147,16 @@ pub struct C3Config {
     /// seeded drop/duplicate/reorder/delay wire with reliable delivery
     /// rebuilt above it.
     pub net: simmpi::NetCond,
+    /// Optional metrics registry (see `c3obs`). When set, every layer —
+    /// protocol spans and counters, I/O pipeline latencies, storage
+    /// put/get timings, per-rank MPI and retransmit counters — records
+    /// into it; [`crate::obs::health_check`] and the `c3obs` CLI
+    /// consume the resulting snapshot. `None` disables recording at
+    /// run time; building without the `obs` feature removes the hooks
+    /// entirely (the `zero_copy` tripwires prove the send path is
+    /// untouched).
+    #[cfg(feature = "obs")]
+    pub obs: Option<c3obs::Registry>,
 }
 
 impl Default for C3Config {
@@ -161,6 +171,8 @@ impl Default for C3Config {
             trace: None,
             io: ckptpipe::PipelineConfig::default(),
             net: simmpi::NetCond::perfect(),
+            #[cfg(feature = "obs")]
+            obs: None,
         }
     }
 }
@@ -211,6 +223,15 @@ impl C3Config {
     /// the job driver hands every rank the same config).
     pub fn with_piggyback(mut self, mode: PiggybackMode) -> Self {
         self.piggyback_mode = mode;
+        self
+    }
+
+    /// Record metrics and phase spans into `reg` (see `c3obs`). The job
+    /// driver propagates the registry to the I/O pipeline and the
+    /// checkpoint store; snapshot it after `run_job` returns.
+    #[cfg(feature = "obs")]
+    pub fn with_obs(mut self, reg: c3obs::Registry) -> Self {
+        self.obs = Some(reg);
         self
     }
 }

@@ -100,10 +100,25 @@ pub fn run_job<A: C3App>(
 ) -> C3Result<JobReport<A::Output>> {
     let backend: Arc<dyn StorageBackend> =
         backend.unwrap_or_else(|| Arc::new(MemoryBackend::new()));
-    let store = cfg
+    #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+    let mut store = cfg
         .level
         .checkpoints()
         .then(|| CheckpointStore::new(backend.clone(), nprocs));
+    // Observability plumbing: every store access records through the
+    // registry, and the per-attempt pipelines inherit it. The report's
+    // `storage_bytes_written` still reads the raw backend directly.
+    #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+    let mut io_cfg = cfg.io.clone();
+    #[cfg(feature = "obs")]
+    if let Some(reg) = &cfg.obs {
+        if let Some(s) = store.as_mut() {
+            s.attach_obs(reg);
+        }
+        if io_cfg.obs.is_none() {
+            io_cfg.obs = Some(reg.clone());
+        }
+    }
 
     let started = Instant::now();
     let mut restarts = 0usize;
@@ -138,7 +153,7 @@ pub fn run_job<A: C3App>(
         // next attempt starts with a quiescent store.
         let pipeline = store
             .clone()
-            .map(|s| CheckpointPipeline::new(s, cfg.io.clone()));
+            .map(|s| CheckpointPipeline::new(s, io_cfg.clone()));
 
         type Inner<O> = C3Result<(O, ProcStats)>;
         let results: Vec<Result<Inner<A::Output>, MpiError>> =

@@ -76,6 +76,8 @@ pub mod error;
 pub mod initiator;
 pub mod job;
 pub mod logrec;
+#[cfg(feature = "obs")]
+pub mod obs;
 pub mod pending;
 pub mod piggyback;
 pub mod process;
@@ -97,3 +99,6 @@ pub use ckptpipe::{
 };
 pub use simmpi::{DType, ReduceOp, ANY_SOURCE, ANY_TAG};
 pub use statesave::snapshot::SaveState;
+
+#[cfg(feature = "obs")]
+pub use obs::health_check;

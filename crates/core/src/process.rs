@@ -167,6 +167,8 @@ pub struct Process<'a> {
     // --- coordination ---
     initiator: Option<Initiator>,
     tracer: Option<RankTracer>,
+    #[cfg(feature = "obs")]
+    obs: Option<crate::obs::ProcObs>,
     nondet: NondetSource,
     ops: u64,
     last_trigger_op: u64,
@@ -217,6 +219,15 @@ impl<'a> Process<'a> {
         });
         let tracer =
             cfg.trace.as_ref().map(|s| s.for_rank(rank as u32, attempt));
+        #[cfg(feature = "obs")]
+        let obs = cfg.obs.as_ref().map(|reg| {
+            mpi.attach_obs(reg);
+            let o = crate::obs::ProcObs::register(reg, rank as u32);
+            if rank == 0 {
+                o.attempts.inc();
+            }
+            o
+        });
         let mut p = Process {
             mpi,
             cfg,
@@ -242,6 +253,8 @@ impl<'a> Process<'a> {
             recovered_app_state: None,
             initiator,
             tracer,
+            #[cfg(feature = "obs")]
+            obs,
             nondet: NondetSource::new(rank, attempt),
             ops: 0,
             last_trigger_op: 0,
@@ -421,6 +434,10 @@ impl<'a> Process<'a> {
                 // Stopping failure: mark ourselves dead; the failure
                 // detector (job driver) will notice and abort the attempt.
                 self.trace_event(TraceEvent::FailStop { op: self.ops });
+                #[cfg(feature = "obs")]
+                if let Some(o) = &self.obs {
+                    o.failstops.inc();
+                }
                 self.mpi.control().fail_rank(rank);
                 return Err(C3Error::Mpi(MpiError::FailStop));
             }
@@ -520,9 +537,20 @@ impl<'a> Process<'a> {
                     phase: phase_code::COLLECTING_READY,
                     ckpt,
                 });
+                #[cfg(feature = "obs")]
+                let timer =
+                    self.obs.as_ref().map(|_| c3obs::Stopwatch::start());
                 let cm = ControlMsg::PleaseCheckpoint { ckpt };
                 for dst in 0..self.mpi.size() {
                     self.send_control(dst, &cm)?;
+                }
+                #[cfg(feature = "obs")]
+                if let Some(o) = self.obs.as_mut() {
+                    o.initiated.inc();
+                    if let Some(t) = timer {
+                        o.span("initiator_broadcast_request", ckpt, t);
+                    }
+                    o.phase_begin("initiator_collect_ready", ckpt);
                 }
             }
             Action::BroadcastStopLogging => {
@@ -532,11 +560,19 @@ impl<'a> Process<'a> {
                     phase: phase_code::COLLECTING_STOPPED,
                     ckpt,
                 });
+                #[cfg(feature = "obs")]
+                if let Some(o) = self.obs.as_mut() {
+                    o.phase_begin("initiator_collect_stopped", ckpt);
+                }
                 for dst in 0..self.mpi.size() {
                     self.send_control(dst, &ControlMsg::StopLogging)?;
                 }
             }
             Action::Commit { ckpt } => {
+                #[cfg(feature = "obs")]
+                if let Some(o) = self.obs.as_mut() {
+                    o.phase_begin("initiator_commit", ckpt);
+                }
                 // Phase 4: every rank's stoppedLogging has been observed,
                 // so all of checkpoint `ckpt`'s blobs are staged. Drain
                 // the I/O pipeline — blocking until the background
@@ -564,6 +600,11 @@ impl<'a> Process<'a> {
                     .as_ref()
                     .expect("initiator has pipeline")
                     .gc_keeping(ckpt)?;
+                #[cfg(feature = "obs")]
+                if let Some(o) = self.obs.as_mut() {
+                    o.phase_end();
+                    o.commits.inc();
+                }
             }
         }
         Ok(())
@@ -1174,6 +1215,8 @@ impl<'a> Process<'a> {
         );
         let ckpt = u64::from(self.epoch) + 1;
         let rank = self.mpi.rank();
+        #[cfg(feature = "obs")]
+        let timer = self.obs.as_ref().map(|_| c3obs::Stopwatch::start());
 
         // 1. Stage the local snapshot with the I/O pipeline: application
         //    state (level Full), early-message ids, pending-request
@@ -1234,6 +1277,10 @@ impl<'a> Process<'a> {
         // Suppression sets refer to the previous epoch's id space; a
         // drained recovery leaves them empty, asserted above.
         self.check_received_all()?;
+        #[cfg(feature = "obs")]
+        if let (Some(o), Some(t)) = (self.obs.as_ref(), timer) {
+            o.span("local_checkpoint", ckpt, t);
+        }
         Ok(())
     }
 
@@ -1242,6 +1289,8 @@ impl<'a> Process<'a> {
     fn finalize_log(&mut self) -> C3Result<()> {
         debug_assert!(self.am_logging);
         let ckpt = u64::from(self.epoch);
+        #[cfg(feature = "obs")]
+        let timer = self.obs.as_ref().map(|_| c3obs::Stopwatch::start());
         let mut enc = Encoder::new();
         self.log.save(&mut enc);
         self.stage_blob(ckpt, RankBlobKind::Log, enc.into_bytes())?;
@@ -1253,6 +1302,10 @@ impl<'a> Process<'a> {
         });
         self.am_logging = false;
         self.send_control(0, &ControlMsg::StoppedLogging)?;
+        #[cfg(feature = "obs")]
+        if let (Some(o), Some(t)) = (self.obs.as_ref(), timer) {
+            o.span("late_log_drain", ckpt, t);
+        }
         Ok(())
     }
 
@@ -1270,6 +1323,8 @@ impl<'a> Process<'a> {
             .clone();
         let rank = self.mpi.rank();
         let n = self.mpi.size();
+        #[cfg(feature = "obs")]
+        let timer = self.obs.as_ref().map(|_| c3obs::Stopwatch::start());
 
         // Load and decode this rank's blobs.
         let state_bytes =
@@ -1357,6 +1412,10 @@ impl<'a> Process<'a> {
 
         self.replay = Some(Replay::new(log));
         self.recovery_reported = false;
+        #[cfg(feature = "obs")]
+        if let (Some(o), Some(t)) = (self.obs.as_ref(), timer) {
+            o.span("recovery_replay", ckpt, t);
+        }
         Ok(())
     }
 

@@ -1,0 +1,208 @@
+//! Audit of [`c3_core::ProcStats`] accounting across a kill-and-recover
+//! cycle: replayed late messages and suppressed re-sends must be counted
+//! exactly once, in their own counters, and never bleed into the
+//! logging-path counters (`late_logged`, `early_recorded`).
+//!
+//! The job report carries the stats of the *final* attempt only, so a
+//! double count would show up as a counter exceeding the corresponding
+//! trace-event count for that attempt, or as `late_replayed` diverging
+//! from the recovered log's size. A clean run and a killed-and-recovered
+//! run of the same deterministic application must also agree on every
+//! application output.
+
+use c3_core::{
+    run_job, C3App, C3Config, C3Result, Process, TraceEvent, TraceRecord,
+    TraceSink,
+};
+use ckptstore::impl_saveload_struct;
+
+struct RingState {
+    i: u64,
+    acc: u64,
+}
+impl_saveload_struct!(RingState { i: u64, acc: u64 });
+
+/// Deterministic ring accumulation: per iteration every rank sends its
+/// accumulator right and folds in the one from the left. Message
+/// *values* are a pure function of the iteration, so outputs are
+/// identical whatever the interleaving — and whatever checkpoints or
+/// rollbacks happen in between.
+struct RingApp {
+    iters: u64,
+}
+
+impl C3App for RingApp {
+    type State = RingState;
+    type Output = u64;
+
+    fn init(&self, p: &mut Process<'_>) -> C3Result<RingState> {
+        Ok(RingState {
+            i: 0,
+            acc: p.rank() as u64 + 1,
+        })
+    }
+
+    fn run(&self, p: &mut Process<'_>, s: &mut RingState) -> C3Result<u64> {
+        let world = p.world();
+        let n = p.size();
+        let right = (p.rank() + 1) % n;
+        let left = (p.rank() + n - 1) % n;
+        while s.i < self.iters {
+            let got =
+                p.sendrecv(world, right, 0, &s.acc.to_le_bytes(), left, 0)?;
+            let from_left =
+                u64::from_le_bytes(got.payload[..8].try_into().unwrap());
+            s.acc = s.acc.wrapping_mul(3).wrapping_add(from_left);
+            s.i += 1;
+            p.potential_checkpoint(s)?;
+        }
+        Ok(s.acc)
+    }
+}
+
+const NRANKS: usize = 3;
+const ITERS: u64 = 96;
+
+fn run_once(
+    kill: Option<(usize, u64)>,
+) -> (
+    Vec<u64>,
+    Vec<TraceRecord>,
+    Vec<c3_core::ProcStats>,
+    usize,
+    Vec<u64>,
+) {
+    let sink = TraceSink::new();
+    let mut cfg = C3Config::every_ops(24).with_trace(sink.clone());
+    if let Some((rank, at_op)) = kill {
+        cfg = cfg.with_failure(rank, at_op);
+    }
+    let report = run_job(NRANKS, &cfg, None, &RingApp { iters: ITERS })
+        .expect("job completes");
+    (
+        report.outputs,
+        sink.take(),
+        report.stats,
+        report.restarts,
+        report.recovered_from,
+    )
+}
+
+fn count_events(
+    trace: &[TraceRecord],
+    attempt: u64,
+    rank: u32,
+    pred: impl Fn(&TraceEvent) -> bool,
+) -> u64 {
+    trace
+        .iter()
+        .filter(|r| r.attempt == attempt && r.rank == rank)
+        .filter(|r| pred(&r.event))
+        .count() as u64
+}
+
+#[test]
+fn recovery_counts_replays_and_suppressions_exactly_once() {
+    let (clean_out, _, clean_stats, clean_restarts, _) = run_once(None);
+    assert_eq!(clean_restarts, 0, "clean run must not restart");
+    for (rank, s) in clean_stats.iter().enumerate() {
+        assert_eq!(
+            (s.late_replayed, s.collectives_replayed, s.suppressed_sends),
+            (0, 0, 0),
+            "rank {rank}: recovery counters must be zero without recovery"
+        );
+    }
+
+    // Kill rank 1 once, mid-run: late enough that at least one global
+    // checkpoint has committed, early enough that work remains.
+    let (out, trace, stats, restarts, recovered_from) =
+        run_once(Some((1, 160)));
+    assert_eq!(restarts, 1, "the injection fires exactly once");
+    let recovered = *recovered_from.last().unwrap();
+    assert!(
+        recovered > 0,
+        "kill at op 160 must land after the first commit \
+         (recovered_from = {recovered_from:?})"
+    );
+    assert_eq!(
+        out, clean_out,
+        "rollback + replay must reproduce the clean run's outputs"
+    );
+
+    let final_attempt = restarts as u64 + 1;
+    for (rank, s) in stats.iter().enumerate() {
+        let rank_u = rank as u32;
+        // Each counter must equal its event stream for the reported
+        // (final) attempt — a replayed late that also bumped
+        // `late_logged`, or a suppression counted twice, breaks these.
+        let replayed = count_events(&trace, final_attempt, rank_u, |e| {
+            matches!(e, TraceEvent::ReplayLate { .. })
+        });
+        assert_eq!(
+            s.late_replayed, replayed,
+            "rank {rank}: late_replayed vs ReplayLate events"
+        );
+        let logged = count_events(&trace, final_attempt, rank_u, |e| {
+            matches!(e, TraceEvent::LateLogged { .. })
+        });
+        assert_eq!(
+            s.late_logged, logged,
+            "rank {rank}: late_logged vs LateLogged events \
+             (replays must not re-log)"
+        );
+        let early = count_events(&trace, final_attempt, rank_u, |e| {
+            matches!(e, TraceEvent::EarlyRecorded { .. })
+        });
+        assert_eq!(
+            s.early_recorded, early,
+            "rank {rank}: early_recorded vs EarlyRecorded events"
+        );
+        let suppressed_sends =
+            count_events(&trace, final_attempt, rank_u, |e| {
+                matches!(
+                    e,
+                    TraceEvent::Send {
+                        suppressed: true,
+                        ..
+                    }
+                )
+            });
+        assert_eq!(
+            s.suppressed_sends, suppressed_sends,
+            "rank {rank}: suppressed_sends vs suppressed Send events"
+        );
+
+        // Exactly-once replay: the recovered log drains fully, so the
+        // replay counter equals the late count the recovery loaded.
+        let late_in_recovered_log: u64 = trace
+            .iter()
+            .filter(|r| r.attempt == final_attempt && r.rank == rank_u)
+            .find_map(|r| match &r.event {
+                TraceEvent::RecoveryStart {
+                    ckpt, late_in_log, ..
+                } if *ckpt == recovered => Some(*late_in_log),
+                _ => None,
+            })
+            .expect("final attempt recovers and records RecoveryStart");
+        assert_eq!(
+            s.late_replayed, late_in_recovered_log,
+            "rank {rank}: every logged late replays exactly once"
+        );
+
+        // Exactly-once suppression: recovery only completes once every
+        // suppression id has been consumed by a matching re-send.
+        let suppress_ids: u64 = trace
+            .iter()
+            .filter(|r| r.attempt == final_attempt && r.rank == rank_u)
+            .filter_map(|r| match &r.event {
+                TraceEvent::SuppressRecv { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(
+            s.suppressed_sends, suppress_ids,
+            "rank {rank}: every received suppression id suppresses \
+             exactly one re-send"
+        );
+    }
+}

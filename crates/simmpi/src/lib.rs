@@ -55,6 +55,8 @@ pub mod envelope;
 pub mod error;
 pub mod matching;
 pub mod netsim;
+#[cfg(feature = "obs")]
+pub(crate) mod obs;
 pub mod pool;
 pub mod rank;
 pub mod request;

@@ -507,6 +507,8 @@ pub struct NetEndpoint {
     retransmits: u64,
     dup_delivered: u64,
     acks_sent: u64,
+    #[cfg(feature = "obs")]
+    obs: Option<crate::obs::NetObs>,
 }
 
 impl NetEndpoint {
@@ -520,7 +522,15 @@ impl NetEndpoint {
             retransmits: 0,
             dup_delivered: 0,
             acks_sent: 0,
+            #[cfg(feature = "obs")]
+            obs: None,
         }
+    }
+
+    /// Attach pre-registered sublayer metric handles.
+    #[cfg(feature = "obs")]
+    pub(crate) fn attach_obs(&mut self, obs: crate::obs::NetObs) {
+        self.obs = Some(obs);
     }
 
     /// Sublayer statistics for this endpoint (wire stats not included;
@@ -664,8 +674,14 @@ impl NetEndpoint {
                     });
                 }
                 u.attempts += 1;
-                u.next_due = now + self.policy.backoff(u.attempts);
+                let backoff = self.policy.backoff(u.attempts);
+                u.next_due = now + backoff;
                 self.retransmits += 1;
+                #[cfg(feature = "obs")]
+                if let Some(o) = &self.obs {
+                    o.retransmits.inc();
+                    o.backoff_us.record(backoff.as_micros() as u64);
+                }
                 fabric.wire_transmit(
                     self.rank,
                     dst,

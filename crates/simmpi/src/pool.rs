@@ -62,11 +62,23 @@ thread_local! {
 
 /// Take a cleared buffer with capacity ≥ `min_cap` from this thread's
 /// pool, allocating only when no pooled buffer fits.
+///
+/// Selection is *best-fit*: the smallest pooled buffer that satisfies
+/// `min_cap`. First-fit would let a 64 B request consume a pooled
+/// 1 MiB buffer and force the next large take to allocate; best-fit
+/// keeps large buffers in reserve for large requests.
 pub fn take(min_cap: usize) -> Vec<u8> {
     POOL.with(|p| {
         let mut p = p.borrow_mut();
         p.stats.takes += 1;
-        if let Some(i) = p.free.iter().position(|b| b.capacity() >= min_cap) {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in p.free.iter().enumerate() {
+            let cap = b.capacity();
+            if cap >= min_cap && best.is_none_or(|(_, c)| cap < c) {
+                best = Some((i, cap));
+            }
+        }
+        if let Some((i, _)) = best {
             p.stats.hits += 1;
             let mut buf = p.free.swap_remove(i);
             buf.clear();
@@ -126,6 +138,36 @@ mod tests {
         give(Vec::with_capacity(MAX_POOLED_CAP + 1));
         let after = stats();
         assert_eq!(after.dropped - before.dropped, 2);
+    }
+
+    #[test]
+    fn best_fit_preserves_large_buffers_for_large_takes() {
+        // Regression: first-fit let a small take strip the pooled
+        // large buffer, forcing every subsequent large take to
+        // allocate. With best-fit, interleaved small/large takes keep
+        // the large buffer's hit rate at 100%.
+        give(Vec::with_capacity(8192));
+        give(Vec::with_capacity(128));
+        let before = stats();
+        for _ in 0..32 {
+            let small = take(64);
+            assert_eq!(
+                small.capacity(),
+                128,
+                "small take must pick the small pooled buffer"
+            );
+            let large = take(8192);
+            assert_eq!(
+                large.capacity(),
+                8192,
+                "large take must always hit the pooled large buffer"
+            );
+            give(small);
+            give(large);
+        }
+        let after = stats();
+        assert_eq!(after.takes - before.takes, 64);
+        assert_eq!(after.hits - before.hits, 64, "hit rate is 100%");
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct Mpi {
     /// Local hint for the next free communicator context id; new contexts
     /// are agreed collectively as `max(hints) + 0` across participants.
     pub(crate) next_ctx_hint: u32,
+    /// Pre-registered metric handles; `None` until a registry is
+    /// attached, which keeps the un-observed hot path at one branch.
+    #[cfg(feature = "obs")]
+    obs: Option<crate::obs::MpiObs>,
 }
 
 impl Mpi {
@@ -80,6 +84,20 @@ impl Mpi {
             send_seq: vec![0; size],
             ops: 0,
             next_ctx_hint: crate::comm::WORLD_CONTEXT + 1,
+            #[cfg(feature = "obs")]
+            obs: None,
+        }
+    }
+
+    /// Attach an observability registry: registers this rank's metric
+    /// handle bundle (and the reliable-delivery sublayer's, when the
+    /// wire is lossy). Metrics record into the registry from this call
+    /// on; without it every hook is a single `Option` check.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, reg: &c3obs::Registry) {
+        self.obs = Some(crate::obs::MpiObs::register(reg, self.rank));
+        if let Some(ep) = self.net.as_mut() {
+            ep.attach_obs(crate::obs::NetObs::register(reg, self.rank));
         }
     }
 
@@ -123,6 +141,10 @@ impl Mpi {
 
     /// Hand one application message to the matching engine.
     fn feed(&mut self, msg: Message) {
+        #[cfg(feature = "obs")]
+        if let Some(o) = self.obs.as_mut() {
+            o.note_delivered();
+        }
         if let Some((id, msg)) = self.engine.deliver(msg) {
             self.completed.insert(id, msg);
         }
@@ -278,6 +300,11 @@ impl Mpi {
         self.liveness()?;
         self.ops += 1;
         let dst_world = Self::resolve_dst(comm, dst)?;
+        #[cfg(feature = "obs")]
+        let timer = self
+            .obs
+            .as_mut()
+            .and_then(|o| o.note_send((header.len() + payload.len()) as u64));
         let seq = self.send_seq[dst_world];
         self.send_seq[dst_world] += 1;
         let msg = Message {
@@ -289,10 +316,15 @@ impl Mpi {
             payload,
             seq,
         };
-        match self.net.as_mut() {
+        let res = match self.net.as_mut() {
             None => self.fabric.send(msg),
             Some(ep) => ep.send(&self.fabric, msg, Instant::now()),
+        };
+        #[cfg(feature = "obs")]
+        if let (Some(o), Some(t)) = (&self.obs, timer) {
+            o.send_ns.record(t.elapsed_ns());
         }
+        res
     }
 
     pub(crate) fn irecv_on(
@@ -353,6 +385,13 @@ impl Mpi {
                 req.owner, self.rank
             )));
         }
+        // Sampled matching + blocking-wait latency; armed once so the
+        // retry loop below does not re-roll the sampling decision.
+        #[cfg(feature = "obs")]
+        let timer = self
+            .obs
+            .as_mut()
+            .and_then(crate::obs::MpiObs::sampled_timer);
         loop {
             match std::mem::replace(&mut req.state, ReqState::Consumed) {
                 ReqState::SendDone => return Ok(None),
@@ -364,6 +403,10 @@ impl Mpi {
                 }
                 ReqState::RecvPending(id) => {
                     if let Some(msg) = self.completed.remove(&id) {
+                        #[cfg(feature = "obs")]
+                        if let (Some(o), Some(t)) = (&self.obs, timer) {
+                            o.recv_wait_ns.record(t.elapsed_ns());
+                        }
                         return Ok(Some(Self::recv_msg(comm, msg)));
                     }
                     // Not complete: restore state and block for traffic.
@@ -637,6 +680,10 @@ impl Mpi {
         tag: i32,
     ) -> MpiResult<Option<(usize, i32, usize)>> {
         self.liveness()?;
+        #[cfg(feature = "obs")]
+        if let Some(o) = self.obs.as_mut() {
+            o.note_probe();
+        }
         self.drain()?;
         let src_world = Self::resolve_src(comm, src)?;
         let tag = Self::resolve_tag(tag);

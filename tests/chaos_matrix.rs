@@ -7,6 +7,25 @@ use c3_core::{C3Config, C3Result, Process, ReduceOp};
 use ckptstore::impl_saveload_struct;
 use ftsim::{chaos_check, FailureSchedule};
 
+/// Assert the metrics accumulated across a chaos campaign pass every
+/// cross-layer health invariant (commit/attempt accounting,
+/// drain-before-commit, span/commit pairing, structural consistency,
+/// and — on a perfect wire — zero retransmissions), and that the
+/// campaign actually committed checkpoints.
+fn assert_healthy(reg: &c3obs::Registry, perfect_wire: bool) {
+    let snap = reg.snapshot();
+    let violations = c3_core::health_check(&snap, perfect_wire);
+    assert!(
+        violations.is_empty(),
+        "health invariants violated:\n{}",
+        violations.join("\n")
+    );
+    assert!(
+        snap.counter_total("c3_commits_total") > 0,
+        "campaign committed no checkpoints"
+    );
+}
+
 /// A compact mixed-communication app: p2p ring + collectives, fully
 /// deterministic so outputs must equal the failure-free reference
 /// bit-for-bit.
@@ -75,9 +94,10 @@ fn chaos_across_rank_counts_and_intervals() {
                     )
                 })
                 .collect();
+            let reg = c3obs::Registry::new();
             let report = chaos_check(
                 nprocs,
-                &C3Config::every_ops(interval),
+                &C3Config::every_ops(interval).with_obs(reg.clone()),
                 &MixedApp { iters: 30 },
                 &schedules,
             )
@@ -88,6 +108,7 @@ fn chaos_across_rank_counts_and_intervals() {
                 report.total_restarts >= 1,
                 "no failure fired at nprocs={nprocs} interval={interval}"
             );
+            assert_healthy(&reg, true);
         }
     }
 }
@@ -99,15 +120,18 @@ fn chaos_with_explicit_piggyback_mode() {
     let schedules: Vec<FailureSchedule> = (200..203)
         .map(|seed| FailureSchedule::random(seed, 4, 2, 15..120))
         .collect();
+    let reg = c3obs::Registry::new();
     let report = chaos_check(
         4,
         &C3Config::every_ops(14)
-            .with_piggyback(c3_core::PiggybackMode::Explicit),
+            .with_piggyback(c3_core::PiggybackMode::Explicit)
+            .with_obs(reg.clone()),
         &MixedApp { iters: 30 },
         &schedules,
     )
     .unwrap();
     assert!(report.total_restarts >= 1, "no failure fired");
+    assert_healthy(&reg, true);
 }
 
 #[test]
@@ -115,13 +139,15 @@ fn chaos_with_multi_failure_schedules() {
     let schedules: Vec<FailureSchedule> = (100..104)
         .map(|seed| FailureSchedule::random(seed, 4, 3, 15..150))
         .collect();
+    let reg = c3obs::Registry::new();
     chaos_check(
         4,
-        &C3Config::every_ops(18),
+        &C3Config::every_ops(18).with_obs(reg.clone()),
         &MixedApp { iters: 40 },
         &schedules,
     )
     .unwrap();
+    assert_healthy(&reg, true);
 }
 
 #[test]
@@ -131,13 +157,15 @@ fn chaos_on_laplace_with_short_mtbf() {
     let schedules: Vec<FailureSchedule> = (0..2)
         .map(|seed| FailureSchedule::mtbf(seed, 3, 60, 200))
         .collect();
+    let reg = c3obs::Registry::new();
     chaos_check(
         3,
-        &C3Config::every_ops(15),
+        &C3Config::every_ops(15).with_obs(reg.clone()),
         &Laplace { n: 16, iters: 30 },
         &schedules,
     )
     .unwrap();
+    assert_healthy(&reg, true);
 }
 
 /// Network column of the matrix: the same kill schedules, but the
@@ -153,14 +181,18 @@ fn chaos_kills_ride_a_lossy_wire() {
                 .with_net(simmpi::NetCond::lossy(seed + 40))
         })
         .collect();
+    let reg = c3obs::Registry::new();
     let report = chaos_check(
         3,
-        &C3Config::every_ops(14),
+        &C3Config::every_ops(14).with_obs(reg.clone()),
         &MixedApp { iters: 30 },
         &schedules,
     )
     .unwrap();
     assert!(report.total_restarts >= 1, "no kill fired over the wire");
+    // Lossy wire: retransmissions are legitimate, so skip the
+    // perfect-wire invariant but keep the rest.
+    assert_healthy(&reg, false);
 }
 
 /// Kill-during-retransmission column: the drop rate is cranked high
@@ -183,14 +215,20 @@ fn chaos_kill_lands_during_retransmission() {
                 .with_net(wire.clone())
         })
         .collect();
+    let reg = c3obs::Registry::new();
     let report = chaos_check(
         3,
-        &C3Config::every_ops(12),
+        &C3Config::every_ops(12).with_obs(reg.clone()),
         &MixedApp { iters: 30 },
         &schedules,
     )
     .unwrap();
     assert!(report.total_restarts >= 1, "no kill fired mid-repair");
+    assert_healthy(&reg, false);
+    assert!(
+        reg.snapshot().counter_total("net_retransmits_total") > 0,
+        "the cranked drop rate must force repair traffic"
+    );
 }
 
 /// Non-determinism under chaos: outputs legitimately differ from a
@@ -230,6 +268,9 @@ fn chaos_nondet_stays_globally_consistent() {
         }
     }
 
+    // Metrics, unlike traces, are pure accumulators — one registry can
+    // absorb every job and the health invariants still hold cumulatively.
+    let reg = c3obs::Registry::new();
     for seed in 0..4u64 {
         // One sink per job: attempt numbering is per-job, so sharing a
         // sink across jobs would interleave unrelated streams.
@@ -237,7 +278,8 @@ fn chaos_nondet_stays_globally_consistent() {
         let schedule = FailureSchedule::random(seed + 500, 3, 1, 10..80);
         let cfg = schedule
             .apply(C3Config::every_ops(12))
-            .with_trace(sink.clone());
+            .with_trace(sink.clone())
+            .with_obs(reg.clone());
         let report =
             run_job(3, &cfg, None, &NondetShared { iters: 25 }).unwrap();
         assert!(
@@ -252,4 +294,5 @@ fn chaos_nondet_stays_globally_consistent() {
             verdict.render()
         );
     }
+    assert_healthy(&reg, true);
 }

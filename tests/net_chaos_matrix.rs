@@ -40,11 +40,13 @@ where
     );
 
     let sink = TraceSink::new();
+    let reg = c3obs::Registry::new();
     let schedule = FailureSchedule::random(seed, 4, 1, 15..90)
         .with_net(NetCond::lossy(seed));
     let cfg = schedule
         .apply(C3Config::every_ops(interval))
-        .with_trace(sink.clone());
+        .with_trace(sink.clone())
+        .with_obs(reg.clone());
     let report = run_job(4, &cfg, None, app).unwrap_or_else(|e| {
         panic!("{name}: lossy-wire run failed to recover: {e}")
     });
@@ -60,6 +62,22 @@ where
         .map(|s| s.net_wire_dropped + s.net_wire_duplicated + s.net_wire_held)
         .sum();
     assert!(masked > 0, "{name}: the lossy wire produced no faults");
+
+    // The metrics-side health invariants must agree with the trace-side
+    // analyzer: commit accounting, drain-before-commit, span pairing.
+    // `perfect_wire = false`: retransmissions are the sublayer doing its
+    // job here, not a fault.
+    let snap = reg.snapshot();
+    let violations = c3_core::health_check(&snap, false);
+    assert!(
+        violations.is_empty(),
+        "{name}: metrics health invariants violated:\n{}",
+        violations.join("\n")
+    );
+    assert!(
+        snap.counter_total("c3_failstops_total") >= 1,
+        "{name}: the kill must be visible in the metrics"
+    );
 
     let records = sink.take();
     let verdict = analyze(&records);
