@@ -178,6 +178,8 @@ struct RankFacts {
     staged: BTreeMap<u64, u64>,
     /// Rank 0 only: (ckpt, blobs, seq) per pipeline drain barrier.
     drains: Vec<(u64, u64, u64)>,
+    /// Rank 0 only: (kept ckpt, seq) per post-commit GC sweep.
+    gcs: Vec<(u64, u64)>,
     failed: bool,
     last_seq: u64,
 }
@@ -799,6 +801,16 @@ fn scan_rank(
                     );
                 }
                 f.drains.push((*ckpt, *blobs, seq));
+            }
+            TraceEvent::GcRan { kept } => {
+                if rank != 0 {
+                    flag(
+                        invariant::T0,
+                        seq,
+                        format!("GC sweep event on rank {rank}"),
+                    );
+                }
+                f.gcs.push((*kept, seq));
             }
             TraceEvent::RecoveryComplete => {}
             // Transport-layer repair totals are diagnostic context: the
@@ -1443,6 +1455,36 @@ fn check_pipeline(
     }
 }
 
+/// Post-commit GC discipline: a sweep keeps only a checkpoint that was
+/// already committed in rank 0's stream (sweeping anything else could
+/// collect blobs the recovery line still needs). Reported under I12 —
+/// the sweep's keep-set *is* a commit-completeness claim.
+fn check_gc(
+    attempt: u64,
+    facts: &BTreeMap<u32, RankFacts>,
+    out: &mut Vec<Violation>,
+) {
+    let Some(f0) = facts.get(&0) else { return };
+    for &(kept, seq) in &f0.gcs {
+        let committed = f0
+            .commits
+            .iter()
+            .any(|&(c, commit_seq)| c == kept && commit_seq < seq);
+        if !committed {
+            out.push(Violation {
+                invariant: invariant::I12,
+                attempt,
+                rank: 0,
+                seq,
+                detail: format!(
+                    "GC sweep kept checkpoint {kept} before (or without) \
+                     its commit"
+                ),
+            });
+        }
+    }
+}
+
 /// Check a recorded trace against the protocol invariants.
 pub fn analyze(records: &[TraceRecord]) -> Report {
     let mut by_attempt: BTreeMap<u64, BTreeMap<u32, Vec<&TraceRecord>>> =
@@ -1479,6 +1521,7 @@ pub fn analyze(records: &[TraceRecord]) -> Report {
         join_collectives(attempt, &facts, &mut violations);
         check_commits(attempt, &facts, &mut violations);
         check_pipeline(attempt, &facts, &mut violations);
+        check_gc(attempt, &facts, &mut violations);
         if let Some(f0) = facts.get(&0) {
             commits.extend(f0.commits.iter().map(|&(c, _)| c));
         }

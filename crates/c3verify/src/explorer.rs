@@ -1,4 +1,5 @@
-//! Bounded exhaustive exploration of message-delivery interleavings.
+//! Bounded exhaustive exploration of message-delivery interleavings,
+//! with optional dynamic partial-order reduction.
 //!
 //! The explorer runs a small deterministic model of the C³ protocol layer
 //! — built from the *real* `c3-core` components ([`ChannelCounters`],
@@ -17,8 +18,39 @@
 //! its next operation*, which subsumes delivery-order choices because a
 //! receive always takes the head of its channel.
 //!
-//! Two deliberate reductions keep the state space tractable, both sound
-//! for the safety invariants being checked:
+//! # Partial-order reduction
+//!
+//! [`Reduction::Dpor`] enables persistent-set + sleep-set dynamic
+//! partial-order reduction (Flanagan–Godefroid, POPL 2005). Two
+//! scheduler steps are **dependent** when they cannot be commuted
+//! without changing some rank's observations:
+//!
+//! * steps of the same rank (program order);
+//! * steps touching the same application channel (a send and the
+//!   receive it feeds, FIFO head vs tail);
+//! * any step and a step of rank 0 — every step's control drain may
+//!   emit a reactive ack (`readyToStopLogging`, `stoppedLogging`) to
+//!   the initiator, and every rank-0 step may broadcast;
+//! * a `Ckpt` step and anything — taking a checkpoint broadcasts
+//!   `mySendCount` to every rank.
+//!
+//! The last two clauses are deliberate *static over-approximations* of
+//! the dynamic write set: whether a drain actually emits an ack depends
+//! on counter state, so using the observed writes would make dependence
+//! path-sensitive and unsound. Over-approximation only adds backtrack
+//! points, so it is conservative: every Mazurkiewicz trace (equivalence
+//! class of schedules under commuting independent steps) still gets at
+//! least one representative, and independent steps leave per-rank
+//! streams — hence analyzer verdicts — untouched. The explorer's tests
+//! assert this directly by comparing canonical trace-signature sets
+//! between full and reduced exploration.
+//!
+//! [`Reduction::Full`] runs the same search with dependence ≡ true,
+//! which degenerates to the exhaustive DFS: every schedule, one leaf
+//! each.
+//!
+//! Two deliberate model reductions keep the state space tractable, both
+//! sound for the safety invariants being checked:
 //!
 //! * control messages are drained eagerly before each operation (the
 //!   runtime drains them opportunistically at every intercepted call, so
@@ -32,14 +64,14 @@
 //! hitting the cap is reported explicitly via
 //! [`ExploreOutcome::truncated`], never silently.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use c3_core::control::ControlMsg;
 use c3_core::counters::ChannelCounters;
 use c3_core::epoch::{classify_by_epoch, MsgClass};
 use c3_core::initiator::{Action, Initiator};
 use c3_core::trace::{
-    control_code, phase_code, TraceEvent, TraceRecord, TraceSink,
+    control_code, encode_trace, phase_code, TraceEvent, TraceRecord, TraceSink,
 };
 
 use crate::analyzer::analyze;
@@ -69,6 +101,17 @@ pub enum Op {
     Initiate,
 }
 
+/// Search strategy for [`explore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Enumerate every schedule (dependence ≡ true).
+    #[default]
+    Full,
+    /// Persistent-set + sleep-set dynamic partial-order reduction: one
+    /// representative per Mazurkiewicz trace, same verdicts.
+    Dpor,
+}
+
 /// An exploration setup: one program per rank.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
@@ -77,6 +120,36 @@ pub struct ExploreConfig {
     /// Hard cap on enumerated interleavings (reported via
     /// [`ExploreOutcome::truncated`] when hit).
     pub max_interleavings: usize,
+    /// Search strategy.
+    pub reduction: Reduction,
+    /// Collect a canonical signature per analyzed interleaving into
+    /// [`ExploreOutcome::signatures`] (off by default: it retains every
+    /// leaf trace's encoding in memory).
+    pub collect_signatures: bool,
+}
+
+impl ExploreConfig {
+    /// A full-enumeration setup (the historical default).
+    pub fn new(programs: Vec<Vec<Op>>, max_interleavings: usize) -> Self {
+        ExploreConfig {
+            programs,
+            max_interleavings,
+            reduction: Reduction::Full,
+            collect_signatures: false,
+        }
+    }
+
+    /// Select the search strategy.
+    pub fn with_reduction(mut self, reduction: Reduction) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// Enable canonical-signature collection.
+    pub fn with_signatures(mut self) -> Self {
+        self.collect_signatures = true;
+        self
+    }
 }
 
 /// What exploration found.
@@ -93,6 +166,18 @@ pub struct ExploreOutcome {
     /// The trace of the first complete interleaving (handy for tests and
     /// for seeding mutation checks).
     pub sample_trace: Vec<TraceRecord>,
+    /// Scheduler states visited (choice points + leaves).
+    pub states_explored: usize,
+    /// States cut off without analysis because every enabled rank was in
+    /// the sleep set (its subtree is a guaranteed replica of an already
+    /// explored one).
+    pub states_pruned: usize,
+    /// Scheduler transitions executed (tree edges walked).
+    pub transitions: usize,
+    /// Canonical per-interleaving trace signatures (only populated when
+    /// [`ExploreConfig::collect_signatures`] is set). Equal signature
+    /// sets mean equal analyzer-visible coverage.
+    pub signatures: BTreeSet<Vec<u8>>,
 }
 
 impl ExploreOutcome {
@@ -439,46 +524,243 @@ impl Vm {
     }
 }
 
-/// Enumerate every interleaving of the configured programs (depth-first
-/// over scheduler choices), analyzing each complete trace.
-pub fn explore(cfg: &ExploreConfig) -> ExploreOutcome {
-    let mut out = ExploreOutcome::default();
-    // Each stack entry is a schedule prefix; a fresh VM is replayed along
-    // it (programs are tiny, so re-execution is cheaper than snapshotting
-    // the protocol state).
-    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
-    while let Some(path) = stack.pop() {
-        if out.interleavings >= cfg.max_interleavings {
-            out.truncated = true;
-            return out;
-        }
-        let mut vm = Vm::new(&cfg.programs);
-        for &r in &path {
-            vm.step(r);
-        }
-        let enabled = vm.enabled_ranks();
-        if enabled.is_empty() {
-            if vm.unfinished() {
-                out.deadlocks += 1;
-            }
-            vm.quiesce();
-            out.interleavings += 1;
-            let trace = vm.sink.take();
-            out.violations.extend(analyze(&trace).violations);
-            if out.sample_trace.is_empty() {
-                out.sample_trace = trace;
-            }
-        } else {
-            // Reverse so lower ranks are explored first (pure cosmetics —
-            // exploration is exhaustive either way).
-            for &r in enabled.iter().rev() {
-                let mut next = path.clone();
-                next.push(r);
-                stack.push(next);
-            }
+/// The static may-touch set of one scheduler step, used by the
+/// independence relation (see the module docs for the soundness
+/// argument).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Footprint {
+    rank: usize,
+    /// Application channel `(src, dst)` read or written, if any.
+    app: Option<(usize, usize)>,
+    /// May write control traffic to *every* rank (initiator broadcast
+    /// or `mySendCount` announcement). Every step may write to rank 0
+    /// regardless (reactive acks), which the relation encodes directly.
+    ctrl_all: bool,
+}
+
+/// The footprint of rank `r` executing `op`. Static in `(r, op)` — it
+/// never depends on protocol state, which is what makes the dependence
+/// relation sound to reuse across reordered schedules.
+fn footprint(r: usize, op: Op) -> Footprint {
+    Footprint {
+        rank: r,
+        app: match op {
+            Op::Send { dst, .. } => Some((r, dst)),
+            Op::Recv { src } => Some((src, r)),
+            Op::Ckpt | Op::Initiate => None,
+        },
+        ctrl_all: r == 0 || matches!(op, Op::Ckpt),
+    }
+}
+
+/// True when the two steps may not commute.
+fn conflicting(a: Footprint, b: Footprint) -> bool {
+    a.rank == b.rank
+        || a.rank == 0
+        || b.rank == 0
+        || a.ctrl_all
+        || b.ctrl_all
+        || (a.app.is_some() && a.app == b.app)
+}
+
+/// One executed transition on the current DFS path.
+struct TrailEntry {
+    rank: usize,
+    fp: Footprint,
+    /// `clock[q]` = 1-based trail index of the latest rank-`q` transition
+    /// that happens-before this one (transitively, through dependence).
+    clock: Vec<usize>,
+}
+
+/// The choice-point bookkeeping for one state on the current DFS path.
+struct Frame {
+    /// Ranks scheduled (or to be scheduled) from this state.
+    backtrack: BTreeSet<usize>,
+    /// Ranks whose subtrees are already covered by an explored sibling
+    /// (with the footprint they had when they went to sleep).
+    sleep: Vec<(usize, Footprint)>,
+    /// Ranks enabled at this state (the conservative backtrack target).
+    pre_enabled: Vec<usize>,
+}
+
+struct Dfs<'a> {
+    cfg: &'a ExploreConfig,
+    out: ExploreOutcome,
+    trail: Vec<TrailEntry>,
+    frames: Vec<Frame>,
+    stop: bool,
+}
+
+impl Dfs<'_> {
+    fn dependent(&self, a: Footprint, b: Footprint) -> bool {
+        match self.cfg.reduction {
+            Reduction::Full => true,
+            Reduction::Dpor => conflicting(a, b),
         }
     }
-    out
+
+    /// Rebuild the VM state at the current path (programs are tiny, so
+    /// re-execution is cheaper than snapshotting the protocol state).
+    fn replay(&self) -> Vm {
+        let mut vm = Vm::new(&self.cfg.programs);
+        for e in &self.trail {
+            vm.step(e.rank);
+        }
+        vm
+    }
+
+    /// The next operation rank `p` would execute at the current state.
+    fn next_op(&self, p: usize) -> Op {
+        let pc = self.trail.iter().filter(|e| e.rank == p).count();
+        self.cfg.programs[p][pc]
+    }
+
+    /// Flanagan–Godefroid backtrack rule: find the deepest trail entry
+    /// dependent with `p`'s next transition and not already ordered
+    /// before `p` by happens-before; schedule `p` (or, if `p` was not
+    /// enabled there, everything) at that entry's state.
+    fn add_backtracks(&mut self, p: usize, fp_p: Footprint) {
+        let last_p_clock = self
+            .trail
+            .iter()
+            .rev()
+            .find(|e| e.rank == p)
+            .map(|e| e.clock.clone());
+        for j in (0..self.trail.len()).rev() {
+            let (rank_j, fp_j) = (self.trail[j].rank, self.trail[j].fp);
+            if rank_j == p || !self.dependent(fp_j, fp_p) {
+                continue;
+            }
+            // Clocks are 1-based trail indices: entry j is index j + 1.
+            let hb = last_p_clock.as_ref().is_some_and(|c| c[rank_j] > j);
+            if hb {
+                continue;
+            }
+            let frame = &mut self.frames[j];
+            if frame.pre_enabled.contains(&p) {
+                frame.backtrack.insert(p);
+            } else {
+                frame.backtrack.extend(frame.pre_enabled.iter().copied());
+            }
+            return;
+        }
+    }
+
+    /// Vector clock of `p`'s next transition: join of every dependent
+    /// predecessor's clock, then its own (about-to-be) index.
+    fn clock_for(&self, p: usize, fp_p: Footprint) -> Vec<usize> {
+        let n = self.cfg.programs.len();
+        let mut clock = vec![0usize; n];
+        for e in &self.trail {
+            if self.dependent(e.fp, fp_p) {
+                for (c, &ec) in clock.iter_mut().zip(&e.clock) {
+                    *c = (*c).max(ec);
+                }
+            }
+        }
+        clock[p] = self.trail.len() + 1;
+        clock
+    }
+
+    fn leaf(&mut self, mut vm: Vm) {
+        if self.out.interleavings >= self.cfg.max_interleavings {
+            self.out.truncated = true;
+            self.stop = true;
+            return;
+        }
+        if vm.unfinished() {
+            self.out.deadlocks += 1;
+        }
+        vm.quiesce();
+        self.out.interleavings += 1;
+        let trace = vm.sink.take();
+        self.out.violations.extend(analyze(&trace).violations);
+        if self.cfg.collect_signatures {
+            let mut canon = trace.clone();
+            canon.sort_by(|a, b| {
+                (a.rank, a.attempt, a.seq).cmp(&(b.rank, b.attempt, b.seq))
+            });
+            self.out.signatures.insert(encode_trace(&canon));
+        }
+        if self.out.sample_trace.is_empty() {
+            self.out.sample_trace = trace;
+        }
+    }
+
+    fn run(&mut self, sleep: Vec<(usize, Footprint)>) {
+        if self.stop {
+            return;
+        }
+        let vm = self.replay();
+        self.out.states_explored += 1;
+        let enabled = vm.enabled_ranks();
+        if enabled.is_empty() {
+            self.leaf(vm);
+            return;
+        }
+        let Some(&first) = enabled
+            .iter()
+            .find(|&&r| !sleep.iter().any(|&(q, _)| q == r))
+        else {
+            self.out.states_pruned += 1;
+            return;
+        };
+        drop(vm);
+        let d = self.frames.len();
+        self.frames.push(Frame {
+            backtrack: BTreeSet::from([first]),
+            sleep,
+            pre_enabled: enabled,
+        });
+        loop {
+            if self.stop {
+                break;
+            }
+            let frame = &self.frames[d];
+            let Some(p) = frame
+                .backtrack
+                .iter()
+                .copied()
+                .find(|&p| !frame.sleep.iter().any(|&(q, _)| q == p))
+            else {
+                break;
+            };
+            let fp_p = footprint(p, self.next_op(p));
+            self.add_backtracks(p, fp_p);
+            let clock = self.clock_for(p, fp_p);
+            let child_sleep: Vec<(usize, Footprint)> = self.frames[d]
+                .sleep
+                .iter()
+                .copied()
+                .filter(|&(_, fq)| !self.dependent(fq, fp_p))
+                .collect();
+            self.trail.push(TrailEntry {
+                rank: p,
+                fp: fp_p,
+                clock,
+            });
+            self.out.transitions += 1;
+            self.run(child_sleep);
+            self.trail.pop();
+            self.frames[d].sleep.push((p, fp_p));
+        }
+        self.frames.pop();
+    }
+}
+
+/// Enumerate the configured programs' interleavings (every schedule
+/// under [`Reduction::Full`]; one representative per Mazurkiewicz trace
+/// under [`Reduction::Dpor`]), analyzing each complete trace.
+pub fn explore(cfg: &ExploreConfig) -> ExploreOutcome {
+    let mut dfs = Dfs {
+        cfg,
+        out: ExploreOutcome::default(),
+        trail: Vec::new(),
+        frames: Vec::new(),
+        stop: false,
+    };
+    dfs.run(Vec::new());
+    dfs.out
 }
 
 #[cfg(test)]
@@ -490,8 +772,8 @@ mod tests {
     /// message classes across the schedule space.
     #[test]
     fn two_rank_checkpoint_round_is_invariant_clean() {
-        let cfg = ExploreConfig {
-            programs: vec![
+        let cfg = ExploreConfig::new(
+            vec![
                 vec![
                     Op::Initiate,
                     Op::Send { dst: 1, tag: 7 },
@@ -508,8 +790,8 @@ mod tests {
                     Op::Recv { src: 0 },
                 ],
             ],
-            max_interleavings: 100_000,
-        };
+            100_000,
+        );
         let out = explore(&cfg);
         assert!(!out.truncated, "cap hit at {}", out.interleavings);
         assert_eq!(out.deadlocks, 0);
@@ -519,6 +801,8 @@ mod tests {
             "violations: {:#?}",
             out.violations
         );
+        assert!(out.interleavings + out.states_pruned > 0);
+        assert!(out.transitions >= out.interleavings);
     }
 
     /// Scheduling freedom really does produce different classifications
@@ -526,8 +810,8 @@ mod tests {
     /// receiver's checkpoint site).
     #[test]
     fn interleavings_cover_multiple_message_classes() {
-        let cfg = ExploreConfig {
-            programs: vec![
+        let cfg = ExploreConfig::new(
+            vec![
                 vec![
                     Op::Initiate,
                     Op::Recv { src: 1 },
@@ -540,8 +824,8 @@ mod tests {
                     Op::Send { dst: 0, tag: 1 },
                 ],
             ],
-            max_interleavings: 100_000,
-        };
+            100_000,
+        );
         let out = explore(&cfg);
         assert!(out.is_clean(), "violations: {:#?}", out.violations);
         // Re-run collecting classes across all interleavings.
@@ -579,13 +863,13 @@ mod tests {
     /// The cap is reported, never silent.
     #[test]
     fn truncation_is_reported() {
-        let cfg = ExploreConfig {
-            programs: vec![
+        let cfg = ExploreConfig::new(
+            vec![
                 vec![Op::Send { dst: 1, tag: 0 }; 4],
                 vec![Op::Recv { src: 0 }; 4],
             ],
-            max_interleavings: 3,
-        };
+            3,
+        );
         let out = explore(&cfg);
         assert!(out.truncated);
         assert_eq!(out.interleavings, 3);
@@ -595,12 +879,103 @@ mod tests {
     /// outcome says so.
     #[test]
     fn missing_sender_reports_deadlock() {
-        let cfg = ExploreConfig {
-            programs: vec![vec![Op::Recv { src: 1 }], vec![]],
-            max_interleavings: 10,
-        };
+        let cfg =
+            ExploreConfig::new(vec![vec![Op::Recv { src: 1 }], vec![]], 10);
         let out = explore(&cfg);
         assert_eq!(out.deadlocks, 1);
         assert_eq!(out.interleavings, 1);
+    }
+
+    /// A 4-rank ring of worker sends around a checkpoint round: the
+    /// workers' steps are pairwise independent, so DPOR must collapse
+    /// their relative orders while full enumeration pays for every one.
+    fn ring_programs() -> Vec<Vec<Op>> {
+        vec![
+            vec![Op::Initiate, Op::Ckpt],
+            vec![Op::Send { dst: 2, tag: 1 }, Op::Send { dst: 2, tag: 1 }],
+            vec![Op::Send { dst: 3, tag: 2 }, Op::Send { dst: 3, tag: 2 }],
+            vec![Op::Send { dst: 1, tag: 3 }, Op::Send { dst: 1, tag: 3 }],
+        ]
+    }
+
+    /// DPOR at 4 ranks: at least 5x fewer interleavings than full
+    /// enumeration, with *identical* analyzer-visible coverage — the
+    /// canonical signature sets must be equal, not just the verdicts.
+    #[test]
+    fn dpor_reduces_interleavings_with_equal_coverage() {
+        let full = explore(
+            &ExploreConfig::new(ring_programs(), 100_000).with_signatures(),
+        );
+        let dpor = explore(
+            &ExploreConfig::new(ring_programs(), 100_000)
+                .with_reduction(Reduction::Dpor)
+                .with_signatures(),
+        );
+        assert!(!full.truncated && !dpor.truncated);
+        assert!(full.is_clean(), "violations: {:#?}", full.violations);
+        assert!(dpor.is_clean(), "violations: {:#?}", dpor.violations);
+        assert!(
+            full.interleavings >= 5 * dpor.interleavings,
+            "reduction too weak: full {} vs dpor {}",
+            full.interleavings,
+            dpor.interleavings
+        );
+        assert_eq!(
+            full.signatures,
+            dpor.signatures,
+            "DPOR changed the analyzer-visible coverage (full {} vs dpor \
+             {} signatures)",
+            full.signatures.len(),
+            dpor.signatures.len()
+        );
+    }
+
+    /// With partial independence *and* real protocol traffic (a
+    /// checkpoint round with cross-rank sends), DPOR's verdicts and
+    /// signature coverage still match full enumeration exactly.
+    #[test]
+    fn dpor_matches_full_on_checkpoint_round() {
+        let programs = vec![
+            vec![Op::Initiate, Op::Ckpt, Op::Recv { src: 1 }],
+            vec![Op::Send { dst: 0, tag: 1 }, Op::Ckpt, Op::Recv { src: 2 }],
+            vec![Op::Send { dst: 1, tag: 2 }, Op::Ckpt],
+        ];
+        let full = explore(
+            &ExploreConfig::new(programs.clone(), 100_000).with_signatures(),
+        );
+        let dpor = explore(
+            &ExploreConfig::new(programs, 100_000)
+                .with_reduction(Reduction::Dpor)
+                .with_signatures(),
+        );
+        assert!(!full.truncated && !dpor.truncated);
+        assert_eq!(full.is_clean(), dpor.is_clean());
+        assert_eq!(full.deadlocks, dpor.deadlocks);
+        assert!(dpor.interleavings <= full.interleavings);
+        assert_eq!(full.signatures, dpor.signatures);
+    }
+
+    /// Equal state budget, deeper reach: a budget that truncates full
+    /// enumeration lets DPOR finish the whole (deeper) schedule space.
+    #[test]
+    fn dpor_reaches_deeper_at_equal_budget() {
+        let budget = 400;
+        let full = explore(&ExploreConfig::new(ring_programs(), budget));
+        let dpor = explore(
+            &ExploreConfig::new(ring_programs(), budget)
+                .with_reduction(Reduction::Dpor),
+        );
+        assert!(
+            full.truncated,
+            "budget {budget} was meant to truncate full enumeration \
+             (got {} interleavings)",
+            full.interleavings
+        );
+        assert!(
+            !dpor.truncated,
+            "DPOR must finish the space within the same budget (got {})",
+            dpor.interleavings
+        );
+        assert!(dpor.states_pruned > 0 || dpor.interleavings < budget);
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod analyzer;
 pub mod explorer;
+pub mod hb;
 pub mod report;
 
 use std::path::Path;
@@ -32,7 +33,8 @@ use std::path::Path;
 use c3_core::trace::{decode_trace, TraceRecord, TraceSink};
 
 pub use analyzer::{analyze, invariant};
-pub use explorer::{explore, ExploreConfig, ExploreOutcome, Op};
+pub use explorer::{explore, ExploreConfig, ExploreOutcome, Op, Reduction};
+pub use hb::{race, race_check};
 pub use report::{Report, Violation};
 
 /// Decode a trace artifact file (magic `C3TRACE1`).
@@ -51,4 +53,15 @@ pub fn analyze_file(path: &Path) -> Result<Report, String> {
 /// it).
 pub fn analyze_sink(sink: &TraceSink) -> Report {
     analyze(&sink.snapshot())
+}
+
+/// Race-check a trace artifact file (magic `C3TRACE1`).
+pub fn race_check_file(path: &Path) -> Result<Report, String> {
+    Ok(race_check(&read_trace_file(path)?))
+}
+
+/// Race-check the records currently held by a live sink (without
+/// draining it).
+pub fn race_check_sink(sink: &TraceSink) -> Report {
+    race_check(&sink.snapshot())
 }

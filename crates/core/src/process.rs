@@ -600,6 +600,7 @@ impl<'a> Process<'a> {
                     .as_ref()
                     .expect("initiator has pipeline")
                     .gc_keeping(ckpt)?;
+                self.trace_event(TraceEvent::GcRan { kept: ckpt });
                 #[cfg(feature = "obs")]
                 if let Some(o) = self.obs.as_mut() {
                     o.phase_end();

@@ -281,6 +281,15 @@ pub enum TraceEvent {
         /// Number of blobs the barrier accounted for.
         blobs: u64,
     },
+    /// The initiator's post-commit garbage collection ran: every
+    /// checkpoint older than `kept` was collected from stable storage.
+    /// Emitted by rank 0 immediately after [`TraceEvent::Commit`]; the
+    /// happens-before analyzer requires every blob staged for `kept` or
+    /// older to be ordered before this sweep (the writer-vs-GC gate).
+    GcRan {
+        /// The committed checkpoint the sweep kept (the recovery line).
+        kept: u64,
+    },
     /// End-of-run summary of the simulated network sublayer on this rank
     /// (emitted at finalize when the job ran over a lossy wire). The
     /// analyzer treats it as diagnostic context: its presence certifies
@@ -487,6 +496,10 @@ impl TraceEvent {
                 enc.put_u64(*ckpt);
                 enc.put_u64(*blobs);
             }
+            TraceEvent::GcRan { kept } => {
+                enc.put_u8(21);
+                enc.put_u64(*kept);
+            }
             TraceEvent::NetSummary {
                 retransmits,
                 dup_delivered,
@@ -603,6 +616,9 @@ impl TraceEvent {
             19 => TraceEvent::PipelineDrained {
                 ckpt: dec.get_u64()?,
                 blobs: dec.get_u64()?,
+            },
+            21 => TraceEvent::GcRan {
+                kept: dec.get_u64()?,
             },
             20 => TraceEvent::NetSummary {
                 retransmits: dec.get_u64()?,
@@ -843,6 +859,7 @@ mod tests {
             TraceEvent::FailStop { op: 99 },
             TraceEvent::BlobStaged { ckpt: 4, kind: 0 },
             TraceEvent::PipelineDrained { ckpt: 4, blobs: 6 },
+            TraceEvent::GcRan { kept: 4 },
             TraceEvent::NetSummary {
                 retransmits: 7,
                 dup_delivered: 3,

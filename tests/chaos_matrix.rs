@@ -287,11 +287,18 @@ fn chaos_nondet_stays_globally_consistent() {
             "ranks disagree on the shared nondet stream (seed {seed}):              {:?}",
             report.outputs
         );
-        let verdict = c3verify::analyze(&sink.take());
+        let records = sink.take();
+        let verdict = c3verify::analyze(&records);
         assert!(
             verdict.is_clean(),
             "protocol invariants violated under chaos (seed {seed}):\n{}",
             verdict.render()
+        );
+        let races = c3verify::race_check(&records);
+        assert!(
+            races.is_clean(),
+            "happens-before races under chaos (seed {seed}):\n{}",
+            races.render()
         );
     }
     assert_healthy(&reg, true);

@@ -86,6 +86,12 @@ where
         "{name}: protocol invariants violated over the lossy wire:\n{}",
         verdict.render()
     );
+    let races = c3verify::race_check(&records);
+    assert!(
+        races.is_clean(),
+        "{name}: happens-before races over the lossy wire:\n{}",
+        races.render()
+    );
     std::fs::write(
         trace_dir().join(format!("{name}.c3trace")),
         encode_trace(&records),

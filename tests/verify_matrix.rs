@@ -58,7 +58,8 @@ fn assert_invariant_clean_mode<A>(
     if expect_restart {
         assert!(job.restarts >= 1, "{name}: failure must actually fire");
     }
-    let report = analyze(&sink.take());
+    let records = sink.take();
+    let report = analyze(&records);
     assert!(
         !report.commits.is_empty(),
         "{name}: expected at least one committed checkpoint"
@@ -67,6 +68,12 @@ fn assert_invariant_clean_mode<A>(
         report.is_clean(),
         "{name}: protocol invariants violated:\n{}",
         report.render()
+    );
+    let races = c3verify::race_check(&records);
+    assert!(
+        races.is_clean(),
+        "{name}: happens-before races detected:\n{}",
+        races.render()
     );
 }
 
