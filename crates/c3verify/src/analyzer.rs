@@ -68,6 +68,13 @@
 //!   staged for that checkpoint (two-phase commit over asynchronous
 //!   writes). Enforced only on traces that contain pipeline events, so
 //!   pre-pipeline recordings still analyze cleanly.
+//! * **I14 tier-provenance** — on a multi-level store, a restart never
+//!   reads a checkpoint from a tier deeper than the mover actually
+//!   drained it to: a `TierRecovered { tier > 0 }` in attempt `a > 1`
+//!   requires a `TierDrained` for the same checkpoint at a tier ≥ the
+//!   claimed one in some earlier attempt of the trace. The first attempt
+//!   of a trace is exempt (it may be continuing a previous job whose
+//!   drain events live in that job's trace).
 //!
 //! Structural defects of the trace itself (duplicate sequence numbers,
 //! ragged count vectors, initiator events off rank 0) are reported as
@@ -109,6 +116,8 @@ pub mod invariant {
     pub const I12: &str = "I12-commit-completeness";
     /// Asynchronously staged blobs are drained to storage before commit.
     pub const I13: &str = "I13-drain-before-commit";
+    /// Recovery never reads a checkpoint from a tier it was not drained to.
+    pub const I14: &str = "I14-tier-provenance";
     /// The trace itself is structurally sound.
     pub const T0: &str = "T0-well-formed";
 }
@@ -180,6 +189,11 @@ struct RankFacts {
     drains: Vec<(u64, u64, u64)>,
     /// Rank 0 only: (kept ckpt, seq) per post-commit GC sweep.
     gcs: Vec<(u64, u64)>,
+    /// Rank 0 only: (ckpt, tier) per async tier-drain completion.
+    tier_drains: Vec<(u64, u8)>,
+    /// The (ckpt, tier, seq) this rank's recovery read its state from,
+    /// when the job ran over a multi-level store.
+    tier_recovered: Option<(u64, u8, u64)>,
     failed: bool,
     last_seq: u64,
 }
@@ -817,6 +831,41 @@ fn scan_rank(
             // reliable-delivery sublayer masks wire faults below the
             // protocol, so no C³ invariant constrains these counters.
             TraceEvent::NetSummary { .. } => {}
+            TraceEvent::TierDrained { ckpt, tier } => {
+                if rank != 0 {
+                    flag(
+                        invariant::T0,
+                        seq,
+                        format!("tier drain event on rank {rank}"),
+                    );
+                }
+                if *tier == 0 {
+                    flag(
+                        invariant::T0,
+                        seq,
+                        format!(
+                            "checkpoint {ckpt} 'drained' to tier 0 — the \
+                             staging tier is covered by the pipeline drain \
+                             barrier, not the mover"
+                        ),
+                    );
+                }
+                f.tier_drains.push((*ckpt, *tier));
+            }
+            TraceEvent::TierRecovered { ckpt, tier } => {
+                if f.recovered != Some(*ckpt) {
+                    flag(
+                        invariant::T0,
+                        seq,
+                        format!(
+                            "tier-recovery event names checkpoint {ckpt} \
+                             but this rank recovered from {:?}",
+                            f.recovered
+                        ),
+                    );
+                }
+                f.tier_recovered = Some((*ckpt, *tier, seq));
+            }
         }
     }
 
@@ -1456,12 +1505,16 @@ fn check_pipeline(
 }
 
 /// Post-commit GC discipline: a sweep keeps only a checkpoint that was
-/// already committed in rank 0's stream (sweeping anything else could
-/// collect blobs the recovery line still needs). Reported under I12 —
+/// already committed — in rank 0's stream before the sweep, in an
+/// earlier attempt of the trace, or as the checkpoint this attempt
+/// recovered from (a `keep_last > 1` sweep retains a line whose commit
+/// may predate the trace entirely). Sweeping anything else could
+/// collect blobs the recovery line still needs. Reported under I12 —
 /// the sweep's keep-set *is* a commit-completeness claim.
 fn check_gc(
     attempt: u64,
     facts: &BTreeMap<u32, RankFacts>,
+    prior_commits: &BTreeSet<u64>,
     out: &mut Vec<Violation>,
 ) {
     let Some(f0) = facts.get(&0) else { return };
@@ -1469,7 +1522,9 @@ fn check_gc(
         let committed = f0
             .commits
             .iter()
-            .any(|&(c, commit_seq)| c == kept && commit_seq < seq);
+            .any(|&(c, commit_seq)| c == kept && commit_seq < seq)
+            || prior_commits.contains(&kept)
+            || f0.recovered == Some(kept);
         if !committed {
             out.push(Violation {
                 invariant: invariant::I12,
@@ -1479,6 +1534,44 @@ fn check_gc(
                 detail: format!(
                     "GC sweep kept checkpoint {kept} before (or without) \
                      its commit"
+                ),
+            });
+        }
+    }
+}
+
+/// The multi-level storage provenance check (I14): a restart's claimed
+/// recovery tier is backed by an earlier drain. Tier 0 claims (the local
+/// staging copy was intact) need no drain; the first attempt of a trace
+/// is exempt because it may continue a previous job whose `TierDrained`
+/// events live in that job's trace.
+fn check_tiers(
+    attempt: u64,
+    first_attempt: bool,
+    facts: &BTreeMap<u32, RankFacts>,
+    drained: &BTreeMap<u64, u8>,
+    out: &mut Vec<Violation>,
+) {
+    if first_attempt {
+        return;
+    }
+    for (&rank, f) in facts {
+        let Some((ckpt, tier, seq)) = f.tier_recovered else {
+            continue;
+        };
+        if tier == 0 {
+            continue;
+        }
+        let deepest = drained.get(&ckpt).copied().unwrap_or(0);
+        if tier > deepest {
+            out.push(Violation {
+                invariant: invariant::I14,
+                attempt,
+                rank,
+                seq,
+                detail: format!(
+                    "recovery read checkpoint {ckpt} from tier {tier} but \
+                     the mover only drained it to tier {deepest}"
                 ),
             });
         }
@@ -1506,6 +1599,12 @@ pub fn analyze(records: &[TraceRecord]) -> Report {
 
     let mut violations = Vec::new();
     let mut commits = Vec::new();
+    // Cross-attempt context: checkpoints committed and tiers drained in
+    // *earlier* attempts justify this attempt's GC keep-set (keep_last
+    // retention) and recovery-tier claims (I14).
+    let mut prior_commits: BTreeSet<u64> = BTreeSet::new();
+    let mut drained: BTreeMap<u64, u8> = BTreeMap::new();
+    let first_attempt = by_attempt.keys().next().copied();
     for (&attempt, ranks) in &mut by_attempt {
         let mut facts: BTreeMap<u32, RankFacts> = BTreeMap::new();
         for (&rank, stream) in ranks.iter_mut() {
@@ -1521,9 +1620,21 @@ pub fn analyze(records: &[TraceRecord]) -> Report {
         join_collectives(attempt, &facts, &mut violations);
         check_commits(attempt, &facts, &mut violations);
         check_pipeline(attempt, &facts, &mut violations);
-        check_gc(attempt, &facts, &mut violations);
+        check_gc(attempt, &facts, &prior_commits, &mut violations);
+        check_tiers(
+            attempt,
+            first_attempt == Some(attempt),
+            &facts,
+            &drained,
+            &mut violations,
+        );
         if let Some(f0) = facts.get(&0) {
             commits.extend(f0.commits.iter().map(|&(c, _)| c));
+            prior_commits.extend(f0.commits.iter().map(|&(c, _)| c));
+            for &(ckpt, tier) in &f0.tier_drains {
+                let d = drained.entry(ckpt).or_insert(0);
+                *d = (*d).max(tier);
+            }
         }
     }
 

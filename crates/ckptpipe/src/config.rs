@@ -55,6 +55,54 @@ impl RetryPolicy {
     }
 }
 
+/// Topology of the multi-level storage hierarchy the job should run
+/// over (SCR-style). When set on [`PipelineConfig::tiers`], `run_job`
+/// wraps the provided backend as the local staging tier of a
+/// `ckptstore::TieredBackend`, the pipeline spawns an async tier-drain
+/// mover that promotes each committed checkpoint down the hierarchy,
+/// and recovery falls through the tiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierTopology {
+    /// Replica slots on the partner tier (0 = no partner tier).
+    pub partner_replicas: usize,
+    /// `(data, parity)` Reed–Solomon geometry of the global
+    /// erasure-coded tier (`None` = no global tier).
+    pub erasure: Option<(u8, u8)>,
+}
+
+impl TierTopology {
+    /// Partner tier only: each rank's blobs replicated onto `replicas`
+    /// neighbor slots.
+    pub fn partner(replicas: usize) -> Self {
+        TierTopology {
+            partner_replicas: replicas,
+            erasure: None,
+        }
+    }
+
+    /// Partner tier plus a global Reed–Solomon `(data, parity)` tier.
+    pub fn partner_and_erasure(replicas: usize, data: u8, parity: u8) -> Self {
+        TierTopology {
+            partner_replicas: replicas,
+            erasure: Some((data, parity)),
+        }
+    }
+
+    /// Erasure-coded global tier only.
+    pub fn erasure(data: u8, parity: u8) -> Self {
+        TierTopology {
+            partner_replicas: 0,
+            erasure: Some((data, parity)),
+        }
+    }
+
+    /// Number of tiers this topology adds below the staging tier.
+    pub fn extra_tiers(&self) -> usize {
+        usize::from(self.partner_replicas > 0)
+            + usize::from(self.erasure.is_some())
+    }
+}
+
 /// Full pipeline configuration, embedded in the protocol layer's
 /// `C3Config` as its `io` field.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +120,16 @@ pub struct PipelineConfig {
     pub compression: bool,
     /// Transient-fault retry discipline.
     pub retry: RetryPolicy,
+    /// Committed checkpoint lines to retain: the initiator GCs
+    /// everything older than `latest_commit + 1 - keep_last`. The
+    /// default 1 reproduces the paper's behavior (only the newest
+    /// committed checkpoint survives); tiered configurations keep ≥ 2
+    /// so that losing the newest line beyond repair still leaves a
+    /// whole older line to fall back to.
+    pub keep_last: u64,
+    /// Storage-tier topology to run over (`None` = single-tier, the
+    /// paper's flat stable storage).
+    pub tiers: Option<TierTopology>,
     /// Metrics registry the pipeline records into (stage/write/drain
     /// latency, retry and byte counters). `None` disables recording;
     /// compiled out entirely without the `obs` feature.
@@ -90,6 +148,8 @@ impl Default for PipelineConfig {
             chunk_size: 4096,
             compression: true,
             retry: RetryPolicy::default(),
+            keep_last: 1,
+            tiers: None,
             #[cfg(feature = "obs")]
             obs: None,
         }
@@ -135,6 +195,20 @@ impl PipelineConfig {
     /// Builder: set the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Builder: retain the last `n` committed checkpoint lines
+    /// (`n >= 1`).
+    pub fn with_keep_last(mut self, n: u64) -> Self {
+        assert!(n >= 1, "must keep at least the newest committed line");
+        self.keep_last = n;
+        self
+    }
+
+    /// Builder: run over a multi-level storage hierarchy.
+    pub fn with_tiers(mut self, topology: TierTopology) -> Self {
+        self.tiers = Some(topology);
         self
     }
 

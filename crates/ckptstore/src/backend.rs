@@ -39,6 +39,16 @@ pub trait StorageBackend: Send + Sync {
     /// replaced blobs. Experiments use this to report checkpoint sizes (the
     /// numbers above the bars in the paper's Figure 8).
     fn bytes_written(&self) -> u64;
+
+    /// Downcast hook for the multi-level hierarchy: returns the
+    /// [`TieredBackend`](crate::tier::TieredBackend) behind this backend,
+    /// if any. Decorators ([`crate::fault::FaultInjectingBackend`], the
+    /// `obs` wrapper) forward to their inner backend, so the pipeline's
+    /// tier-drain mover and the store's tier probes find the hierarchy
+    /// through any stack of wrappers. Plain backends return `None`.
+    fn as_tiered(&self) -> Option<&crate::tier::TieredBackend> {
+        None
+    }
 }
 
 /// In-memory backend: a locked ordered map.

@@ -1,0 +1,313 @@
+//! Reed–Solomon (n, k) erasure coding over GF(2^8) for the global
+//! storage tier.
+//!
+//! A blob is split into `k` data shards (zero-padded to equal length) and
+//! extended with `m` parity shards, `n = k + m` total; any `k` surviving
+//! shards reconstruct the blob. The code is *systematic* — the first `k`
+//! shards are the data itself — so the common no-loss read path is a
+//! straight concatenation.
+//!
+//! The construction is the classic Vandermonde one: an `n × k` matrix
+//! `A = V · V_top⁻¹`, where `V[i][j] = αᵢʲ` with distinct `αᵢ`. Any `k`
+//! rows of `A` are invertible (any `k` rows of a Vandermonde matrix with
+//! distinct evaluation points are), which is exactly the any-k-of-n
+//! recovery property. Arithmetic is GF(2^8) with the usual `0x11d`
+//! reduction polynomial, via exp/log tables — dependency-free and cheap
+//! enough for checkpoint-sized blobs.
+
+/// Maximum total shard count (`data + parity`): GF(2^8) supplies at most
+/// 255 distinct nonzero evaluation points.
+pub const MAX_SHARDS: usize = 255;
+
+// GF(2^8) exp/log tables, built once. exp is doubled so products of two
+// logs index without a modulo.
+struct Tables {
+    exp: [u8; 512],
+    log: [u16; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] + t.log[b as usize]) as usize]
+}
+
+fn gf_inv(a: u8) -> u8 {
+    debug_assert!(a != 0, "zero has no inverse");
+    let t = tables();
+    t.exp[(255 - t.log[a as usize] % 255) as usize]
+}
+
+fn gf_pow(a: u8, e: usize) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[(t.log[a as usize] as usize * e) % 255]
+}
+
+/// Invert a `k × k` matrix over GF(2^8) (Gauss–Jordan). Returns `None`
+/// for a singular matrix — which the Vandermonde construction never
+/// produces, but the decoder stays defensive against corrupt shard
+/// indices.
+fn invert(mat: &[Vec<u8>]) -> Option<Vec<Vec<u8>>> {
+    let k = mat.len();
+    let mut a: Vec<Vec<u8>> = mat.to_vec();
+    let mut inv: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..k).map(|j| u8::from(i == j)).collect())
+        .collect();
+    for col in 0..k {
+        let pivot = (col..k).find(|&r| a[r][col] != 0)?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let pinv = gf_inv(a[col][col]);
+        for j in 0..k {
+            a[col][j] = gf_mul(a[col][j], pinv);
+            inv[col][j] = gf_mul(inv[col][j], pinv);
+        }
+        for r in 0..k {
+            if r != col && a[r][col] != 0 {
+                let f = a[r][col];
+                for j in 0..k {
+                    a[r][j] ^= gf_mul(f, a[col][j]);
+                    inv[r][j] ^= gf_mul(f, inv[col][j]);
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+fn matmul(a: &[Vec<u8>], b: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let (n, k) = (a.len(), b.len());
+    let cols = b[0].len();
+    let mut out = vec![vec![0u8; cols]; n];
+    for (row, arow) in out.iter_mut().zip(a) {
+        for (j, &f) in arow.iter().enumerate().take(k) {
+            if f != 0 {
+                for (o, &bv) in row.iter_mut().zip(&b[j]) {
+                    *o ^= gf_mul(f, bv);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The systematic `n × k` coding matrix: identity on top, parity rows
+/// below; any `k` rows invertible.
+fn coding_matrix(k: usize, n: usize) -> Vec<Vec<u8>> {
+    // Vandermonde with evaluation points 1..=n (all distinct, nonzero).
+    let v: Vec<Vec<u8>> = (0..n)
+        .map(|i| (0..k).map(|j| gf_pow((i + 1) as u8, j)).collect())
+        .collect();
+    let top_inv = invert(&v[..k]).expect("Vandermonde top block invertible");
+    matmul(&v, &top_inv)
+}
+
+/// Split `blob` into `k` data shards and `m` parity shards. Shards all
+/// have length `ceil(len / k)` (data shards zero-padded); callers must
+/// remember the original length for [`decode`].
+///
+/// Panics if `k == 0` or `k + m > MAX_SHARDS`.
+pub fn encode(blob: &[u8], k: usize, m: usize) -> Vec<Vec<u8>> {
+    assert!(k > 0, "at least one data shard");
+    let n = k + m;
+    assert!(n <= MAX_SHARDS, "at most {MAX_SHARDS} shards");
+    let shard_len = blob.len().div_ceil(k).max(1);
+    let mut shards: Vec<Vec<u8>> = (0..k)
+        .map(|i| {
+            let mut s = vec![0u8; shard_len];
+            let start = i * shard_len;
+            if start < blob.len() {
+                let end = (start + shard_len).min(blob.len());
+                s[..end - start].copy_from_slice(&blob[start..end]);
+            }
+            s
+        })
+        .collect();
+    let a = coding_matrix(k, n);
+    for row in &a[k..] {
+        let mut parity = vec![0u8; shard_len];
+        for (j, &f) in row.iter().enumerate() {
+            if f != 0 {
+                for (p, &d) in parity.iter_mut().zip(&shards[j]) {
+                    *p ^= gf_mul(f, d);
+                }
+            }
+        }
+        shards.push(parity);
+    }
+    shards
+}
+
+/// Reconstruct the original blob (of length `orig_len`) from any `k` of
+/// the `n` shards produced by [`encode`] with the same `(k, m)`.
+/// `shards[i]` is shard `i` or `None` if lost. Returns `None` when fewer
+/// than `k` shards survive or the survivors have inconsistent lengths.
+pub fn decode(
+    shards: &[Option<Vec<u8>>],
+    k: usize,
+    orig_len: usize,
+) -> Option<Vec<u8>> {
+    let n = shards.len();
+    if k == 0 || n < k || n > MAX_SHARDS {
+        return None;
+    }
+    let mut have: Vec<(usize, &Vec<u8>)> = shards
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.as_ref().map(|v| (i, v)))
+        .collect();
+    if have.len() < k {
+        return None;
+    }
+    have.truncate(k);
+    let shard_len = have[0].1.len();
+    if have.iter().any(|(_, s)| s.len() != shard_len)
+        || orig_len > shard_len.saturating_mul(k)
+    {
+        return None;
+    }
+    let a = coding_matrix(k, n);
+    let sub: Vec<Vec<u8>> = have.iter().map(|&(i, _)| a[i].clone()).collect();
+    let dec = invert(&sub)?;
+    // data[j] = Σ dec[j][r] · have[r]
+    let mut blob = Vec::with_capacity(shard_len * k);
+    for row in &dec[..k] {
+        let mut data = vec![0u8; shard_len];
+        for (&f, &(_, shard)) in row.iter().zip(&have) {
+            if f != 0 {
+                for (d, &s) in data.iter_mut().zip(shard.iter()) {
+                    *d ^= gf_mul(f, s);
+                }
+            }
+        }
+        blob.extend_from_slice(&data);
+    }
+    blob.truncate(orig_len);
+    Some(blob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn gf_field_axioms_hold_on_samples() {
+        for a in [1u8, 2, 7, 19, 120, 200, 255] {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a·a⁻¹ = 1 for {a}");
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+            for b in [3u8, 77, 254] {
+                assert_eq!(gf_mul(a, b), gf_mul(b, a));
+            }
+        }
+        assert_eq!(gf_pow(2, 8), 0x1d, "x⁸ ≡ x⁴+x³+x²+1 mod 0x11d");
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_data() {
+        let blob = sample(100);
+        let shards = encode(&blob, 4, 2);
+        assert_eq!(shards.len(), 6);
+        let rejoined: Vec<u8> = shards[..4].concat();
+        assert_eq!(&rejoined[..100], &blob[..]);
+    }
+
+    #[test]
+    fn any_k_of_n_reconstructs() {
+        let blob = sample(257); // not a multiple of k: exercises padding
+        let (k, m) = (3, 2);
+        let shards = encode(&blob, k, m);
+        let n = k + m;
+        // Every way of losing exactly m shards must still reconstruct.
+        for lose_a in 0..n {
+            for lose_b in lose_a + 1..n {
+                let partial: Vec<Option<Vec<u8>>> = shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        (i != lose_a && i != lose_b).then(|| s.clone())
+                    })
+                    .collect();
+                assert_eq!(
+                    decode(&partial, k, blob.len()).as_deref(),
+                    Some(&blob[..]),
+                    "lost shards {lose_a},{lose_b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn losing_more_than_parity_fails() {
+        let blob = sample(64);
+        let shards = encode(&blob, 3, 2);
+        let partial: Vec<Option<Vec<u8>>> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i >= 3).then(|| s.clone()))
+            .collect();
+        assert_eq!(decode(&partial, 3, blob.len()), None, "2 of 5 left");
+    }
+
+    #[test]
+    fn degenerate_shapes_round_trip() {
+        // k = 1 is plain replication of the blob into parity copies.
+        let blob = sample(10);
+        let shards = encode(&blob, 1, 2);
+        for i in 0..3 {
+            let partial: Vec<Option<Vec<u8>>> = (0..3)
+                .map(|j| (j == i).then(|| shards[j].clone()))
+                .collect();
+            assert_eq!(decode(&partial, 1, 10).as_deref(), Some(&blob[..]));
+        }
+        // Empty blob still produces (and survives) shards.
+        let shards = encode(&[], 3, 1);
+        let partial: Vec<Option<Vec<u8>>> =
+            shards.iter().map(|s| Some(s.clone())).collect();
+        assert_eq!(decode(&partial, 3, 0).as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn inconsistent_survivors_are_rejected() {
+        let shards = encode(&sample(64), 3, 2);
+        let mut partial: Vec<Option<Vec<u8>>> =
+            shards.iter().map(|s| Some(s.clone())).collect();
+        partial[1].as_mut().unwrap().pop(); // ragged shard
+        assert_eq!(decode(&partial, 3, 64), None);
+        assert_eq!(decode(&partial[..2], 3, 64), None, "too few columns");
+    }
+}

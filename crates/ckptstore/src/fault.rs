@@ -8,6 +8,14 @@
 //! [`StoreError::Transient`], which the write pipeline retries with
 //! backoff — so tests can prove that a checkpoint survives flaky storage,
 //! and that commit never happens before every retried write has landed.
+//!
+//! Beyond the flat `slow_put_ms` delay, a plan can carry a *seeded
+//! per-operation latency profile* ([`FaultPlan::latency`]): every put
+//! and get sleeps `base + jitter(op_index)` milliseconds, where the
+//! jitter sequence is a pure function of the seed and the operation
+//! index ([`FaultPlan::op_delay_ms`]). Two backends built from the same
+//! plan observe byte-identical latency sequences, which is what makes
+//! tier benchmarks (a simulated slow "remote" tier) reproducible.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +40,13 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Sleep this long before every `put` (simulated slow storage).
     pub slow_put_ms: u64,
+    /// Base latency in milliseconds added to every operation (put *and*
+    /// get) by the seeded latency profile.
+    pub latency_base_ms: u64,
+    /// Jitter bound: each operation additionally sleeps
+    /// `0..=latency_jitter_ms` milliseconds, drawn deterministically
+    /// from `seed` and the operation index.
+    pub latency_jitter_ms: u64,
 }
 
 impl FaultPlan {
@@ -65,6 +80,38 @@ impl FaultPlan {
         self.slow_put_ms = ms;
         self
     }
+
+    /// Attach a seeded per-operation latency profile: every put and get
+    /// sleeps `base + (0..=jitter)` ms, the jitter drawn reproducibly
+    /// from `seed` and the operation index. Models a slow remote tier
+    /// with realistic variance while keeping benchmarks deterministic.
+    pub fn latency(mut self, base_ms: u64, jitter_ms: u64, seed: u64) -> Self {
+        self.latency_base_ms = base_ms;
+        self.latency_jitter_ms = jitter_ms;
+        self.seed = seed;
+        self
+    }
+
+    /// The latency (ms) the profile assigns to operation `op_index` —
+    /// a pure function of the plan's seed, so the whole sequence can be
+    /// precomputed and asserted against. Returns 0 when no profile is
+    /// configured.
+    pub fn op_delay_ms(&self, op_index: u64) -> u64 {
+        if self.latency_base_ms == 0 && self.latency_jitter_ms == 0 {
+            return 0;
+        }
+        if self.latency_jitter_ms == 0 {
+            return self.latency_base_ms;
+        }
+        // Mix the seed and index through splitmix64 so neighboring
+        // indices decorrelate; independent of the failure-draw stream.
+        let mut s = self
+            .seed
+            .wrapping_add(0xA5A5_5A5A_D00D_FEED)
+            .wrapping_add(op_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let draw = splitmix64(&mut s);
+        self.latency_base_ms + draw % (self.latency_jitter_ms + 1)
+    }
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -81,6 +128,7 @@ pub struct FaultInjectingBackend {
     plan: FaultPlan,
     puts: AtomicU64,
     injected: AtomicU64,
+    ops: AtomicU64,
     seen_keys: Mutex<HashSet<String>>,
     rng: Mutex<u64>,
 }
@@ -94,6 +142,7 @@ impl FaultInjectingBackend {
             plan,
             puts: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
             seen_keys: Mutex::new(HashSet::new()),
             rng: Mutex::new(seed),
         }
@@ -108,6 +157,20 @@ impl FaultInjectingBackend {
     /// Total `put` attempts observed (including failed ones).
     pub fn put_attempts(&self) -> u64 {
         self.puts.load(Ordering::Relaxed)
+    }
+
+    /// Operations (puts + gets) that went through the latency profile.
+    pub fn ops_observed(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Apply the seeded latency profile to the next operation.
+    fn maybe_delay(&self) {
+        let idx = self.ops.fetch_add(1, Ordering::Relaxed);
+        let ms = self.plan.op_delay_ms(idx);
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
     }
 
     fn should_fail(&self, key: &str) -> bool {
@@ -139,6 +202,7 @@ impl StorageBackend for FaultInjectingBackend {
                 self.plan.slow_put_ms,
             ));
         }
+        self.maybe_delay();
         if self.should_fail(key) {
             let k = self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(StoreError::Transient(format!(
@@ -149,6 +213,7 @@ impl StorageBackend for FaultInjectingBackend {
     }
 
     fn get(&self, key: &str) -> StoreResult<Vec<u8>> {
+        self.maybe_delay();
         self.inner.get(key)
     }
 
@@ -166,6 +231,10 @@ impl StorageBackend for FaultInjectingBackend {
 
     fn bytes_written(&self) -> u64 {
         self.inner.bytes_written()
+    }
+
+    fn as_tiered(&self) -> Option<&crate::tier::TieredBackend> {
+        self.inner.as_tiered()
     }
 }
 
@@ -213,6 +282,46 @@ mod tests {
         assert_ne!(a, outcomes(8), "different seed, different faults");
         let fails = a.iter().filter(|&&f| f).count();
         assert!((10..55).contains(&fails), "p=0.5 gave {fails}/64");
+    }
+
+    #[test]
+    fn latency_profile_is_seed_identical() {
+        let plan_a = FaultPlan::none().latency(1, 9, 42);
+        let plan_b = FaultPlan::none().latency(1, 9, 42);
+        let plan_c = FaultPlan::none().latency(1, 9, 43);
+        let seq = |p: &FaultPlan| -> Vec<u64> {
+            (0..64).map(|i| p.op_delay_ms(i)).collect()
+        };
+        assert_eq!(seq(&plan_a), seq(&plan_b), "same seed, same sequence");
+        assert_ne!(seq(&plan_a), seq(&plan_c), "seed changes the sequence");
+        // Every delay honors the base..=base+jitter envelope, and the
+        // jitter actually varies (a flat sequence would mean the mix is
+        // broken).
+        let s = seq(&plan_a);
+        assert!(s.iter().all(|&d| (1..=10).contains(&d)), "{s:?}");
+        assert!(s.windows(2).any(|w| w[0] != w[1]), "jitter is flat: {s:?}");
+        // The profile is a pure function: recomputing any index matches.
+        assert_eq!(plan_a.op_delay_ms(17), s[17]);
+    }
+
+    #[test]
+    fn latency_profile_covers_puts_and_gets() {
+        // Zero-delay profile so the test is fast; the op counter still
+        // proves both paths consult the profile.
+        let b = wrapped(FaultPlan::none());
+        b.put("k", b"v").unwrap();
+        let _ = b.get("k");
+        let _ = b.get("missing");
+        assert_eq!(b.ops_observed(), 3, "puts and gets both draw an index");
+        assert_eq!(
+            FaultPlan::none().op_delay_ms(0),
+            0,
+            "no profile, no delay"
+        );
+        // Base-only profile is flat and nonzero.
+        let flat = FaultPlan::none().latency(3, 0, 1);
+        assert_eq!(flat.op_delay_ms(0), 3);
+        assert_eq!(flat.op_delay_ms(100), 3);
     }
 
     #[test]

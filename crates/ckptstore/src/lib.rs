@@ -31,14 +31,20 @@
 //!   chunks through these.
 //! * [`compress`] — dependency-free run-length chunk compression.
 //! * [`fault`] — [`fault::FaultInjectingBackend`], a deterministic seeded
-//!   fault-injection decorator (fail-once, fail-N, random, slow-put) used
-//!   to prove the retry and drain-before-commit machinery.
+//!   fault-injection decorator (fail-once, fail-N, random, slow-put, and a
+//!   seeded per-operation latency profile) used to prove the retry and
+//!   drain-before-commit machinery.
+//! * [`tier`] — [`tier::TieredBackend`], SCR-style multi-level stable
+//!   storage: a local staging tier, partner-replica and Reed–Solomon
+//!   erasure-coded lower tiers ([`erasure`]), and recovery reads that fall
+//!   through the hierarchy.
 
 #![deny(missing_docs)]
 
 pub mod backend;
 pub mod codec;
 pub mod compress;
+pub mod erasure;
 pub mod error;
 pub mod fault;
 pub mod integrity;
@@ -46,6 +52,7 @@ pub mod manifest;
 #[cfg(feature = "obs")]
 pub mod obs;
 pub mod store;
+pub mod tier;
 
 pub use backend::{DiskBackend, MemoryBackend, StorageBackend};
 pub use codec::{Decoder, Encoder, SaveLoad};
@@ -56,3 +63,4 @@ pub use manifest::{chunk_key, ChunkRef, Manifest};
 #[cfg(feature = "obs")]
 pub use obs::ObservedBackend;
 pub use store::{CheckpointStore, CkptId, RankBlobKind};
+pub use tier::{TierSpec, TieredBackend, WritePolicy};

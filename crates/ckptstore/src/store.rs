@@ -11,10 +11,16 @@
 //!   initiator calls [`CheckpointStore::commit`], which validates that all
 //!   rank blobs exist and writes a single `COMMIT` record.
 //!
-//! Recovery reads [`CheckpointStore::latest_committed`]; a checkpoint whose
-//! creation was interrupted by a failure has no `COMMIT` record and is
-//! invisible, so the job falls back to the previous committed checkpoint (or
-//! a from-scratch restart).
+//! Recovery restarts from [`CheckpointStore::latest_recoverable`] — on a
+//! single-tier backend the same thing as
+//! [`CheckpointStore::latest_committed`]; on a multi-level backend
+//! ([`crate::tier`]) the newest committed line every rank's blobs are
+//! still servable from *some* tier. A checkpoint whose creation was
+//! interrupted by a failure has no `COMMIT` record and is invisible, and
+//! a committed line damaged beyond the deepest tier's repair capability
+//! is passed over (and swept by [`CheckpointStore::discard_after`]), so
+//! the job falls back to the previous committed checkpoint (or a
+//! from-scratch restart).
 
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -59,6 +65,13 @@ pub struct CommitRecord {
     pub ckpt: CkptId,
     /// Number of ranks participating in the checkpoint.
     pub nranks: usize,
+    /// Deepest storage-tier level each rank's `State` blob had reached
+    /// when the commit record was written (one entry per rank). On a
+    /// single-tier backend — or before the async mover has drained
+    /// anything — this is all zeros: commit covers tier-local
+    /// durability only; promotion happens after. Decoding a record
+    /// written before tiering existed yields zeros.
+    pub tier_levels: Vec<u8>,
 }
 
 /// Commit-layer view of stable storage shared by all ranks of a job.
@@ -90,9 +103,13 @@ impl CheckpointStore {
     /// Rewrap the backend in an [`crate::obs::ObservedBackend`] so every
     /// put/get through this store (and its future clones) records
     /// latency and byte metrics into `reg`. Pass-through accounting
-    /// (`bytes_written`) still reaches the original backend.
+    /// (`bytes_written`) still reaches the original backend. A tiered
+    /// backend additionally gets its per-tier histograms registered.
     #[cfg(feature = "obs")]
     pub fn attach_obs(&mut self, reg: &c3obs::Registry) {
+        if let Some(t) = self.backend.as_tiered() {
+            t.attach_obs(reg);
+        }
         self.backend = Arc::new(crate::obs::ObservedBackend::new(
             Arc::clone(&self.backend),
             reg,
@@ -320,10 +337,21 @@ impl CheckpointStore {
         let record = CommitRecord {
             ckpt,
             nranks: self.nranks,
+            // Advisory: a tier-probe failure records level 0, it never
+            // fails the commit.
+            tier_levels: (0..self.nranks)
+                .map(|r| {
+                    self.blob_tier(ckpt, r, RankBlobKind::State)
+                        .ok()
+                        .flatten()
+                        .unwrap_or(0)
+                })
+                .collect(),
         };
         let mut enc = Encoder::new();
         enc.put_u64(record.ckpt);
         enc.put_usize(record.nranks);
+        enc.put_bytes(&record.tier_levels);
         self.backend.put(&Self::commit_key(ckpt), &enc.into_bytes())
     }
 
@@ -339,9 +367,19 @@ impl CheckpointStore {
         let mut dec = Decoder::new(&bytes);
         let mut parse =
             || -> Result<CommitRecord, crate::codec::CodecError> {
+                let ckpt = dec.get_u64()?;
+                let nranks = dec.get_usize()?;
+                // Tier levels were added later; a legacy record simply
+                // ends here and decodes as all-local (zeros).
+                let tier_levels = if dec.remaining() > 0 {
+                    dec.get_bytes()?.to_vec()
+                } else {
+                    vec![0; nranks]
+                };
                 Ok(CommitRecord {
-                    ckpt: dec.get_u64()?,
-                    nranks: dec.get_usize()?,
+                    ckpt,
+                    nranks,
+                    tier_levels,
                 })
             };
         let rec = parse().map_err(|e| StoreError::Corrupt {
@@ -373,6 +411,54 @@ impl CheckpointStore {
         Ok(latest)
     }
 
+    /// The highest committed checkpoint that is *actually recoverable*:
+    /// every rank's `State` and `Log` blob must still be servable by
+    /// some storage tier. On a single-tier backend this equals
+    /// [`Self::latest_committed`] (commit validated the blobs and
+    /// nothing deletes them but GC). On a tiered backend the two can
+    /// diverge after storage loss: a checkpoint whose local copies were
+    /// wiped *and* whose promoted copies fell below the reconstruction
+    /// threshold (more than `n − k` erasure shards gone, every partner
+    /// replica gone) is skipped, and recovery falls back to the last
+    /// checkpoint line that is whole.
+    pub fn latest_recoverable(&self) -> StoreResult<Option<CkptId>> {
+        let mut committed: Vec<CkptId> = self
+            .backend
+            .list("ckpt/")?
+            .iter()
+            .filter_map(|k| Self::parse_commit_key(k))
+            .collect();
+        committed.sort_unstable_by(|a, b| b.cmp(a));
+        'candidates: for &ckpt in &committed {
+            for rank in 0..self.nranks {
+                for kind in [RankBlobKind::State, RankBlobKind::Log] {
+                    if !self.has_rank_blob(ckpt, rank, kind)? {
+                        continue 'candidates;
+                    }
+                }
+            }
+            return Ok(Some(ckpt));
+        }
+        Ok(None)
+    }
+
+    /// The shallowest storage tier able to serve the given rank blob
+    /// (manifest or raw key), or `None` when the backend is not tiered
+    /// or no tier can serve it. Recovery uses this to report which tier
+    /// a restart actually read from.
+    pub fn blob_tier(
+        &self,
+        ckpt: CkptId,
+        rank: usize,
+        kind: RankBlobKind,
+    ) -> StoreResult<Option<u8>> {
+        let Some(t) = self.backend.as_tiered() else {
+            return Ok(None);
+        };
+        Ok(t.probe_tier(&Self::manifest_key(ckpt, rank, kind))
+            .or_else(|| t.probe_tier(&Self::rank_key(ckpt, rank, kind))))
+    }
+
     fn parse_commit_key(key: &str) -> Option<CkptId> {
         let rest = key.strip_prefix("ckpt/")?;
         let (num, tail) = rest.split_once('/')?;
@@ -380,6 +466,51 @@ impl CheckpointStore {
             return None;
         }
         num.parse().ok()
+    }
+
+    /// Delete every checkpoint line *newer* than `keep_newest` — committed
+    /// or not — returning how many lines were dropped. Restart calls this
+    /// when [`Self::latest_recoverable`] falls back past a damaged
+    /// committed line: the passed-over lines are unservable (that is why
+    /// they were skipped), and their stale `COMMIT` markers would
+    /// otherwise collide with the re-executed run writing the same
+    /// checkpoint numbers again. Chunks referenced only by the dropped
+    /// lines are swept like in [`Self::gc_keeping`].
+    ///
+    /// **Concurrency**: restart-time only — the caller must have no
+    /// pipeline writers in flight (the previous attempt's pipeline is
+    /// shut down before the driver probes recoverability).
+    pub fn discard_after(&self, keep_newest: CkptId) -> StoreResult<u64> {
+        // Pass 1: live chunk set from the manifests of surviving lines.
+        let mut live: HashSet<String> = HashSet::new();
+        for key in self.backend.list("ckpt/")? {
+            let Some(id) = Self::parse_ckpt_id(&key) else {
+                continue;
+            };
+            if id <= keep_newest && key.ends_with(".m") {
+                if let Some(manifest) = self.load_manifest_at(&key)? {
+                    live.extend(manifest.chunks.iter().map(ChunkRef::key));
+                }
+            }
+        }
+        // Pass 2: drop the newer lines' keys.
+        let mut dropped = std::collections::BTreeSet::new();
+        for key in self.backend.list("ckpt/")? {
+            let Some(id) = Self::parse_ckpt_id(&key) else {
+                continue;
+            };
+            if id > keep_newest {
+                self.backend.delete(&key)?;
+                dropped.insert(id);
+            }
+        }
+        // Pass 3: drop orphaned chunks.
+        for key in self.backend.list("chunk/")? {
+            if !live.contains(&key) {
+                self.backend.delete(&key)?;
+            }
+        }
+        Ok(dropped.len() as u64)
     }
 
     /// Total stored bytes belonging to checkpoint `ckpt` (state + logs), for
@@ -498,7 +629,11 @@ mod tests {
         assert!(s.is_committed(5).unwrap());
         assert_eq!(
             s.commit_record(5).unwrap(),
-            CommitRecord { ckpt: 5, nranks: 3 }
+            CommitRecord {
+                ckpt: 5,
+                nranks: 3,
+                tier_levels: vec![0, 0, 0],
+            }
         );
     }
 
@@ -558,6 +693,28 @@ mod tests {
         assert!(s.is_committed(3).unwrap());
         assert!(s.get_rank_blob(3, 0, RankBlobKind::State).is_ok());
         assert!(s.get_rank_blob(2, 0, RankBlobKind::State).is_err());
+    }
+
+    #[test]
+    fn discard_after_drops_newer_lines_and_their_commits() {
+        let s = store(2);
+        for ckpt in [1, 2, 3] {
+            write_full_checkpoint(&s, ckpt);
+            s.commit(ckpt).unwrap();
+        }
+        // Restart fell back to line 1: lines 2 and 3 must vanish,
+        // COMMIT markers included, so re-execution can rewrite them.
+        assert_eq!(s.discard_after(1).unwrap(), 2);
+        assert!(s.is_committed(1).unwrap());
+        assert!(!s.is_committed(2).unwrap());
+        assert!(!s.is_committed(3).unwrap());
+        assert!(s.get_rank_blob(2, 0, RankBlobKind::State).is_err());
+        assert_eq!(s.latest_committed().unwrap(), Some(1));
+        // The line is writable again.
+        write_full_checkpoint(&s, 2);
+        s.commit(2).unwrap();
+        // Nothing newer: a sweep is a no-op.
+        assert_eq!(s.discard_after(2).unwrap(), 0);
     }
 
     #[test]
@@ -777,5 +934,147 @@ mod tests {
             s.commit_record(7).unwrap_err(),
             StoreError::Corrupt { .. }
         ));
+    }
+
+    #[test]
+    fn legacy_commit_record_decodes_with_zero_tier_levels() {
+        // A record written before tier levels existed: just ckpt + nranks.
+        let backend = Arc::new(MemoryBackend::new());
+        let s = CheckpointStore::new(backend.clone(), 2);
+        let mut enc = Encoder::new();
+        enc.put_u64(4);
+        enc.put_usize(2);
+        backend
+            .put("ckpt/00000004/COMMIT", &enc.into_bytes())
+            .unwrap();
+        assert_eq!(
+            s.commit_record(4).unwrap(),
+            CommitRecord {
+                ckpt: 4,
+                nranks: 2,
+                tier_levels: vec![0, 0],
+            }
+        );
+    }
+
+    fn tiered_store(
+        nranks: usize,
+    ) -> (CheckpointStore, Arc<crate::tier::TieredBackend>) {
+        use crate::tier::{TierSpec, TieredBackend};
+        let tiers = vec![
+            TierSpec::direct(Arc::new(MemoryBackend::new())),
+            TierSpec::partner(Arc::new(MemoryBackend::new()), 1),
+            TierSpec::erasure(Arc::new(MemoryBackend::new()), 2, 1),
+        ];
+        let t = Arc::new(TieredBackend::new(tiers, nranks));
+        (CheckpointStore::new(t.clone(), nranks), t)
+    }
+
+    /// Promote every key of a checkpoint (blobs, manifests, chunks,
+    /// COMMIT) to every lower tier — what the ckptpipe mover does.
+    fn drain_all(_s: &CheckpointStore, t: &crate::tier::TieredBackend) {
+        let mut keys = t.list("ckpt/").unwrap();
+        keys.extend(t.list("chunk/").unwrap());
+        for tier in 1..t.num_tiers() {
+            for key in &keys {
+                t.promote(key, tier).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn commit_records_reached_tier_levels() {
+        let (s, t) = tiered_store(2);
+        write_full_checkpoint(&s, 1);
+        // Rank 0's state was already promoted to the erasure tier when
+        // the initiator commits; rank 1's is still tier-local... but
+        // probe_tier reports the *shallowest* serving tier, so both read
+        // 0 while the local copy survives.
+        t.promote("ckpt/00000001/rank0/state", 2).unwrap();
+        s.commit(1).unwrap();
+        assert_eq!(s.commit_record(1).unwrap().tier_levels, vec![0, 0]);
+        // After the local tier is lost, the probe reflects where the
+        // blob actually lives.
+        t.wipe_tier(0).unwrap();
+        assert_eq!(s.blob_tier(1, 0, RankBlobKind::State).unwrap(), Some(2));
+        assert_eq!(s.blob_tier(1, 1, RankBlobKind::State).unwrap(), None);
+    }
+
+    #[test]
+    fn latest_recoverable_falls_back_to_whole_checkpoint_line() {
+        let (s, t) = tiered_store(1);
+        write_full_checkpoint(&s, 1);
+        s.commit(1).unwrap();
+        drain_all(&s, &t);
+        write_full_checkpoint(&s, 2);
+        s.commit(2).unwrap();
+        // Checkpoint 2 never drained; checkpoint 1 is on all tiers.
+        assert_eq!(s.latest_committed().unwrap(), Some(2));
+        assert_eq!(s.latest_recoverable().unwrap(), Some(2));
+        // Local tier lost: checkpoint 2 is gone beyond repair, so the
+        // recovery line falls back to the fully drained checkpoint 1.
+        t.wipe_tier(0).unwrap();
+        assert_eq!(s.latest_committed().unwrap(), Some(1), "commit key too");
+        assert_eq!(s.latest_recoverable().unwrap(), Some(1));
+        assert_eq!(
+            s.get_rank_blob(1, 0, RankBlobKind::State).unwrap(),
+            b"state"
+        );
+        // Erasure loss beyond n−k on checkpoint 1's state: nothing left.
+        t.wipe_tier(1).unwrap();
+        t.lose_shards(2, "ckpt/00000001/rank0/state", 2).unwrap();
+        assert_eq!(s.latest_recoverable().unwrap(), None);
+    }
+
+    /// Satellite: manifest-aware GC across tiers — collecting a
+    /// checkpoint must release its chunks and shards on *every* tier
+    /// without orphaning partner replicas, while shared chunks and the
+    /// kept checkpoint stay recoverable from each tier.
+    #[test]
+    fn gc_releases_every_tier_without_orphans() {
+        let (s, t) = tiered_store(1);
+        // Two incremental checkpoints sharing chunk A.
+        let mut blob1 = vec![0xAAu8; 64];
+        blob1.extend_from_slice(&[0xBBu8; 64]);
+        put_incremental(&s, 1, 0, RankBlobKind::State, &blob1, 64);
+        s.put_rank_blob(1, 0, RankBlobKind::Log, b"log1").unwrap();
+        s.commit(1).unwrap();
+        drain_all(&s, &t);
+        let mut blob2 = vec![0xAAu8; 64];
+        blob2.extend_from_slice(&[0xCCu8; 64]);
+        put_incremental(&s, 2, 0, RankBlobKind::State, &blob2, 64);
+        s.put_rank_blob(2, 0, RankBlobKind::Log, b"log2").unwrap();
+        s.commit(2).unwrap();
+        drain_all(&s, &t);
+
+        s.gc_keeping(2).unwrap();
+
+        // The collected checkpoint's keys are gone from every tier:
+        // the union list sees neither its directory nor orphan B.
+        assert!(t.list("ckpt/00000001/").unwrap().is_empty());
+        let b_chunk = ChunkRef::for_piece(&[0xBBu8; 64]);
+        assert!(!s.has_chunk(&b_chunk).unwrap(), "orphan chunk survived GC");
+        // No orphaned replicas or shards hiding behind derived keys.
+        for tier_list in [t.list("ckpt/").unwrap(), t.list("chunk/").unwrap()]
+        {
+            for key in tier_list {
+                assert!(
+                    !key.contains("00000001") && !key.contains(&b_chunk.key()),
+                    "orphan {key}"
+                );
+            }
+        }
+        // The kept checkpoint is recoverable from each tier in
+        // isolation: local…
+        assert_eq!(s.get_rank_blob(2, 0, RankBlobKind::State).unwrap(), blob2);
+        // …partner (local wiped)…
+        t.wipe_tier(0).unwrap();
+        assert_eq!(s.latest_recoverable().unwrap(), Some(2));
+        assert_eq!(s.get_rank_blob(2, 0, RankBlobKind::State).unwrap(), blob2);
+        // …and erasure (partners wiped too).
+        t.wipe_tier(1).unwrap();
+        assert_eq!(s.latest_recoverable().unwrap(), Some(2));
+        assert_eq!(s.get_rank_blob(2, 0, RankBlobKind::State).unwrap(), blob2);
+        assert_eq!(s.get_rank_blob(2, 0, RankBlobKind::Log).unwrap(), b"log2");
     }
 }

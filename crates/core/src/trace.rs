@@ -308,6 +308,29 @@ pub enum TraceEvent {
         /// outgoing links.
         wire_held: u64,
     },
+    /// The async tier-drain mover finished promoting committed
+    /// checkpoint `ckpt` onto storage tier `tier` (1 = partner tier,
+    /// deeper = global/erasure tiers; the staging tier 0 is covered by
+    /// [`TraceEvent::PipelineDrained`]). Emitted by rank 0 — the drain
+    /// runs off the critical path, so the events surface at finalize or
+    /// the next commit, after the mover's queue is flushed.
+    TierDrained {
+        /// The committed checkpoint that was promoted.
+        ckpt: u64,
+        /// The tier it is now durable on.
+        tier: u8,
+    },
+    /// Recovery read checkpoint `ckpt` from storage tier `tier` on this
+    /// rank — tier 0 means the local staging copy was intact; a deeper
+    /// tier means the read fell through to a partner replica or an
+    /// erasure-coded reconstruction. The analyzer checks (I14) that a
+    /// restart never claims a tier the checkpoint was not drained to.
+    TierRecovered {
+        /// The checkpoint recovered from.
+        ckpt: u64,
+        /// The shallowest tier that could serve this rank's state.
+        tier: u8,
+    },
 }
 
 fn class_code(c: MsgClass) -> u8 {
@@ -514,6 +537,16 @@ impl TraceEvent {
                 enc.put_u64(*wire_duplicated);
                 enc.put_u64(*wire_held);
             }
+            TraceEvent::TierDrained { ckpt, tier } => {
+                enc.put_u8(22);
+                enc.put_u64(*ckpt);
+                enc.put_u8(*tier);
+            }
+            TraceEvent::TierRecovered { ckpt, tier } => {
+                enc.put_u8(23);
+                enc.put_u64(*ckpt);
+                enc.put_u8(*tier);
+            }
         }
     }
 
@@ -626,6 +659,14 @@ impl TraceEvent {
                 wire_dropped: dec.get_u64()?,
                 wire_duplicated: dec.get_u64()?,
                 wire_held: dec.get_u64()?,
+            },
+            22 => TraceEvent::TierDrained {
+                ckpt: dec.get_u64()?,
+                tier: dec.get_u8()?,
+            },
+            23 => TraceEvent::TierRecovered {
+                ckpt: dec.get_u64()?,
+                tier: dec.get_u8()?,
             },
             k => {
                 return Err(CodecError::new(format!(
@@ -867,6 +908,8 @@ mod tests {
                 wire_duplicated: 2,
                 wire_held: 5,
             },
+            TraceEvent::TierDrained { ckpt: 4, tier: 2 },
+            TraceEvent::TierRecovered { ckpt: 4, tier: 1 },
         ]
     }
 

@@ -91,6 +91,31 @@ impl FailureSchedule {
         FailureSchedule::single(rank, round * interval + offset)
     }
 
+    /// A failure aimed at the asynchronous *tier-drain* window.
+    ///
+    /// On a multi-level store the initiator hands each committed
+    /// checkpoint to the tier mover right after commit; the mover
+    /// promotes the checkpoint's keys to the partner and erasure tiers
+    /// in the background while the application computes the next round.
+    /// The returned schedule kills one seeded-random rank a little
+    /// *later* into the round than [`kill_during_async_write`] — after
+    /// round `round`'s commit, while its promotions may still be in
+    /// flight — so recovery exercises the tier fall-through (the local
+    /// staging copy of the committed line is intact, but deeper tiers
+    /// may hold any prefix of the promotion).
+    pub fn kill_during_tier_drain(
+        seed: u64,
+        nranks: usize,
+        interval: u64,
+        round: u64,
+    ) -> Self {
+        assert!(nranks > 0 && interval > 1 && round > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rank = rng.random_range(0..nranks);
+        let offset = rng.random_range(interval / 2..interval - 1);
+        FailureSchedule::single(rank, round * interval + offset)
+    }
+
     /// Geometric inter-failure gaps with the given expected spacing in
     /// protocol operations — a discrete stand-in for an exponential MTBF.
     /// Failures keep arriving until `horizon_ops`.
@@ -180,6 +205,20 @@ mod tests {
         assert!(
             (61..=71).contains(&op),
             "kill at op {op} must land just after the round-3 trigger"
+        );
+    }
+
+    #[test]
+    fn kill_during_tier_drain_lands_late_in_the_round() {
+        let a = FailureSchedule::kill_during_tier_drain(5, 4, 20, 3);
+        let b = FailureSchedule::kill_during_tier_drain(5, 4, 20, 3);
+        assert_eq!(a, b, "same seed must reproduce the schedule");
+        assert_eq!(a.len(), 1);
+        let (rank, op) = a.injections[0];
+        assert!(rank < 4);
+        assert!(
+            (70..79).contains(&op),
+            "kill at op {op} must land in the back half of round 3"
         );
     }
 

@@ -40,6 +40,7 @@ use std::process::ExitCode;
 const EVENT_PAIRS: &[(&str, &str)] = &[
     ("ControlSent", "ControlRecv"),
     ("SuppressSent", "SuppressRecv"),
+    ("TierDrained", "TierRecovered"),
 ];
 
 /// Files whose unwrap/expect count is budgeted (rule hot-path-unwrap).

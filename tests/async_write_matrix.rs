@@ -17,7 +17,8 @@ use std::sync::Arc;
 use c3_apps::{DenseCg, Laplace};
 use c3_core::trace::encode_trace;
 use c3_core::{
-    run_job, C3App, C3Config, PipelineConfig, TraceSink, WriteMode,
+    run_job, C3App, C3Config, PipelineConfig, TierTopology, TraceSink,
+    WriteMode,
 };
 use c3verify::analyze;
 use ckptstore::{
@@ -43,20 +44,23 @@ fn async_io() -> PipelineConfig {
 }
 
 /// One matrix cell: a failure-free reference run, then a run on slow
-/// storage with a kill inside checkpoint `round`'s write window.
+/// storage with a kill inside checkpoint `round`'s write window. The
+/// I/O configuration is a column axis — the plain async pipeline and
+/// the multi-level (tiered) store must clear the same bar.
 fn kill_mid_write_case<A>(
     name: &str,
     app: &A,
     interval: u64,
     seed: u64,
     round: u64,
+    io: &PipelineConfig,
 ) where
     A: C3App,
     A::Output: PartialEq + std::fmt::Debug,
 {
     let reference = run_job(
         4,
-        &C3Config::every_ops(interval).with_io(async_io()),
+        &C3Config::every_ops(interval).with_io(io.clone()),
         None,
         app,
     )
@@ -77,7 +81,7 @@ fn kill_mid_write_case<A>(
     let schedule =
         FailureSchedule::kill_during_async_write(seed, 4, interval, round);
     let cfg = schedule
-        .apply(C3Config::every_ops(interval).with_io(async_io()))
+        .apply(C3Config::every_ops(interval).with_io(io.clone()))
         .with_trace(sink.clone());
     let report = run_job(4, &cfg, Some(backend), app).unwrap_or_else(|e| {
         panic!("{name}: killed run failed to recover: {e}")
@@ -125,6 +129,7 @@ fn dense_cg_survives_kills_during_async_writes() {
             10,
             seed,
             round,
+            &async_io(),
         );
     }
 }
@@ -138,6 +143,30 @@ fn laplace_survives_kills_during_async_writes() {
             9,
             seed,
             round,
+            &async_io(),
+        );
+    }
+}
+
+#[test]
+fn laplace_survives_kills_on_a_tiered_store() {
+    // Same async writers, but staged onto a multi-level store (the
+    // slow fault-injected backend becomes the staging tier; the driver
+    // wires partner and erasure tiers behind it). The tier mover's
+    // background promotions now overlap both the application and the
+    // kill window, and the bar is unchanged: bit-identical outputs and
+    // a clean trace, recorded for the CI `c3verify` jobs.
+    let tiered_io = async_io()
+        .with_keep_last(2)
+        .with_tiers(TierTopology::partner_and_erasure(1, 2, 1));
+    for (seed, round) in [(7u64, 2u64), (8, 3)] {
+        kill_mid_write_case(
+            &format!("tier_laplace_kill_s{seed}_r{round}"),
+            &Laplace { n: 16, iters: 36 },
+            9,
+            seed,
+            round,
+            &tiered_io,
         );
     }
 }

@@ -231,6 +231,40 @@ fn chaos_kill_lands_during_retransmission() {
     );
 }
 
+/// Tiered-storage column of the matrix: the same kill schedules, but
+/// every job checkpoints onto a multi-level store (local staging +
+/// partner replicas + a Reed–Solomon global tier, auto-wired by the
+/// driver from the `tiers` knob) with two retained lines. The async
+/// tier mover runs concurrently with the application and with GC, and
+/// kills land wherever the seeds put them — including mid-drain — so
+/// the equivalence bar and every health invariant must hold with the
+/// extra machinery engaged.
+#[test]
+fn chaos_kills_on_a_multi_level_store() {
+    let io = c3_core::PipelineConfig::default()
+        .with_keep_last(2)
+        .with_tiers(c3_core::TierTopology::partner_and_erasure(1, 2, 1));
+    let schedules: Vec<FailureSchedule> = (0..3)
+        .map(|seed| FailureSchedule::random(seed + 900, 3, 2, 15..120))
+        .chain((0..2).map(|seed| {
+            FailureSchedule::kill_during_tier_drain(seed + 910, 3, 12, 2)
+        }))
+        .collect();
+    let reg = c3obs::Registry::new();
+    let report = chaos_check(
+        3,
+        &C3Config::every_ops(12).with_io(io).with_obs(reg.clone()),
+        &MixedApp { iters: 30 },
+        &schedules,
+    )
+    .unwrap();
+    assert!(
+        report.total_restarts >= 1,
+        "no kill fired on the tiered store"
+    );
+    assert_healthy(&reg, true);
+}
+
 /// Non-determinism under chaos: outputs legitimately differ from a
 /// reference run (fresh draws happen beyond the logged region after a
 /// rollback), but the protocol must keep every rank's view of the shared
