@@ -1596,6 +1596,30 @@ pub fn analyze(records: &[TraceRecord]) -> Report {
             .push(r);
     }
     let nranks = ranks_seen as usize;
+    // Every rank of a well-formed trace contributes at least one record,
+    // so a world size beyond the record count can only come from a
+    // corrupted rank field or send_counts length. Per-rank state below
+    // is sized by nranks — flag T0 and stop rather than letting a
+    // single flipped byte drive an absurd allocation.
+    if nranks > records.len() {
+        return Report {
+            violations: vec![Violation {
+                invariant: invariant::T0,
+                attempt: 0,
+                rank: 0,
+                seq: 0,
+                detail: format!(
+                    "trace claims {nranks} ranks but holds only {} \
+                     record(s)",
+                    records.len()
+                ),
+            }],
+            records: records.len(),
+            attempts: by_attempt.len(),
+            ranks: ranks_seen,
+            commits: Vec::new(),
+        };
+    }
 
     let mut violations = Vec::new();
     let mut commits = Vec::new();

@@ -626,6 +626,27 @@ pub fn race_check(records: &[TraceRecord]) -> Report {
             .or_default()
             .push(r);
     }
+    // Same T0 guard as the analyzer: vector clocks are sized by the
+    // world size, so a corrupted rank field must not drive allocation.
+    if ranks_seen as usize > records.len() {
+        return Report {
+            violations: vec![Violation {
+                invariant: crate::analyzer::invariant::T0,
+                attempt: 0,
+                rank: 0,
+                seq: 0,
+                detail: format!(
+                    "trace claims {ranks_seen} ranks but holds only {} \
+                     record(s)",
+                    records.len()
+                ),
+            }],
+            records: records.len(),
+            attempts: by_attempt.len(),
+            ranks: ranks_seen,
+            commits: Vec::new(),
+        };
+    }
 
     let mut violations = Vec::new();
     let mut commits = Vec::new();
@@ -670,6 +691,9 @@ pub fn graph_stats(records: &[TraceRecord]) -> (usize, usize) {
             .entry(r.rank)
             .or_default()
             .push(r);
+    }
+    if ranks_seen as usize > records.len() {
+        return (0, 0); // corrupted rank field; see race_check's T0 guard
     }
     let mut events = 0;
     let mut edges = 0;

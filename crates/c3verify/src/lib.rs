@@ -27,6 +27,7 @@ pub mod analyzer;
 pub mod explorer;
 pub mod hb;
 pub mod report;
+pub mod verdict;
 
 use std::path::Path;
 
@@ -36,6 +37,7 @@ pub use analyzer::{analyze, invariant};
 pub use explorer::{explore, ExploreConfig, ExploreOutcome, Op, Reduction};
 pub use hb::{race, race_check};
 pub use report::{Report, Violation};
+pub use verdict::{verdict, verdict_records, CheckKind, Verdict};
 
 /// Decode a trace artifact file (magic `C3TRACE1`).
 pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, String> {

@@ -16,7 +16,7 @@
 
 use std::process::ExitCode;
 
-use c3verify::{ExploreConfig, Op, Reduction, Report};
+use c3verify::{CheckKind, ExploreConfig, Op, Reduction};
 
 const USAGE: &str = "usage: c3verify [check|race] [--quiet] \
                      <trace-file>...\n       c3verify explore [--dpor] \
@@ -26,23 +26,17 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("explore") => explore_cmd(&args[1..]),
-        Some("race") => {
-            files_cmd(&args[1..], "race", c3verify::race_check_file)
-        }
-        Some("check") => {
-            files_cmd(&args[1..], "check", c3verify::analyze_file)
-        }
+        Some("race") => files_cmd(&args[1..], CheckKind::Races),
+        Some("check") => files_cmd(&args[1..], CheckKind::Invariants),
         // Historical bare-file form (flags or paths) runs `check`.
-        _ => files_cmd(&args, "check", c3verify::analyze_file),
+        _ => files_cmd(&args, CheckKind::Invariants),
     }
 }
 
-/// Shared driver for the per-file subcommands (`check` and `race`).
-fn files_cmd(
-    args: &[String],
-    verb: &str,
-    run: fn(&std::path::Path) -> Result<Report, String>,
-) -> ExitCode {
+/// Shared driver for the per-file subcommands (`check` and `race`): flag
+/// parsing here, everything else — running the checks, rendering, the
+/// exit-status contract — in [`c3verify::verdict`].
+fn files_cmd(args: &[String], kind: CheckKind) -> ExitCode {
     let mut quiet = false;
     let mut files = Vec::new();
     for arg in args {
@@ -70,31 +64,12 @@ fn files_cmd(
         return ExitCode::from(2);
     }
 
-    let mut violated = false;
-    for file in &files {
-        match run(file.as_ref()) {
-            Err(e) => {
-                eprintln!("c3verify {verb}: {e}");
-                return ExitCode::from(2);
-            }
-            Ok(report) => {
-                if !report.is_clean() {
-                    violated = true;
-                }
-                if !quiet || !report.is_clean() {
-                    if files.len() > 1 {
-                        print!("{file}: ");
-                    }
-                    print!("{}", report.render());
-                }
-            }
-        }
+    let verdict = c3verify::verdict(kind, &files);
+    print!("{}", verdict.render(quiet));
+    if let Some(e) = verdict.first_error() {
+        eprintln!("c3verify {}: {e}", kind.verb());
     }
-    if violated {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(verdict.exit_code())
 }
 
 /// Run the canned 4-rank exploration scenario and print the explored /

@@ -28,7 +28,7 @@ use crate::error::{StoreError, StoreResult};
 
 /// A reproducible plan of storage misbehavior. Compose with the builder
 /// methods; the default plan injects nothing.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// Fail this many `put` calls before any succeeds.
     pub fail_first_puts: u64,
@@ -90,6 +90,40 @@ impl FaultPlan {
         self.latency_jitter_ms = jitter_ms;
         self.seed = seed;
         self
+    }
+
+    /// Derive a whole storage-misbehavior plan from a single seed — the
+    /// fuzzer's storage dimension. About a third of seeds inject
+    /// nothing; the rest draw a small mix of early-put failures,
+    /// fail-once-per-key, a low random failure probability, and a mild
+    /// (≤ 3 ms) latency profile. Everything injected surfaces as
+    /// [`StoreError::Transient`], which the pipeline retries, so a
+    /// derived plan slows a job down but never makes it fail outright.
+    pub fn from_seed(seed: u64) -> Self {
+        const SALT_PLAN: u64 = 0xFA17_F1A9;
+        let mut s = seed ^ SALT_PLAN;
+        let mut next = |span: u64| splitmix64(&mut s) % span.max(1);
+        if next(3) == 0 {
+            return FaultPlan::none();
+        }
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        };
+        if next(2) == 0 {
+            plan.fail_first_puts = 1 + next(3);
+        }
+        if next(4) == 0 {
+            plan.fail_each_key_once = true;
+        }
+        if next(3) == 0 {
+            plan.fail_put_probability = (1 + next(40)) as f64 / 1000.0;
+        }
+        if next(3) == 0 {
+            plan.latency_base_ms = next(2);
+            plan.latency_jitter_ms = 1 + next(2);
+        }
+        plan
     }
 
     /// The latency (ms) the profile assigns to operation `op_index` —
@@ -282,6 +316,32 @@ mod tests {
         assert_ne!(a, outcomes(8), "different seed, different faults");
         let fails = a.iter().filter(|&&f| f).count();
         assert!((10..55).contains(&fails), "p=0.5 gave {fails}/64");
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_survivable() {
+        let mut quiet = 0usize;
+        let mut injecting = 0usize;
+        for seed in 0..256u64 {
+            let p = FaultPlan::from_seed(seed);
+            let q = FaultPlan::from_seed(seed);
+            assert_eq!(format!("{p:?}"), format!("{q:?}"), "seed {seed}");
+            assert!(p.fail_first_puts <= 3, "seed {seed}: {p:?}");
+            assert!(p.fail_put_probability <= 0.04);
+            assert!(p.latency_base_ms + p.latency_jitter_ms <= 3);
+            assert_eq!(p.slow_put_ms, 0, "flat stalls stay out of fuzzing");
+            let any = p.fail_first_puts > 0
+                || p.fail_each_key_once
+                || p.fail_put_probability > 0.0
+                || p.latency_jitter_ms > 0;
+            if any {
+                injecting += 1;
+            } else {
+                quiet += 1;
+            }
+        }
+        assert!(quiet >= 48, "{quiet} quiet plans out of 256");
+        assert!(injecting >= 96, "{injecting} injecting plans out of 256");
     }
 
     #[test]

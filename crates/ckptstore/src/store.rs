@@ -74,6 +74,11 @@ pub struct CommitRecord {
     pub tier_levels: Vec<u8>,
 }
 
+/// Extra attempts [`CheckpointStore::commit`] gives the commit-marker
+/// put when the backend reports a transient fault. Matches the
+/// pipeline's default data-put retry budget.
+const COMMIT_PUT_RETRIES: usize = 4;
+
 /// Commit-layer view of stable storage shared by all ranks of a job.
 ///
 /// Cloning is cheap (the backend is shared); each rank thread holds a clone.
@@ -352,7 +357,19 @@ impl CheckpointStore {
         enc.put_u64(record.ckpt);
         enc.put_usize(record.nranks);
         enc.put_bytes(&record.tier_levels);
-        self.backend.put(&Self::commit_key(ckpt), &enc.into_bytes())
+        // The commit marker gets the same transient-fault discipline as
+        // data puts (which the pipeline retries): a glitch on this one
+        // small write must not abandon a fully staged, validated line.
+        let bytes = enc.into_bytes();
+        let key = Self::commit_key(ckpt);
+        let mut last = None;
+        for _ in 0..=COMMIT_PUT_RETRIES {
+            match self.backend.put(&key, &bytes) {
+                Err(e) if e.is_transient() => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.expect("loop ran at least once"))
     }
 
     /// True if `ckpt` has a `COMMIT` record.
@@ -612,6 +629,25 @@ mod tests {
                 .unwrap();
             s.put_rank_blob(ckpt, r, RankBlobKind::Log, b"log").unwrap();
         }
+    }
+
+    #[test]
+    fn commit_retries_a_transient_marker_fault() {
+        // Regression (found by ftfuzz seed 6): a transient storage
+        // fault on the COMMIT-marker put abandoned a fully staged,
+        // validated line. Each key's first put fails once; blob staging
+        // retries by re-calling, and commit must retry internally.
+        let inject = Arc::new(crate::FaultInjectingBackend::new(
+            Arc::new(MemoryBackend::new()),
+            crate::FaultPlan::none().fail_key_once(),
+        ));
+        let s = CheckpointStore::new(inject.clone(), 1);
+        for kind in [RankBlobKind::State, RankBlobKind::Log] {
+            while s.put_rank_blob(1, 0, kind, b"x").is_err() {}
+        }
+        s.commit(1).unwrap();
+        assert!(s.is_committed(1).unwrap());
+        assert!(inject.faults_injected() > 0, "faults must have fired");
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Regression tests for [`CheckpointStore::discard_after`], the
+//! rollback sweep that drops checkpoint lines newer than the recovery
+//! line. Recovery may itself be killed (ftfuzz schedules exactly that),
+//! so the sweep must be idempotent — a second invocation, or a re-run
+//! after a crash partway through the deletes, must converge to the same
+//! state a single clean sweep produces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ckptstore::{
+    CheckpointStore, MemoryBackend, RankBlobKind, StorageBackend, StoreError,
+    StoreResult,
+};
+
+/// Decorator that fails the k-th delete with a transient error, once —
+/// a crash injected mid-sweep.
+struct DeleteCrash {
+    inner: Arc<MemoryBackend>,
+    deletes: AtomicU64,
+    crash_at: u64,
+}
+
+impl StorageBackend for DeleteCrash {
+    fn put(&self, key: &str, value: &[u8]) -> StoreResult<()> {
+        self.inner.put(key, value)
+    }
+    fn get(&self, key: &str) -> StoreResult<Vec<u8>> {
+        self.inner.get(key)
+    }
+    fn contains(&self, key: &str) -> StoreResult<bool> {
+        self.inner.contains(key)
+    }
+    fn delete(&self, key: &str) -> StoreResult<()> {
+        if self.deletes.fetch_add(1, Ordering::SeqCst) + 1 == self.crash_at {
+            return Err(StoreError::Transient(format!(
+                "crashed on delete of {key}"
+            )));
+        }
+        self.inner.delete(key)
+    }
+    fn list(&self, prefix: &str) -> StoreResult<Vec<String>> {
+        self.inner.list(prefix)
+    }
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+fn populate(s: &CheckpointStore, lines: u64) {
+    for ckpt in 1..=lines {
+        for rank in 0..s.nranks() {
+            s.put_rank_blob(ckpt, rank, RankBlobKind::State, b"state")
+                .unwrap();
+            s.put_rank_blob(ckpt, rank, RankBlobKind::Log, b"log")
+                .unwrap();
+        }
+        s.commit(ckpt).unwrap();
+    }
+}
+
+fn surviving_keys(backend: &dyn StorageBackend) -> Vec<String> {
+    let mut keys = backend.list("").unwrap();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn discard_after_twice_is_idempotent() {
+    let backend = Arc::new(MemoryBackend::new());
+    let s = CheckpointStore::new(backend.clone(), 2);
+    populate(&s, 4);
+
+    assert_eq!(s.discard_after(2).unwrap(), 2, "lines 3 and 4 dropped");
+    let after_first = surviving_keys(backend.as_ref());
+
+    // The second sweep finds nothing newer than the recovery line.
+    assert_eq!(s.discard_after(2).unwrap(), 0);
+    assert_eq!(surviving_keys(backend.as_ref()), after_first);
+
+    assert_eq!(s.latest_committed().unwrap(), Some(2));
+    for rank in 0..2 {
+        s.get_rank_blob(2, rank, RankBlobKind::State).unwrap();
+        s.get_rank_blob(2, rank, RankBlobKind::Log).unwrap();
+    }
+}
+
+#[test]
+fn discard_after_survives_a_crash_mid_sweep() {
+    // Reference: the key set a clean sweep leaves behind.
+    let clean = Arc::new(MemoryBackend::new());
+    let s = CheckpointStore::new(clean.clone(), 2);
+    populate(&s, 4);
+    s.discard_after(2).unwrap();
+    let want = surviving_keys(clean.as_ref());
+
+    // Crash the sweep at every possible delete position; each partial
+    // sweep must (a) leave the recovery line undamaged and (b) converge
+    // to the clean key set when re-run.
+    let total_deletes = {
+        let backend = Arc::new(MemoryBackend::new());
+        let probe = Arc::new(DeleteCrash {
+            inner: backend,
+            deletes: AtomicU64::new(0),
+            crash_at: u64::MAX,
+        });
+        let s = CheckpointStore::new(probe.clone(), 2);
+        populate(&s, 4);
+        s.discard_after(2).unwrap();
+        probe.deletes.load(Ordering::SeqCst)
+    };
+    assert!(total_deletes > 0, "the sweep deletes something");
+
+    for crash_at in 1..=total_deletes {
+        let backend = Arc::new(MemoryBackend::new());
+        let crashy = Arc::new(DeleteCrash {
+            inner: backend.clone(),
+            deletes: AtomicU64::new(0),
+            crash_at,
+        });
+        let s = CheckpointStore::new(crashy, 2);
+        populate(&s, 4);
+
+        s.discard_after(2)
+            .expect_err("the injected crash must surface");
+
+        // The recovery line is intact even before the retry.
+        assert_eq!(s.latest_committed().unwrap().map(|c| c.min(2)), Some(2));
+        for rank in 0..2 {
+            s.get_rank_blob(2, rank, RankBlobKind::State).unwrap();
+            s.get_rank_blob(2, rank, RankBlobKind::Log).unwrap();
+        }
+
+        // Re-running after the crash completes the sweep.
+        s.discard_after(2).unwrap();
+        assert_eq!(
+            surviving_keys(backend.as_ref()),
+            want,
+            "crash at delete {crash_at} of {total_deletes} must converge"
+        );
+    }
+}

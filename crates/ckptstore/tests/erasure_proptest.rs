@@ -1,0 +1,76 @@
+//! Property tests for the erasure coder: for random `(n, k)` geometries
+//! and random shard-loss subsets, the blob reconstructs — byte-identical
+//! — if and only if at least `k` shards survive.
+
+use proptest::prelude::*;
+
+use ckptstore::erasure::{decode, encode};
+
+/// A seeded, repeatable subset of `n` shard indices to erase.
+fn lose(shards: &mut [Option<Vec<u8>>], mask: u64) {
+    for (i, s) in shards.iter_mut().enumerate() {
+        if mask >> (i % 64) & 1 == 1 {
+            *s = None;
+        }
+    }
+}
+
+proptest! {
+    /// With >= k survivors the original blob comes back byte-identical.
+    #[test]
+    fn reconstructs_from_any_k_survivors(
+        k in 1usize..6,
+        m in 0usize..5,
+        blob in proptest::collection::vec(any::<u8>(), 0..512),
+        mask in any::<u64>(),
+    ) {
+        let n = k + m;
+        let shards = encode(&blob, k, m);
+        prop_assert_eq!(shards.len(), n);
+        let mut lossy: Vec<Option<Vec<u8>>> =
+            shards.into_iter().map(Some).collect();
+        lose(&mut lossy, mask);
+        let survivors = lossy.iter().filter(|s| s.is_some()).count();
+        let got = decode(&lossy, k, blob.len());
+        if survivors >= k {
+            prop_assert_eq!(
+                got.as_deref(),
+                Some(&blob[..]),
+                "k={} m={} survivors={}",
+                k, m, survivors
+            );
+        } else {
+            prop_assert_eq!(
+                got, None,
+                "decode must refuse {} < k={} survivors", survivors, k
+            );
+        }
+    }
+
+    /// Every survivor subset of size exactly k suffices — not just the
+    /// data shards. Exhaustive over contiguous erasure windows.
+    #[test]
+    fn any_exact_k_subset_suffices(
+        k in 1usize..5,
+        m in 1usize..4,
+        blob in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let n = k + m;
+        let shards = encode(&blob, k, m);
+        // Erase every window of m consecutive shards (mod n): the k
+        // survivors change identity each time.
+        for start in 0..n {
+            let mut lossy: Vec<Option<Vec<u8>>> =
+                shards.iter().cloned().map(Some).collect();
+            for off in 0..m {
+                lossy[(start + off) % n] = None;
+            }
+            let got = decode(&lossy, k, blob.len());
+            prop_assert_eq!(
+                got.as_deref(),
+                Some(&blob[..]),
+                "window start {} of {} erased", start, m
+            );
+        }
+    }
+}

@@ -68,31 +68,46 @@ pub enum CheckpointTrigger {
 }
 
 /// A deterministic injected stopping failure: rank `rank` fail-stops when
-/// its protocol-operation counter reaches `at_op`. Each injection fires at
-/// most once across the attempts of a job.
+/// its protocol-operation counter reaches `at_op`, once the job is on
+/// attempt `min_attempt` or later. Each injection fires at most once
+/// across the attempts of a job.
+///
+/// The attempt gate is what makes *kill-during-recovery* schedules
+/// expressible: the per-attempt op counter restarts at zero, so a small
+/// `at_op` with `min_attempt = 2` lands in the replay/suppression window
+/// of the first restart rather than at the very start of attempt 1.
 #[derive(Debug)]
 pub struct Injection {
     /// World rank to kill.
     pub rank: usize,
     /// Protocol-op count at which to kill it.
     pub at_op: u64,
+    /// Earliest attempt (1-based) on which this injection may fire.
+    pub min_attempt: u64,
     consumed: AtomicBool,
 }
 
 impl Injection {
-    /// Create an injection.
+    /// Create an injection that may fire on any attempt.
     pub fn new(rank: usize, at_op: u64) -> Self {
+        Injection::at_attempt(rank, at_op, 1)
+    }
+
+    /// Create an injection gated to attempt `min_attempt` or later.
+    pub fn at_attempt(rank: usize, at_op: u64, min_attempt: u64) -> Self {
         Injection {
             rank,
             at_op,
+            min_attempt: min_attempt.max(1),
             consumed: AtomicBool::new(false),
         }
     }
 
     /// Atomically claim this injection if it matches; true = fire now.
-    pub fn try_fire(&self, rank: usize, op: u64) -> bool {
+    pub fn try_fire(&self, rank: usize, op: u64, attempt: u64) -> bool {
         self.rank == rank
             && op >= self.at_op
+            && attempt >= self.min_attempt
             && self
                 .consumed
                 .compare_exchange(
@@ -188,15 +203,27 @@ impl C3Config {
     }
 
     /// Add an injected failure.
-    pub fn with_failure(mut self, rank: usize, at_op: u64) -> Self {
+    pub fn with_failure(self, rank: usize, at_op: u64) -> Self {
+        self.with_failure_from(rank, at_op, 1)
+    }
+
+    /// Add an injected failure that may only fire on attempt
+    /// `min_attempt` (1-based) or later — a second kill aimed at the
+    /// recovery of a first one.
+    pub fn with_failure_from(
+        mut self,
+        rank: usize,
+        at_op: u64,
+        min_attempt: u64,
+    ) -> Self {
         let mut v: Vec<Injection> = match Arc::try_unwrap(self.failures) {
             Ok(v) => v,
             Err(shared) => shared
                 .iter()
-                .map(|i| Injection::new(i.rank, i.at_op))
+                .map(|i| Injection::at_attempt(i.rank, i.at_op, i.min_attempt))
                 .collect(),
         };
-        v.push(Injection::new(rank, at_op));
+        v.push(Injection::at_attempt(rank, at_op, min_attempt));
         self.failures = Arc::new(v);
         self
     }
@@ -252,11 +279,20 @@ mod tests {
     #[test]
     fn injection_fires_exactly_once() {
         let inj = Injection::new(2, 100);
-        assert!(!inj.try_fire(2, 99), "below threshold");
-        assert!(!inj.try_fire(1, 200), "wrong rank");
-        assert!(inj.try_fire(2, 100));
-        assert!(!inj.try_fire(2, 101), "already consumed");
+        assert!(!inj.try_fire(2, 99, 1), "below threshold");
+        assert!(!inj.try_fire(1, 200, 1), "wrong rank");
+        assert!(inj.try_fire(2, 100, 1));
+        assert!(!inj.try_fire(2, 101, 1), "already consumed");
         assert!(inj.is_consumed());
+    }
+
+    #[test]
+    fn injection_waits_for_its_attempt() {
+        let inj = Injection::at_attempt(1, 5, 2);
+        assert!(!inj.try_fire(1, 500, 1), "attempt 1 is too early");
+        assert!(!inj.is_consumed(), "an early attempt must not consume it");
+        assert!(inj.try_fire(1, 5, 2), "fires on the gated attempt");
+        assert!(!inj.try_fire(1, 5, 3), "still at most once");
     }
 
     #[test]
@@ -264,5 +300,10 @@ mod tests {
         let cfg = C3Config::default().with_failure(0, 10).with_failure(1, 20);
         assert_eq!(cfg.failures.len(), 2);
         assert_eq!(cfg.failures[1].rank, 1);
+        // Cloned-plan rebuild (shared Arc) must preserve attempt gates.
+        let shared = cfg.clone().with_failure_from(2, 3, 4);
+        assert_eq!(shared.failures.len(), 3);
+        assert_eq!(shared.failures[2].min_attempt, 4);
+        assert_eq!(shared.failures[0].min_attempt, 1);
     }
 }

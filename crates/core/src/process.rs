@@ -170,6 +170,7 @@ pub struct Process<'a> {
     #[cfg(feature = "obs")]
     obs: Option<crate::obs::ProcObs>,
     nondet: NondetSource,
+    attempt: u64,
     ops: u64,
     last_trigger_op: u64,
     last_trigger_time: Instant,
@@ -256,6 +257,7 @@ impl<'a> Process<'a> {
             #[cfg(feature = "obs")]
             obs,
             nondet: NondetSource::new(rank, attempt),
+            attempt,
             ops: 0,
             last_trigger_op: 0,
             last_trigger_time: now,
@@ -430,7 +432,7 @@ impl<'a> Process<'a> {
         self.ops += 1;
         let rank = self.mpi.rank();
         for inj in self.cfg.failures.iter() {
-            if inj.try_fire(rank, self.ops) {
+            if inj.try_fire(rank, self.ops, self.attempt) {
                 // Stopping failure: mark ourselves dead; the failure
                 // detector (job driver) will notice and abort the attempt.
                 self.trace_event(TraceEvent::FailStop { op: self.ops });

@@ -13,6 +13,11 @@ use c3_core::C3Config;
 pub struct FailureSchedule {
     /// `(rank, at_op)` pairs; each fires at most once across attempts.
     pub injections: Vec<(usize, u64)>,
+    /// `(rank, at_op)` pairs gated to attempt ≥ 2: the per-attempt op
+    /// counter restarts at zero, so a small `at_op` here lands inside
+    /// the replay/suppression window of the first restart — a failure
+    /// *during recovery* (the double-failure case).
+    pub recovery_kills: Vec<(usize, u64)>,
     /// Simulated interconnect conditions; `None` leaves the config's wire
     /// untouched (the perfect wire, unless the caller set one).
     pub net: Option<simmpi::NetCond>,
@@ -23,6 +28,7 @@ impl FailureSchedule {
     pub fn none() -> Self {
         FailureSchedule {
             injections: Vec::new(),
+            recovery_kills: Vec::new(),
             net: None,
         }
     }
@@ -31,7 +37,7 @@ impl FailureSchedule {
     pub fn single(rank: usize, at_op: u64) -> Self {
         FailureSchedule {
             injections: vec![(rank, at_op)],
-            net: None,
+            ..FailureSchedule::none()
         }
     }
 
@@ -39,6 +45,40 @@ impl FailureSchedule {
     pub fn with_net(mut self, net: simmpi::NetCond) -> Self {
         self.net = Some(net);
         self
+    }
+
+    /// Add one failure, keeping the plan sorted by op.
+    pub fn with_injection(mut self, rank: usize, at_op: u64) -> Self {
+        self.injections.push((rank, at_op));
+        self.injections.sort_by_key(|&(_, op)| op);
+        self
+    }
+
+    /// Merge another schedule into this one: injections and recovery
+    /// kills are unioned (kept sorted by op); `other`'s wire wins when
+    /// both carry one. This is what lets a campaign compose
+    /// [`FailureSchedule::kill_during_async_write`],
+    /// [`FailureSchedule::kill_during_tier_drain`] and
+    /// [`FailureSchedule::kill_during_recovery`] into one plan.
+    pub fn and(mut self, other: FailureSchedule) -> Self {
+        self.injections.extend(other.injections);
+        self.injections.sort_by_key(|&(_, op)| op);
+        self.recovery_kills.extend(other.recovery_kills);
+        self.recovery_kills.sort_by_key(|&(_, op)| op);
+        if other.net.is_some() {
+            self.net = other.net;
+        }
+        self
+    }
+
+    /// Fold any number of schedules into one via [`FailureSchedule::and`].
+    pub fn compose<I>(parts: I) -> Self
+    where
+        I: IntoIterator<Item = FailureSchedule>,
+    {
+        parts
+            .into_iter()
+            .fold(FailureSchedule::none(), FailureSchedule::and)
     }
 
     /// `count` failures at random ranks and operation counts drawn
@@ -64,7 +104,7 @@ impl FailureSchedule {
         injections.sort_by_key(|&(_, op)| op);
         FailureSchedule {
             injections,
-            net: None,
+            ..FailureSchedule::none()
         }
     }
 
@@ -116,6 +156,32 @@ impl FailureSchedule {
         FailureSchedule::single(rank, round * interval + offset)
     }
 
+    /// A double failure: a first kill at `first_at_op`, then a second
+    /// kill aimed at the *recovery* from the first.
+    ///
+    /// The second kill is attempt-gated (it cannot fire before the job
+    /// is restarting) and lands a seeded-random handful of ops into the
+    /// restarted attempt — while the recovering ranks are still inside
+    /// the replay/suppression window — so recovery must itself be
+    /// restartable. Both ranks are seeded-random; the second may equal
+    /// the first (the same node failing twice).
+    pub fn kill_during_recovery(
+        seed: u64,
+        nranks: usize,
+        first_at_op: u64,
+    ) -> Self {
+        assert!(nranks > 0 && first_at_op > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = rng.random_range(0..nranks);
+        let second = rng.random_range(0..nranks);
+        let early_op = rng.random_range(2u64..8);
+        FailureSchedule {
+            injections: vec![(first, first_at_op)],
+            recovery_kills: vec![(second, early_op)],
+            ..FailureSchedule::none()
+        }
+    }
+
     /// Geometric inter-failure gaps with the given expected spacing in
     /// protocol operations — a discrete stand-in for an exponential MTBF.
     /// Failures keep arriving until `horizon_ops`.
@@ -144,7 +210,7 @@ impl FailureSchedule {
         }
         FailureSchedule {
             injections,
-            net: None,
+            ..FailureSchedule::none()
         }
     }
 
@@ -153,20 +219,23 @@ impl FailureSchedule {
         for &(rank, at_op) in &self.injections {
             cfg = cfg.with_failure(rank, at_op);
         }
+        for &(rank, at_op) in &self.recovery_kills {
+            cfg = cfg.with_failure_from(rank, at_op, 2);
+        }
         if let Some(net) = &self.net {
             cfg = cfg.with_net(net.clone());
         }
         cfg
     }
 
-    /// Number of injections.
+    /// Number of injections (recovery kills included).
     pub fn len(&self) -> usize {
-        self.injections.len()
+        self.injections.len() + self.recovery_kills.len()
     }
 
     /// True if the schedule is empty.
     pub fn is_empty(&self) -> bool {
-        self.injections.is_empty()
+        self.injections.is_empty() && self.recovery_kills.is_empty()
     }
 }
 
@@ -220,6 +289,45 @@ mod tests {
             (70..79).contains(&op),
             "kill at op {op} must land in the back half of round 3"
         );
+    }
+
+    #[test]
+    fn kill_during_recovery_is_a_gated_double_failure() {
+        let a = FailureSchedule::kill_during_recovery(9, 4, 50);
+        assert_eq!(a, FailureSchedule::kill_during_recovery(9, 4, 50));
+        assert_eq!(a.injections, vec![(a.injections[0].0, 50)]);
+        assert_eq!(a.recovery_kills.len(), 1);
+        let (rank, op) = a.recovery_kills[0];
+        assert!(rank < 4);
+        assert!((2..8).contains(&op), "early in the restarted attempt");
+        assert_eq!(a.len(), 2);
+        let cfg = a.apply(C3Config::default());
+        assert_eq!(cfg.failures.len(), 2);
+        assert_eq!(cfg.failures[0].min_attempt, 1);
+        assert_eq!(cfg.failures[1].min_attempt, 2, "gated to the restart");
+    }
+
+    #[test]
+    fn compose_unions_schedules_and_keeps_them_sorted() {
+        let a =
+            FailureSchedule::single(0, 70).with_net(simmpi::NetCond::lossy(1));
+        let b = FailureSchedule::single(2, 30);
+        let c = FailureSchedule::kill_during_recovery(3, 4, 90);
+        let all = FailureSchedule::compose([a, b, c.clone()]);
+        let ops: Vec<u64> = all.injections.iter().map(|&(_, op)| op).collect();
+        assert_eq!(ops, vec![30, 70, 90], "sorted by op");
+        assert_eq!(all.recovery_kills, c.recovery_kills);
+        assert_eq!(all.net, Some(simmpi::NetCond::lossy(1)));
+        assert_eq!(all.len(), 4);
+        assert!(!all.is_empty());
+        // `and` prefers the right-hand wire when both are set.
+        let w = FailureSchedule::none()
+            .with_net(simmpi::NetCond::lossy(1))
+            .and(FailureSchedule::none().with_net(simmpi::NetCond::lossy(2)));
+        assert_eq!(w.net, Some(simmpi::NetCond::lossy(2)));
+        // with_injection keeps the plan sorted too.
+        let s = FailureSchedule::single(1, 50).with_injection(0, 10);
+        assert_eq!(s.injections, vec![(0, 10), (1, 50)]);
     }
 
     #[test]

@@ -171,6 +171,50 @@ impl NetCond {
         }
     }
 
+    /// Derive a whole wire profile from a single seed — the fuzzer's
+    /// network dimension. Roughly a quarter of seeds keep the perfect
+    /// wire; the rest draw every knob independently within survivable
+    /// bounds (at or below the [`NetCond::lossy`] scale, so the default
+    /// retransmit budget always suffices), and about a quarter of the
+    /// lossy profiles add one transient partition between two ranks of
+    /// an `nranks`-rank job. Decisions chain through the same SplitMix64
+    /// finalizer as the per-frame fault streams, so the profile is a
+    /// pure function of `(seed, nranks)`.
+    pub fn from_seed(seed: u64, nranks: usize) -> Self {
+        assert!(nranks >= 2, "a wire needs at least two endpoints");
+        const SALT_PROFILE: u64 = 0x9F0F_11E5;
+        let mut h = mix(seed ^ SALT_PROFILE);
+        let mut next = |span: u64| -> u64 {
+            h = mix(h);
+            h % span.max(1)
+        };
+        if next(4) == 0 {
+            return NetCond::perfect();
+        }
+        let mut cond = NetCond {
+            seed,
+            drop_ppm: next(60_001) as u32,
+            dup_ppm: next(25_001) as u32,
+            ..NetCond::default()
+        };
+        if next(2) == 0 {
+            cond.reorder_ppm = next(120_001) as u32;
+            cond.reorder_span = 2 + next(4) as u32;
+        }
+        if next(2) == 0 {
+            cond.delay_ppm = next(150_001) as u32;
+            cond.delay_us = 50 + next(201);
+            cond.jitter_us = next(301);
+        }
+        if next(4) == 0 {
+            let a = next(nranks as u64) as usize;
+            let b = (a + 1 + next(nranks as u64 - 1) as usize) % nranks;
+            let from = next(64);
+            cond = cond.with_partition(a, b, from, from + 1 + next(48));
+        }
+        cond
+    }
+
     /// True if no wire fault can ever fire (the sublayer is skipped).
     pub fn is_perfect(&self) -> bool {
         self.drop_ppm == 0
@@ -809,6 +853,34 @@ mod tests {
         assert_eq!(w, w2);
         assert_eq!(s0, s02);
         assert_eq!(s1, s12);
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_bounded() {
+        let mut perfect = 0usize;
+        let mut partitioned = 0usize;
+        for seed in 0..256u64 {
+            let a = NetCond::from_seed(seed, 4);
+            assert_eq!(a, NetCond::from_seed(seed, 4), "seed {seed}");
+            assert!(a.drop_ppm <= 60_000, "seed {seed}: {a:?}");
+            assert!(a.dup_ppm <= 25_000);
+            assert!(a.reorder_ppm <= 120_000);
+            assert!(a.delay_ppm <= 150_000);
+            if a.reorder_ppm > 0 {
+                assert!((2..=5).contains(&a.reorder_span));
+            }
+            assert!(a.partitions.len() <= 1);
+            for p in &a.partitions {
+                assert!(p.a < 4 && p.b < 4 && p.a != p.b);
+                assert!(p.until > p.from);
+            }
+            // Profiles never weaken the default repair policy.
+            assert_eq!(a.retransmit, RetransmitPolicy::default());
+            perfect += usize::from(a.is_perfect());
+            partitioned += usize::from(!a.partitions.is_empty());
+        }
+        assert!((32..=128).contains(&perfect), "{perfect} perfect wires");
+        assert!(partitioned >= 16, "{partitioned} partitioned profiles");
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! `cargo xtask fuzz` — the driver loop of the `ftfuzz` crash-recovery
+//! fuzzer.
+//!
+//! For each seed in the range (or in a `--corpus` file) it derives a
+//! [`ftfuzz::Scenario`], runs the campaign, and on failure runs the
+//! delta-debugging shrinker and prints a minimal reproducer — a
+//! self-contained `#[test]`-shaped snippet plus the shrunk scenario's
+//! seed. `--plant hoist-commit` injects the known protocol bug into
+//! every recorded trace, which is how CI proves the fuzzer can actually
+//! find and shrink one.
+//!
+//! ```text
+//! cargo xtask fuzz                       # 32 seeds starting at 0
+//! cargo xtask fuzz --seeds 64            # the PR acceptance run
+//! cargo xtask fuzz --start 1000 --seeds 8
+//! cargo xtask fuzz --corpus tests/fuzz_corpus/seeds.txt
+//! cargo xtask fuzz --plant hoist-commit --seeds 4
+//! cargo xtask fuzz --budget-secs 600     # stop cleanly at the budget
+//! ```
+//!
+//! Exit status: 0 every campaign clean, 1 any failure, 2 usage errors.
+//! Note `Instant::now()` is fine here: xtask is a host-side tool, exempt
+//! from the repo's zero-cost-when-off timing lint.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ftfuzz::{reproducer, run_campaign, shrink, Plant, Scenario};
+
+const USAGE: &str = "usage: cargo xtask fuzz [--seeds N] [--start S] \
+                     [--corpus PATH] [--plant hoist-commit] \
+                     [--shrink-runs N] [--budget-secs T]";
+
+struct Opts {
+    seeds: u64,
+    start: u64,
+    corpus: Option<PathBuf>,
+    plant: Option<Plant>,
+    shrink_runs: usize,
+    budget_secs: Option<u64>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        seeds: 32,
+        start: 0,
+        corpus: None,
+        plant: None,
+        shrink_runs: 200,
+        budget_secs: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                opts.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--start" => {
+                opts.start = value("--start")?
+                    .parse()
+                    .map_err(|e| format!("--start: {e}"))?;
+            }
+            "--corpus" => {
+                opts.corpus = Some(PathBuf::from(value("--corpus")?));
+            }
+            "--plant" => match value("--plant")?.as_str() {
+                "hoist-commit" => {
+                    opts.plant = Some(Plant::HoistCommitBeforeDrain);
+                }
+                other => {
+                    return Err(format!(
+                        "--plant: unknown bug {other:?} (known: hoist-commit)"
+                    ))
+                }
+            },
+            "--shrink-runs" => {
+                opts.shrink_runs = value("--shrink-runs")?
+                    .parse()
+                    .map_err(|e| format!("--shrink-runs: {e}"))?;
+            }
+            "--budget-secs" => {
+                opts.budget_secs = Some(
+                    value("--budget-secs")?
+                        .parse()
+                        .map_err(|e| format!("--budget-secs: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+pub fn fuzz_cmd(args: &[String]) -> ExitCode {
+    let opts = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) if e.is_empty() => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("xtask fuzz: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let seeds: Vec<u64> = match &opts.corpus {
+        Some(path) => match ftfuzz::load_seeds(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask fuzz: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => (opts.start..opts.start + opts.seeds).collect(),
+    };
+
+    let started = Instant::now();
+    let mut failures = 0usize;
+    let mut ran = 0usize;
+    for &seed in &seeds {
+        if let Some(budget) = opts.budget_secs {
+            if started.elapsed().as_secs() >= budget {
+                println!(
+                    "xtask fuzz: budget of {budget}s reached after {ran} of \
+                     {} seeds; stopping",
+                    seeds.len()
+                );
+                break;
+            }
+        }
+        let scenario = Scenario::from_seed(seed);
+        let outcome = run_campaign(&scenario, opts.plant);
+        ran += 1;
+        match outcome.failure {
+            None => {
+                println!(
+                    "seed {seed:#018x}: clean ({} ranks, {} kills, {} \
+                     storage faults, {} restarts, committed line {:?})",
+                    scenario.nranks,
+                    scenario.fault_count(),
+                    outcome.storage_faults,
+                    outcome.restarts,
+                    outcome.last_committed,
+                );
+            }
+            Some(failure) => {
+                failures += 1;
+                println!("seed {seed:#018x}: FAIL [{}]", failure.label());
+                println!("{failure}");
+                println!("seed {seed:#018x}: shrinking...");
+                match shrink(&scenario, opts.plant, opts.shrink_runs) {
+                    Some(s) => {
+                        println!(
+                            "seed {seed:#018x}: shrunk to {} ranks, {} \
+                             kills in {} runs ({} proposals accepted)",
+                            s.scenario.nranks,
+                            s.scenario.fault_count(),
+                            s.runs,
+                            s.accepted,
+                        );
+                        println!("--- minimal reproducer ---");
+                        print!(
+                            "{}",
+                            reproducer(&s.scenario, opts.plant, &s.failure)
+                        );
+                        println!("--- end reproducer ---");
+                    }
+                    // The failure did not reproduce on the re-run — a
+                    // flaky verdict is itself worth reporting.
+                    None => println!(
+                        "seed {seed:#018x}: failure did not reproduce when \
+                         re-run (flaky verdict — investigate)"
+                    ),
+                }
+            }
+        }
+    }
+
+    println!(
+        "xtask fuzz: {ran} campaign(s), {failures} failure(s), {}s",
+        started.elapsed().as_secs(),
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,10 +1,12 @@
 //! `cargo xtask` — repo-local developer tasks.
 //!
-//! The only task today is `lint`: a static pass over the workspace
-//! source enforcing repo-specific rules that clippy cannot express.
+//! Two tasks: `lint`, a static pass over the workspace source enforcing
+//! repo-specific rules that clippy cannot express, and `fuzz`, the
+//! driver loop of the `ftfuzz` seeded crash-recovery fuzzer.
 //!
 //! ```text
 //! cargo xtask lint            # lint the workspace (CI runs this)
+//! cargo xtask fuzz --seeds 64 # fuzz 64 seeded campaigns (see fuzz.rs)
 //! ```
 //!
 //! # Rules
@@ -35,6 +37,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod fuzz;
+
 /// Event pairs whose emitters must record both sides (rule
 /// trace-pairing).
 const EVENT_PAIRS: &[(&str, &str)] = &[
@@ -57,8 +61,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => {}
+        Some("fuzz") => return fuzz::fuzz_cmd(&args[1..]),
         Some("--help") | Some("-h") | None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask <lint|fuzz> [args]");
             return ExitCode::from(if args.is_empty() { 2 } else { 0 });
         }
         Some(other) => {

@@ -36,10 +36,9 @@ fn main() {
     );
 
     // Two failures at different points of the solve.
-    let schedule = FailureSchedule {
-        injections: vec![(1, 900), (3, 2200)],
-        net: None,
-    };
+    let schedule = FailureSchedule::none()
+        .with_injection(1, 900)
+        .with_injection(3, 2200);
     let faulty_cfg = schedule.apply(cfg);
     let report = run_job(nprocs, &faulty_cfg, None, &app).expect("faulty run");
     let rho = f64::from_bits(report.outputs[0].1);
