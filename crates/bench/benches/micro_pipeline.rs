@@ -1,21 +1,31 @@
 //! Checkpoint I/O pipeline micro-benchmark: full vs incremental writing,
-//! synchronous vs asynchronous staging.
+//! synchronous vs asynchronous staging, fixed-size vs content-defined
+//! chunking, PackBits vs LZ4.
 //!
-//! Four ranks each hold 1 MiB of state of which 1/8 of the 4 KiB chunks
-//! change per checkpoint round — the Dense CG shape, where a large
-//! read-mostly region (the matrix block) dominates the snapshot. Each
-//! cell runs several commit rounds (stage on all ranks, drain, commit,
-//! GC) and records:
+//! Two workloads, both 4 ranks × 1 MiB of state over several commit
+//! rounds (stage on all ranks, drain, commit, GC):
 //!
-//! * **stage latency** — time a rank spends on its critical path handing
-//!   blobs to the pipeline (the cost async staging removes);
-//! * **drain latency** — time the initiator's phase-4 barrier waits for
-//!   the background writers (where async defers the cost to);
-//! * **bytes written** — the backend's net counter (where incremental
-//!   chunking saves).
+//! * **dirty** — 1/8 of the 4 KiB-aligned pages change per round (the
+//!   Dense CG shape: a large read-mostly matrix block dominating the
+//!   snapshot). Chunk-aligned edits, so fixed-size chunking dedups fine.
+//! * **shifted** — every round *inserts* a fresh run of bytes at the
+//!   front of otherwise unchanged (incompressible) state. Every fixed
+//!   chunk boundary downstream of the insertion shifts, so fixed-size
+//!   dedup collapses; FastCDC cut points re-align after the edit and
+//!   dedup survives. This is the workload the CDC tentpole is for.
 //!
-//! Besides the printed lines, the bench rewrites `BENCH_pipeline.json`
-//! at the workspace root so the numbers are tracked in-repo.
+//! Each cell records stage latency (the rank's critical path), drain
+//! latency (the initiator's phase-4 barrier), net bytes written, and the
+//! dedup hit ratio. Besides the printed lines, the bench rewrites
+//! `BENCH_pipeline.json` at the workspace root so the numbers are
+//! tracked in-repo, and asserts the CDC+LZ4 wins in-bench:
+//!
+//! * CDC+LZ4 writes strictly fewer bytes than fixed-size/PackBits on the
+//!   shifted workload (always checked);
+//! * stage+drain of the async CDC+LZ4 cell beats the pre-CDC pipeline's
+//!   async-incremental cell (recorded below as `BEFORE_*`) by ≥ 1.5×
+//!   at equal workload parameters (full runs only — smoke rounds are
+//!   too short to time).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -23,7 +33,9 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use c3_bench::report::{self, Report};
-use ckptpipe::{CheckpointPipeline, PipelineConfig, WriteMode};
+use ckptpipe::{
+    CheckpointPipeline, Chunker, Codec, PipelineConfig, WriteMode,
+};
 use ckptstore::{
     CheckpointStore, MemoryBackend, RankBlobKind, StorageBackend,
 };
@@ -34,6 +46,14 @@ const CHUNK: usize = 4096;
 const DIRTY_ONE_IN: usize = 8;
 const ROUNDS: u64 = 6;
 
+/// Pre-CDC pipeline reference (BENCH_pipeline.json as of the serial
+/// fixed-chunk/PackBits pipeline): the async-incremental cell's
+/// stage + drain ms/ckpt at these exact workload parameters. The
+/// in-bench throughput assertion holds the rebuilt pipeline to ≥ 1.5×
+/// this number.
+const BEFORE_ASYNC_INCR_STAGE_MS: f64 = 1.0839;
+const BEFORE_ASYNC_INCR_DRAIN_MS: f64 = 14.3266;
+
 /// Commit rounds per cell, shrunk under `C3_BENCH_SMOKE=1`.
 fn rounds() -> u64 {
     if report::smoke() {
@@ -43,9 +63,10 @@ fn rounds() -> u64 {
     }
 }
 
-/// Rank `rank`'s state at round `round`: a fixed byte pattern with every
-/// `DIRTY_ONE_IN`-th chunk rewritten per round (rotating which chunks).
-fn state_of(rank: usize, round: u64) -> Vec<u8> {
+/// Rank `rank`'s dirty-workload state at round `round`: a fixed byte
+/// pattern with every `DIRTY_ONE_IN`-th page rewritten per round
+/// (rotating which pages).
+fn state_dirty(rank: usize, round: u64) -> Vec<u8> {
     let mut s: Vec<u8> = (0..STATE_BYTES)
         .map(|i| {
             (i as u64)
@@ -66,17 +87,66 @@ fn state_of(rank: usize, round: u64) -> Vec<u8> {
     s
 }
 
+/// Rank `rank`'s shifted-workload state at round `round`: a per-rank
+/// incompressible base (seeded SplitMix64 stream) with `round` stacked
+/// front-insertions of 1019 fresh bytes each. Everything after the
+/// insertion point is byte-identical to the previous round — just no
+/// longer at the same offset.
+fn state_shifted(rank: usize, round: u64) -> Vec<u8> {
+    let ins = 1019 * round as usize;
+    let mut s = Vec::with_capacity(ins + STATE_BYTES);
+    for i in 0..ins {
+        s.push(
+            (i as u64)
+                .wrapping_mul(0x94D0_49BB)
+                .wrapping_add(round ^ 0xC3) as u8,
+        );
+    }
+    let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ (rank as u64).wrapping_mul(0xA5A5);
+    while s.len() < ins + STATE_BYTES {
+        x = x.wrapping_mul(0xD120_2E87_82B9_029D).wrapping_add(1);
+        s.extend_from_slice(&x.to_le_bytes());
+    }
+    s.truncate(ins + STATE_BYTES);
+    s
+}
+
 struct Cell {
     mode: &'static str,
+    workload: &'static str,
+    chunking: &'static str,
+    codec: &'static str,
     incremental: bool,
     stage_ms_per_ckpt: f64,
     drain_ms_per_ckpt: f64,
     bytes_written: u64,
+    dedup_hit_ratio: f64,
 }
 
 /// Run `rounds()` commit rounds under one pipeline configuration.
-fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
+fn run_cell(
+    mode: &'static str,
+    workload: &'static str,
+    io: PipelineConfig,
+) -> Cell {
     let incremental = io.incremental;
+    let chunking = match io.chunker {
+        Chunker::Fixed { .. } => "fixed",
+        Chunker::Cdc { .. } => "cdc",
+    };
+    let codec = if !incremental || !io.compression {
+        "none"
+    } else {
+        match io.codec {
+            Codec::None => "none",
+            Codec::PackBits => "packbits",
+            Codec::Lz4 => "lz4",
+        }
+    };
+    let state = match workload {
+        "shifted" => state_shifted as fn(usize, u64) -> Vec<u8>,
+        _ => state_dirty,
+    };
     let backend = Arc::new(MemoryBackend::new());
     let store = CheckpointStore::new(
         backend.clone() as Arc<dyn StorageBackend>,
@@ -89,7 +159,7 @@ fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
         let t0 = Instant::now();
         for rank in 0..RANKS {
             pipeline
-                .stage(round, rank, RankBlobKind::State, state_of(rank, round))
+                .stage(round, rank, RankBlobKind::State, state(rank, round))
                 .unwrap();
             pipeline
                 .stage(round, rank, RankBlobKind::Log, vec![0u8; 64])
@@ -102,13 +172,23 @@ fn run_cell(mode: &'static str, io: PipelineConfig) -> Cell {
         store.commit(round).unwrap();
         pipeline.gc_keeping(round).unwrap();
     }
+    let stats = pipeline.stats();
     pipeline.shutdown();
+    let probes = stats.chunks_deduped + stats.chunks_written;
     Cell {
         mode,
+        workload,
+        chunking,
+        codec,
         incremental,
         stage_ms_per_ckpt: stage_ns as f64 / rounds() as f64 / 1e6,
         drain_ms_per_ckpt: drain_ns as f64 / rounds() as f64 / 1e6,
         bytes_written: backend.bytes_written(),
+        dedup_hit_ratio: if probes == 0 {
+            0.0
+        } else {
+            stats.chunks_deduped as f64 / probes as f64
+        },
     }
 }
 
@@ -118,15 +198,18 @@ fn cells() -> Vec<Cell> {
         queue_depth: 8,
     };
     vec![
-        run_cell("sync", PipelineConfig::sync_full()),
+        // The pre-CDC columns, unchanged for continuity.
+        run_cell("sync", "dirty", PipelineConfig::sync_full()),
         run_cell(
             "sync",
+            "dirty",
             PipelineConfig::sync_full()
                 .with_incremental(true)
                 .with_chunk_size(CHUNK),
         ),
         run_cell(
             "async",
+            "dirty",
             PipelineConfig::default()
                 .with_mode(asynch)
                 .with_incremental(false)
@@ -134,12 +217,86 @@ fn cells() -> Vec<Cell> {
         ),
         run_cell(
             "async",
+            "dirty",
             PipelineConfig::default()
                 .with_mode(asynch)
                 .with_compression(false)
                 .with_chunk_size(CHUNK),
         ),
+        // The rebuilt pipeline: content-defined chunking + LZ4.
+        run_cell(
+            "async",
+            "dirty",
+            PipelineConfig::default()
+                .with_mode(asynch)
+                .with_chunker(Chunker::cdc(CHUNK))
+                .with_codec(Codec::Lz4),
+        ),
+        // Shifted-state workload: before (fixed/PackBits) vs after
+        // (CDC/LZ4) columns — the shift-resistance win as a number.
+        run_cell(
+            "async",
+            "shifted",
+            PipelineConfig::default()
+                .with_mode(asynch)
+                .with_chunk_size(CHUNK)
+                .with_codec(Codec::PackBits),
+        ),
+        run_cell(
+            "async",
+            "shifted",
+            PipelineConfig::default()
+                .with_mode(asynch)
+                .with_chunker(Chunker::cdc(CHUNK))
+                .with_codec(Codec::Lz4),
+        ),
     ]
+}
+
+fn find<'a>(
+    cells: &'a [Cell],
+    workload: &str,
+    chunking: &str,
+    codec: &str,
+) -> &'a Cell {
+    cells
+        .iter()
+        .find(|c| {
+            c.workload == workload
+                && c.chunking == chunking
+                && c.codec == codec
+        })
+        .expect("cell exists")
+}
+
+/// The tentpole's acceptance gates, enforced every time the bench runs.
+fn assert_wins(cells: &[Cell]) {
+    let before = find(cells, "shifted", "fixed", "packbits");
+    let after = find(cells, "shifted", "cdc", "lz4");
+    assert!(
+        after.bytes_written < before.bytes_written,
+        "CDC+LZ4 must write strictly fewer bytes than fixed/PackBits on \
+         the shifted workload: {} vs {}",
+        after.bytes_written,
+        before.bytes_written
+    );
+    assert!(
+        after.dedup_hit_ratio > before.dedup_hit_ratio,
+        "CDC dedup must survive the shifts: hit ratio {:.3} vs {:.3}",
+        after.dedup_hit_ratio,
+        before.dedup_hit_ratio
+    );
+    if !report::smoke() {
+        let after = find(cells, "dirty", "cdc", "lz4");
+        let after_ms = after.stage_ms_per_ckpt + after.drain_ms_per_ckpt;
+        let before_ms =
+            BEFORE_ASYNC_INCR_STAGE_MS + BEFORE_ASYNC_INCR_DRAIN_MS;
+        assert!(
+            after_ms * 1.5 <= before_ms,
+            "rebuilt pipeline must beat the pre-CDC async-incremental \
+             cell by 1.5x: {after_ms:.3} ms/ckpt vs {before_ms:.3} before"
+        );
+    }
 }
 
 fn write_json(cells: &[Cell]) {
@@ -148,15 +305,21 @@ fn write_json(cells: &[Cell]) {
         .param("state_bytes_per_rank", STATE_BYTES)
         .param("chunk_bytes", CHUNK)
         .param("dirty_chunk_fraction", 1.0 / DIRTY_ONE_IN as f64)
-        .param("checkpoints", rounds());
+        .param("checkpoints", rounds())
+        .param("before_async_incr_stage_ms", BEFORE_ASYNC_INCR_STAGE_MS)
+        .param("before_async_incr_drain_ms", BEFORE_ASYNC_INCR_DRAIN_MS);
     for c in cells {
         report.push_cell(
             report::Cell::new()
                 .field("mode", c.mode)
+                .field("workload", c.workload)
+                .field("chunking", c.chunking)
+                .field("codec", c.codec)
                 .field("incremental", c.incremental)
                 .field("stage_ms_per_ckpt", c.stage_ms_per_ckpt)
                 .field("drain_ms_per_ckpt", c.drain_ms_per_ckpt)
-                .field("bytes_written", c.bytes_written),
+                .field("bytes_written", c.bytes_written)
+                .field("dedup_hit_ratio", c.dedup_hit_ratio),
         );
     }
     report.write("BENCH_pipeline.json");
@@ -171,16 +334,22 @@ fn bench_pipeline(c: &mut Criterion) {
             "full"
         };
         println!(
-            "pipeline/{}/{kind}: stage {:.3} ms/ckpt, drain {:.3} ms/ckpt, \
-             {} bytes written over {} checkpoints",
+            "pipeline/{}/{}/{kind}/{}+{}: stage {:.3} ms/ckpt, drain {:.3} \
+             ms/ckpt, {} bytes written, dedup hit ratio {:.3} over {} \
+             checkpoints",
             cell.mode,
+            cell.workload,
+            cell.chunking,
+            cell.codec,
             cell.stage_ms_per_ckpt,
             cell.drain_ms_per_ckpt,
             cell.bytes_written,
+            cell.dedup_hit_ratio,
             rounds()
         );
     }
     write_json(&results);
+    assert_wins(&results);
 
     // Criterion display of the critical-path metric: one full commit
     // round per iteration.
@@ -194,6 +363,12 @@ fn bench_pipeline(c: &mut Criterion) {
             PipelineConfig::default()
                 .with_compression(false)
                 .with_chunk_size(CHUNK),
+        ),
+        (
+            "async_cdc_lz4",
+            PipelineConfig::default()
+                .with_chunker(Chunker::cdc(CHUNK))
+                .with_codec(Codec::Lz4),
         ),
     ] {
         let backend = Arc::new(MemoryBackend::new());
@@ -210,7 +385,7 @@ fn bench_pipeline(c: &mut Criterion) {
                             round,
                             rank,
                             RankBlobKind::State,
-                            state_of(rank, round),
+                            state_dirty(rank, round),
                         )
                         .unwrap();
                     pipeline

@@ -1,5 +1,7 @@
 //! Pipeline tuning knobs.
 
+use ckptstore::{Chunker, Codec};
+
 /// How staged blobs reach stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WriteMode {
@@ -114,10 +116,17 @@ pub struct PipelineConfig {
     /// checkpointing). When false, blobs are stored whole, as the paper
     /// does.
     pub incremental: bool,
-    /// Chunk size for incremental mode, in bytes.
-    pub chunk_size: usize,
-    /// Run-length compress chunks that shrink from it.
+    /// How incremental mode splits a blob into chunks: fixed-size
+    /// pieces, or FastCDC content-defined cuts that keep dedup working
+    /// when state shifts (see [`Chunker`]).
+    pub chunker: Chunker,
+    /// Compress chunks that shrink from it.
     pub compression: bool,
+    /// Preferred chunk codec when `compression` is on. [`Codec::Lz4`]
+    /// still stores RLE-friendly pages as PackBits (the run-length form
+    /// is both smaller and cheaper there); chunks that no codec shrinks
+    /// are stored raw either way.
+    pub codec: Codec,
     /// Transient-fault retry discipline.
     pub retry: RetryPolicy,
     /// Committed checkpoint lines to retain: the initiator GCs
@@ -145,8 +154,9 @@ impl Default for PipelineConfig {
                 queue_depth: 8,
             },
             incremental: true,
-            chunk_size: 4096,
+            chunker: Chunker::Fixed { size: 4096 },
             compression: true,
+            codec: Codec::PackBits,
             retry: RetryPolicy::default(),
             keep_last: 1,
             tiers: None,
@@ -179,16 +189,28 @@ impl PipelineConfig {
         self
     }
 
-    /// Builder: set the chunk size (bytes).
-    pub fn with_chunk_size(mut self, bytes: usize) -> Self {
-        assert!(bytes > 0, "chunk size must be positive");
-        self.chunk_size = bytes;
+    /// Builder: fixed-size chunking with the given piece size (bytes).
+    /// Shorthand for `with_chunker(Chunker::fixed(bytes))`.
+    pub fn with_chunk_size(self, bytes: usize) -> Self {
+        self.with_chunker(Chunker::fixed(bytes))
+    }
+
+    /// Builder: set the chunking strategy (fixed-size or content-defined).
+    pub fn with_chunker(mut self, chunker: Chunker) -> Self {
+        self.chunker = chunker;
         self
     }
 
     /// Builder: toggle chunk compression.
     pub fn with_compression(mut self, on: bool) -> Self {
         self.compression = on;
+        self
+    }
+
+    /// Builder: set the preferred chunk codec (used when compression is
+    /// on; see [`PipelineConfig::codec`]).
+    pub fn with_codec(mut self, codec: Codec) -> Self {
+        self.codec = codec;
         self
     }
 
@@ -259,5 +281,30 @@ mod tests {
             backoff_base_ms: u64::MAX,
         };
         assert_eq!(huge.delay_ms(u32::MAX), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn chunker_and_codec_builders_plumb_through() {
+        let cfg = PipelineConfig::default()
+            .with_chunker(Chunker::cdc(1024))
+            .with_codec(Codec::Lz4);
+        assert_eq!(
+            cfg.chunker,
+            Chunker::Cdc {
+                min: 256,
+                avg: 1024,
+                max: 4096
+            }
+        );
+        assert_eq!(cfg.codec, Codec::Lz4);
+        // `with_chunk_size` stays as the fixed-size shorthand.
+        assert_eq!(
+            PipelineConfig::default().with_chunk_size(512).chunker,
+            Chunker::Fixed { size: 512 }
+        );
+        // Defaults preserve the pre-CDC behavior exactly.
+        let d = PipelineConfig::default();
+        assert_eq!(d.chunker, Chunker::Fixed { size: 4096 });
+        assert_eq!(d.codec, Codec::PackBits);
     }
 }

@@ -24,6 +24,22 @@ pub(crate) struct PipeObs {
     pub retries: Counter,
     /// `io_staged_bytes_total` — raw bytes accepted by `stage`.
     pub staged_bytes: Counter,
+    /// `io_dedup_hits_total` — chunks not written because an identical
+    /// chunk was already stored (previous-manifest set, within-blob
+    /// duplicate, or store probe).
+    pub dedup_hits: Counter,
+    /// `io_dedup_misses_total` — chunks that had to be written.
+    pub dedup_misses: Counter,
+    /// `io_precompress_bytes_total` — raw bytes fed to the chunk codec
+    /// (dedup hits skip compression and are not counted).
+    pub precompress_bytes: Counter,
+    /// `io_postcompress_bytes_total` — stored bytes those chunks came
+    /// out as; the ratio against `io_precompress_bytes_total` is the
+    /// achieved compression ratio.
+    pub postcompress_bytes: Counter,
+    /// `io_chunk_bytes` — raw size distribution of the cut chunks
+    /// (interesting under content-defined chunking, where sizes vary).
+    pub chunk_bytes: Histogram,
 }
 
 impl PipeObs {
@@ -35,6 +51,11 @@ impl PipeObs {
             drain_ns: reg.histogram("io_drain_ns"),
             retries: reg.counter("io_retries_total"),
             staged_bytes: reg.counter("io_staged_bytes_total"),
+            dedup_hits: reg.counter("io_dedup_hits_total"),
+            dedup_misses: reg.counter("io_dedup_misses_total"),
+            precompress_bytes: reg.counter("io_precompress_bytes_total"),
+            postcompress_bytes: reg.counter("io_postcompress_bytes_total"),
+            chunk_bytes: reg.histogram("io_chunk_bytes"),
         }
     }
 }

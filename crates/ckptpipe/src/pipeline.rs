@@ -18,7 +18,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use bytes::Bytes;
 use ckptstore::manifest::{ChunkRef, Manifest};
 use ckptstore::{
-    CheckpointStore, CkptId, RankBlobKind, StorageBackend, StoreError,
+    CheckpointStore, CkptId, Codec, RankBlobKind, StorageBackend, StoreError,
     StoreResult,
 };
 
@@ -47,7 +47,53 @@ struct WriteTicket {
 #[derive(Default)]
 struct QueueState {
     jobs: VecDeque<Job>,
+    /// Chunk-batch subtasks split off a blob currently being written.
+    /// Workers prefer these over whole blobs so an in-flight blob's
+    /// hashing/compression fans out across the pool instead of queueing
+    /// behind other blobs.
+    subtasks: VecDeque<ChunkTask>,
     shutdown: bool,
+}
+
+/// One contiguous span of a blob's chunks, to be hashed and encoded on
+/// whichever thread picks it up (a pool worker, or the owning writer
+/// helping drain its own batch). Pure CPU work: subtasks never touch
+/// storage and never block, so helping cannot deadlock.
+struct ChunkTask {
+    /// The whole staged blob (refcounted; cloning is free).
+    bytes: Bytes,
+    /// Chunk boundaries of the blob, as `(start, end)` byte offsets.
+    ranges: Arc<Vec<(usize, usize)>>,
+    /// This task prepares `ranges[lo..hi]`.
+    lo: usize,
+    hi: usize,
+    /// Stored forms from the previous manifest of this `(rank, kind)`
+    /// stream: hits skip hashing's follow-up compression entirely.
+    prev: Arc<PrevChunkMap>,
+    batch: Arc<BatchState>,
+}
+
+/// Rendezvous between a blob's owner and the workers preparing its
+/// chunk batches.
+struct BatchState {
+    inner: Mutex<BatchInner>,
+    done: Condvar,
+}
+
+struct BatchInner {
+    /// One slot per chunk, filled as tasks complete (manifest order is
+    /// the slot order, independent of task completion order).
+    results: Vec<Option<Prepared>>,
+    /// Tasks still running.
+    remaining: usize,
+}
+
+/// A chunk after parallel preparation: its manifest reference, plus the
+/// encoded payload when the previous-manifest dedup set did not already
+/// cover it (`None` = prev-set hit, nothing to store).
+struct Prepared {
+    chunk: ChunkRef,
+    stored: Option<Vec<u8>>,
 }
 
 /// State of the async tier-drain mover: checkpoints queued for
@@ -93,12 +139,18 @@ struct StatCells {
     retries: AtomicU64,
 }
 
-/// Chunk addresses `(hash128, len)` in the manifest most recently written
-/// for one `(rank, kind)` stream, tagged with the checkpoint that wrote
-/// it: the fast-path dedup set. The tag lets [`CheckpointPipeline::
-/// gc_keeping`] drop sets whose manifest was just collected, so dedup
-/// never trusts a chunk that only a dead checkpoint referenced.
-type PrevChunkSets = HashMap<(usize, u8), (CkptId, HashSet<(u128, u32)>)>;
+/// Stored form `(stored_len, codec)` of each chunk address
+/// `(hash128, len)` in one previously written manifest. A dedup hit
+/// against this map yields the manifest entry directly — no
+/// recompression needed to reconstruct what the first writer chose.
+type PrevChunkMap = HashMap<(u128, u32), (u32, Codec)>;
+
+/// The most recent [`PrevChunkMap`] per `(rank, kind)` stream, tagged
+/// with the checkpoint that wrote it: the fast-path dedup set. The tag
+/// lets [`CheckpointPipeline::gc_keeping`] drop sets whose manifest was
+/// just collected, so dedup never trusts a chunk that only a dead
+/// checkpoint referenced.
+type PrevChunkSets = HashMap<(usize, u8), (CkptId, PrevChunkMap)>;
 
 struct Shared {
     store: CheckpointStore,
@@ -454,14 +506,24 @@ impl CheckpointPipeline {
     }
 }
 
+/// Work a pool thread can pick up: a chunk-preparation subtask (always
+/// preferred — it unblocks a blob already in flight) or a whole blob.
+enum Work {
+    Chunk(ChunkTask),
+    Blob(Job),
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let work = {
             let mut q = shared.queue.lock().unwrap();
             loop {
+                if let Some(task) = q.subtasks.pop_front() {
+                    break Some(Work::Chunk(task));
+                }
                 if let Some(job) = q.jobs.pop_front() {
                     shared.not_full.notify_all();
-                    break Some(job);
+                    break Some(Work::Blob(job));
                 }
                 if q.shutdown {
                     break None;
@@ -469,8 +531,9 @@ fn worker_loop(shared: &Shared) {
                 q = shared.not_empty.wait(q).unwrap();
             }
         };
-        match job {
-            Some(job) => {
+        match work {
+            Some(Work::Chunk(task)) => shared.run_chunk_task(task),
+            Some(Work::Blob(job)) => {
                 let result = shared.write_blob(&job);
                 shared.complete_job(job.ckpt, result);
             }
@@ -606,43 +669,71 @@ impl Shared {
         }
         let mut manifest = Manifest::for_blob(&job.bytes);
         let dedup_slot = (job.rank, kind_tag(job.kind));
-        let prev: HashSet<(u128, u32)> = self
-            .prev_chunks
-            .lock()
-            .unwrap()
-            .get(&dedup_slot)
-            .map(|(_, set)| set.clone())
-            .unwrap_or_default();
-        for piece in job.bytes.chunks(self.cfg.chunk_size.max(1)) {
-            let mut chunk = ChunkRef::for_piece(piece);
-            let known = prev.contains(&(chunk.hash, chunk.len))
-                || self.store.has_chunk(&chunk)?;
+        let prev: Arc<PrevChunkMap> = Arc::new(
+            self.prev_chunks
+                .lock()
+                .unwrap()
+                .get(&dedup_slot)
+                .map(|(_, map)| map.clone())
+                .unwrap_or_default(),
+        );
+        // Cut first (cheap, sequential by nature: each CDC boundary
+        // determines where the next chunk starts), then hash + encode
+        // the pieces in parallel across the writer pool.
+        let mut ranges = Vec::new();
+        let mut off = 0;
+        for piece in self.cfg.chunker.cut(&job.bytes) {
+            ranges.push((off, off + piece.len()));
+            off += piece.len();
+        }
+        let prepared = self.prepare_all(&job.bytes, ranges, &prev);
+
+        // Assemble in manifest order. Fresh chunks accumulate into one
+        // batched put; `batch_seen` catches within-blob duplicates,
+        // which the store probe no longer can (nothing lands until the
+        // batch goes out).
+        let mut fresh: Vec<(ChunkRef, Vec<u8>)> = Vec::new();
+        let mut batch_seen: HashSet<(u128, u32)> = HashSet::new();
+        for p in prepared {
+            let chunk = p.chunk;
+            let addr = (chunk.hash, chunk.len);
+            let known = match &p.stored {
+                None => true, // previous-manifest hit, nothing encoded
+                Some(_) => {
+                    batch_seen.contains(&addr)
+                        || self.store.has_chunk(&chunk)?
+                }
+            };
             if known {
                 self.stats.chunks_deduped.fetch_add(1, Ordering::Relaxed);
                 self.stats
                     .bytes_deduped
-                    .fetch_add(piece.len() as u64, Ordering::Relaxed);
-                // The stored form of a deduplicated chunk is whatever the
-                // first writer chose; record the raw address only. Reads
-                // locate chunks by (hash, len), so the stored_len and
-                // compressed fields just need to match that first write —
-                // recompute them the same deterministic way.
-                let (stored, compressed) = self.stored_form(piece);
-                chunk.stored_len = stored.len() as u32;
-                chunk.compressed = compressed;
-            } else {
-                let (stored, compressed) = self.stored_form(piece);
-                chunk.stored_len = stored.len() as u32;
-                chunk.compressed = compressed;
-                self.retrying(|| self.store.put_chunk(&chunk, &stored))?;
-                self.stats.chunks_written.fetch_add(1, Ordering::Relaxed);
-                if compressed {
-                    self.stats
-                        .chunks_compressed
-                        .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(u64::from(chunk.len), Ordering::Relaxed);
+                #[cfg(feature = "obs")]
+                if let Some(o) = &self.obs {
+                    o.dedup_hits.inc();
                 }
+            } else {
+                #[cfg(feature = "obs")]
+                if let Some(o) = &self.obs {
+                    o.dedup_misses.inc();
+                }
+                batch_seen.insert(addr);
+                fresh.push((chunk, p.stored.expect("miss carries payload")));
             }
             manifest.chunks.push(chunk);
+        }
+        if !fresh.is_empty() {
+            let compressed =
+                fresh.iter().filter(|(c, _)| c.codec != Codec::None).count()
+                    as u64;
+            self.put_chunk_batch(&fresh)?;
+            self.stats
+                .chunks_written
+                .fetch_add(fresh.len() as u64, Ordering::Relaxed);
+            self.stats
+                .chunks_compressed
+                .fetch_add(compressed, Ordering::Relaxed);
         }
         self.retrying(|| {
             self.store
@@ -652,22 +743,195 @@ impl Shared {
             dedup_slot,
             (
                 job.ckpt,
-                manifest.chunks.iter().map(|c| (c.hash, c.len)).collect(),
+                manifest
+                    .chunks
+                    .iter()
+                    .map(|c| ((c.hash, c.len), (c.stored_len, c.codec)))
+                    .collect(),
             ),
         );
         Ok(())
     }
 
-    /// Deterministic stored representation of a chunk: compressed iff
-    /// compression is enabled and actually shrinks it.
-    fn stored_form(&self, piece: &[u8]) -> (Vec<u8>, bool) {
-        if self.cfg.compression {
-            let enc = ckptstore::compress::compress(piece);
-            if enc.len() < piece.len() {
-                return (enc, true);
+    /// Hash and encode every chunk of a blob, fanning the work out
+    /// across the writer pool when there is one and the blob is big
+    /// enough to amortize the handoff. Results come back in manifest
+    /// order regardless of which thread prepared what.
+    fn prepare_all(
+        &self,
+        bytes: &Bytes,
+        ranges: Vec<(usize, usize)>,
+        prev: &Arc<PrevChunkMap>,
+    ) -> Vec<Prepared> {
+        let writers = match self.cfg.mode {
+            WriteMode::Async { writers, .. } => writers.max(1),
+            WriteMode::Sync => 0,
+        };
+        // Spans below this many chunks are prepared inline: the lock
+        // traffic of a handoff costs more than hashing a few pieces.
+        const MIN_SPAN: usize = 8;
+        let n = ranges.len();
+        if writers <= 1 || n < 2 * MIN_SPAN {
+            return ranges
+                .iter()
+                .map(|&(s, e)| self.prepare_chunk(&bytes[s..e], prev))
+                .collect();
+        }
+        let span = ((n + writers) / (writers + 1)).max(MIN_SPAN);
+        let batches = n.div_ceil(span);
+        let ranges = Arc::new(ranges);
+        let batch = Arc::new(BatchState {
+            inner: Mutex::new(BatchInner {
+                results: std::iter::repeat_with(|| None).take(n).collect(),
+                remaining: batches,
+            }),
+            done: Condvar::new(),
+        });
+        let task = |b: usize| ChunkTask {
+            bytes: bytes.clone(),
+            ranges: Arc::clone(&ranges),
+            lo: b * span,
+            hi: ((b + 1) * span).min(n),
+            prev: Arc::clone(prev),
+            batch: Arc::clone(&batch),
+        };
+        {
+            let mut q = self.queue.lock().unwrap();
+            for b in 1..batches {
+                q.subtasks.push_back(task(b));
             }
         }
-        (piece.to_vec(), false)
+        self.not_empty.notify_all();
+        // Work the first span ourselves, then help drain the subtask
+        // queue (ours or anyone's — subtasks are pure CPU and cannot
+        // block) until our batch is fully prepared.
+        self.run_chunk_task(task(0));
+        loop {
+            if batch.inner.lock().unwrap().remaining == 0 {
+                break;
+            }
+            let stolen = self.queue.lock().unwrap().subtasks.pop_front();
+            match stolen {
+                Some(t) => self.run_chunk_task(t),
+                None => {
+                    let mut inner = batch.inner.lock().unwrap();
+                    while inner.remaining > 0 {
+                        inner = batch.done.wait(inner).unwrap();
+                    }
+                    break;
+                }
+            }
+        }
+        let mut inner = batch.inner.lock().unwrap();
+        std::mem::take(&mut inner.results)
+            .into_iter()
+            .map(|p| p.expect("all batches completed"))
+            .collect()
+    }
+
+    /// Run one chunk-preparation subtask and publish its results.
+    fn run_chunk_task(&self, task: ChunkTask) {
+        let mut out = Vec::with_capacity(task.hi - task.lo);
+        for idx in task.lo..task.hi {
+            let (s, e) = task.ranges[idx];
+            out.push(self.prepare_chunk(&task.bytes[s..e], &task.prev));
+        }
+        let mut inner = task.batch.inner.lock().unwrap();
+        for (idx, p) in (task.lo..task.hi).zip(out) {
+            inner.results[idx] = Some(p);
+        }
+        inner.remaining -= 1;
+        let done = inner.remaining == 0;
+        drop(inner);
+        if done {
+            task.batch.done.notify_all();
+        }
+    }
+
+    /// Hash one chunk and work out its stored form: from the
+    /// previous-manifest dedup map when possible (skipping compression
+    /// altogether), by encoding otherwise.
+    fn prepare_chunk(&self, piece: &[u8], prev: &PrevChunkMap) -> Prepared {
+        let mut chunk = ChunkRef::for_piece(piece);
+        #[cfg(feature = "obs")]
+        if let Some(o) = &self.obs {
+            o.chunk_bytes.record(piece.len() as u64);
+        }
+        if let Some(&(stored_len, codec)) = prev.get(&(chunk.hash, chunk.len))
+        {
+            chunk.stored_len = stored_len;
+            chunk.codec = codec;
+            return Prepared {
+                chunk,
+                stored: None,
+            };
+        }
+        let (stored, codec) = self.stored_form(piece);
+        chunk.stored_len = stored.len() as u32;
+        chunk.codec = codec;
+        #[cfg(feature = "obs")]
+        if let Some(o) = &self.obs {
+            o.precompress_bytes.add(piece.len() as u64);
+            o.postcompress_bytes.add(stored.len() as u64);
+        }
+        Prepared {
+            chunk,
+            stored: Some(stored),
+        }
+    }
+
+    /// Deterministic stored representation of a chunk: encoded with the
+    /// configured codec iff compression is enabled and the encoding
+    /// actually shrinks it, raw otherwise. Under [`Codec::Lz4`],
+    /// RLE-friendly pages still go through PackBits (smaller and much
+    /// cheaper on long runs). Must stay a pure function of the piece:
+    /// dedup is first-writer-wins, so every writer has to agree on what
+    /// the stored form of a given piece looks like.
+    fn stored_form(&self, piece: &[u8]) -> (Vec<u8>, Codec) {
+        if self.cfg.compression && self.cfg.codec != Codec::None {
+            let codec = match self.cfg.codec {
+                Codec::Lz4 if ckptstore::compress::rle_friendly(piece) => {
+                    Codec::PackBits
+                }
+                c => c,
+            };
+            if let Some(enc) = codec.encode(piece) {
+                if enc.len() < piece.len() {
+                    return (enc, codec);
+                }
+            }
+        }
+        (piece.to_vec(), Codec::None)
+    }
+
+    /// Store a batch of fresh chunks: one `put_many` round-trip on the
+    /// happy path. A transient batch failure falls back to per-chunk
+    /// retried puts rather than retrying the whole batch — under an
+    /// injected per-key fault rate `p`, a batch of `n` fails with
+    /// probability `1 - (1-p)^n`, so whole-batch retry could spin
+    /// near-forever while per-chunk retry converges. Chunk puts are
+    /// idempotent (content-addressed, immutable), so re-putting the
+    /// prefix the failed batch already landed is harmless.
+    fn put_chunk_batch(
+        &self,
+        fresh: &[(ChunkRef, Vec<u8>)],
+    ) -> StoreResult<()> {
+        match self.store.put_chunks(fresh) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_transient() => {
+                // The fallback is the batch's retry: count it as one.
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                #[cfg(feature = "obs")]
+                if let Some(o) = &self.obs {
+                    o.retries.inc();
+                }
+                for (chunk, stored) in fresh {
+                    self.retrying(|| self.store.put_chunk(chunk, stored))?;
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn retrying<T>(&self, op: impl Fn() -> StoreResult<T>) -> StoreResult<T> {

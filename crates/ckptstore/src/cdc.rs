@@ -1,0 +1,325 @@
+//! Content-defined chunking (FastCDC-style) for the incremental
+//! checkpoint pipeline.
+//!
+//! Fixed-size chunking breaks dedup the moment state shifts: inserting a
+//! single byte at the front of a blob moves every later chunk boundary,
+//! so every chunk hash changes and nothing dedups against the previous
+//! checkpoint. Content-defined chunking cuts where the *data* says to
+//! cut — a rolling gear hash over the last ~64 bytes hits a boundary
+//! condition at data-dependent positions — so an insertion only disturbs
+//! the chunks overlapping the edit; boundaries downstream re-synchronise
+//! and those chunks dedup again.
+//!
+//! The [`Chunker::Cdc`] variant implements the FastCDC refinements:
+//!
+//! * **Gear hash**: `h = (h << 1) + GEAR[byte]` — one shift and one add
+//!   per byte, with a 256-entry random table. The shift ages a byte out
+//!   of the hash after 64 steps, giving a ~64-byte rolling window
+//!   without an explicit subtraction.
+//! * **Normalized chunking**: below the target size the boundary mask is
+//!   *harder* (`log2(avg) + 2` bits), past it the mask is *easier*
+//!   (`log2(avg) - 2` bits). This squeezes the chunk-size distribution
+//!   toward `avg` and sharply reduces the pathological tiny/huge chunks
+//!   of the plain rolling-hash cut rule.
+//! * **Min/max clamps**: no boundary is considered before `min` bytes
+//!   (cheap skip, also guards against degenerate tiny chunks) and a cut
+//!   is forced at `max`.
+//!
+//! [`Chunker::Fixed`] keeps the old fixed-size behavior selectable — it
+//! is still the right choice for in-place update patterns where offsets
+//! never move and the cut loop itself is pure overhead.
+
+/// The 256-entry gear table. Generated deterministically by SplitMix64
+/// so the chunking function is identical across builds and machines —
+/// chunk boundaries (and therefore dedup) must not depend on the build.
+const GEAR: [u64; 256] = {
+    let mut t = [0u64; 256];
+    let mut s = 0xC3A1_5EED_0000_0000u64;
+    let mut i = 0;
+    while i < 256 {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        t[i] = z ^ (z >> 31);
+        i += 1;
+    }
+    t
+};
+
+/// A boundary mask testing the top `bits` bits of the gear hash. The
+/// gear hash accumulates entropy upward (each step shifts left), so the
+/// high bits mix the most input bytes and make the best cut judge.
+const fn high_mask(bits: u32) -> u64 {
+    if bits == 0 {
+        0
+    } else {
+        !0u64 << (64 - bits)
+    }
+}
+
+/// Roll the gear hash across `window`, returning the offset of the
+/// first position where `h & mask == 0`. Iterator-based so the per-byte
+/// loop carries no bounds checks — this scan touches every staged byte
+/// and is the chunker's entire CPU cost.
+#[inline]
+fn gear_scan(window: &[u8], h: &mut u64, mask: u64) -> Option<usize> {
+    for (k, &b) in window.iter().enumerate() {
+        *h = (*h << 1).wrapping_add(GEAR[b as usize]);
+        if *h & mask == 0 {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// How a staged blob is split into chunks before hashing and dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Chunker {
+    /// Fixed-size pieces of exactly `size` bytes (last piece shorter).
+    Fixed {
+        /// Piece size in bytes; must be non-zero.
+        size: usize,
+    },
+    /// FastCDC content-defined cuts with normalized min/avg/max bounds.
+    Cdc {
+        /// Smallest chunk the cut rule may produce (except the final
+        /// chunk of a blob).
+        min: usize,
+        /// Target average chunk size; must be a power of two ≥ 64.
+        avg: usize,
+        /// Forced-cut ceiling; every chunk is at most this long.
+        max: usize,
+    },
+}
+
+impl Chunker {
+    /// Fixed-size chunking. Panics if `size` is zero.
+    pub fn fixed(size: usize) -> Self {
+        assert!(size > 0, "chunk size must be non-zero");
+        Chunker::Fixed { size }
+    }
+
+    /// Content-defined chunking around `avg` bytes with the conventional
+    /// `avg/4 .. avg*4` spread. Panics unless `avg` is a power of two
+    /// ≥ 256 (the gear window needs room below `min`).
+    pub fn cdc(avg: usize) -> Self {
+        Chunker::cdc_with(avg / 4, avg, avg * 4)
+    }
+
+    /// Content-defined chunking with explicit bounds. Panics unless
+    /// `0 < min ≤ avg ≤ max` and `avg` is a power of two ≥ 256.
+    pub fn cdc_with(min: usize, avg: usize, max: usize) -> Self {
+        assert!(
+            avg.is_power_of_two() && avg >= 256,
+            "avg must be a power of two ≥ 256"
+        );
+        assert!(
+            min > 0 && min <= avg && avg <= max,
+            "need 0 < min ≤ avg ≤ max"
+        );
+        Chunker::Cdc { min, avg, max }
+    }
+
+    /// Upper bound on the size of any chunk this chunker produces; used
+    /// to pre-size buffers.
+    pub fn max_chunk(&self) -> usize {
+        match *self {
+            Chunker::Fixed { size } => size,
+            Chunker::Cdc { max, .. } => max,
+        }
+    }
+
+    /// Length of the first chunk of `data` (the whole remainder when no
+    /// boundary fires). Returns 0 only for empty input.
+    fn next_cut(&self, data: &[u8]) -> usize {
+        let n = data.len();
+        match *self {
+            Chunker::Fixed { size } => size.min(n),
+            Chunker::Cdc { min, avg, max } => {
+                if n <= min {
+                    return n;
+                }
+                let bits = avg.trailing_zeros();
+                let mask_s = high_mask(bits + 2);
+                let mask_l = high_mask(bits.saturating_sub(2).max(1));
+                let center = avg.min(n);
+                let end = max.min(n);
+                let mut h = 0u64;
+                if let Some(k) = gear_scan(&data[min..center], &mut h, mask_s)
+                {
+                    return min + k + 1;
+                }
+                if let Some(k) = gear_scan(&data[center..end], &mut h, mask_l)
+                {
+                    return center + k + 1;
+                }
+                end
+            }
+        }
+    }
+
+    /// Split `data` into chunks. The concatenation of the yielded slices
+    /// is exactly `data`; empty input yields no chunks.
+    pub fn cut<'a>(&self, data: &'a [u8]) -> Chunks<'a> {
+        Chunks {
+            chunker: *self,
+            rest: data,
+        }
+    }
+}
+
+/// Iterator over the chunks of one blob. See [`Chunker::cut`].
+#[derive(Debug, Clone)]
+pub struct Chunks<'a> {
+    chunker: Chunker,
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Chunks<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let cut = self.chunker.next_cut(self.rest);
+        let (chunk, rest) = self.rest.split_at(cut);
+        self.rest = rest;
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrity::hash128;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    fn random_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|_| rng.random_range(0u32..256) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn chunks_concatenate_to_the_input() {
+        let mut rng = StdRng::seed_from_u64(0xCDC0);
+        for chunker in [
+            Chunker::fixed(1),
+            Chunker::fixed(4096),
+            Chunker::cdc(1024),
+            Chunker::cdc_with(100, 512, 5000),
+        ] {
+            for len in [0usize, 1, 255, 256, 4096, 70_000] {
+                let data = random_bytes(&mut rng, len);
+                let joined: Vec<u8> =
+                    chunker.cut(&data).flatten().copied().collect();
+                assert_eq!(joined, data, "{chunker:?} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdc_chunk_sizes_respect_the_bounds() {
+        let mut rng = StdRng::seed_from_u64(0xCDC1);
+        let chunker = Chunker::cdc(1024);
+        let (min, max) = match chunker {
+            Chunker::Cdc { min, max, .. } => (min, max),
+            _ => unreachable!(),
+        };
+        let data = random_bytes(&mut rng, 300_000);
+        let chunks: Vec<&[u8]> = chunker.cut(&data).collect();
+        assert!(chunks.len() > 10);
+        for (i, c) in chunks.iter().enumerate() {
+            assert!(c.len() <= max, "chunk {i} over max");
+            if i + 1 != chunks.len() {
+                assert!(c.len() >= min, "chunk {i} under min");
+            }
+        }
+        // Normalized chunking keeps the mean near the target.
+        let mean = data.len() / chunks.len();
+        assert!(
+            (256..=4096).contains(&mean),
+            "mean chunk size {mean} far from 1024"
+        );
+    }
+
+    #[test]
+    fn cutting_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0xCDC2);
+        let data = random_bytes(&mut rng, 50_000);
+        let a: Vec<usize> =
+            Chunker::cdc(512).cut(&data).map(<[u8]>::len).collect();
+        let b: Vec<usize> =
+            Chunker::cdc(512).cut(&data).map(<[u8]>::len).collect();
+        assert_eq!(a, b);
+    }
+
+    /// The property the module exists for: inserting bytes near the
+    /// front of a blob leaves most chunk *content* (and therefore most
+    /// content addresses) unchanged, while fixed-size chunking loses
+    /// almost everything.
+    #[test]
+    fn proptest_cdc_dedup_survives_insertions() {
+        let mut rng = StdRng::seed_from_u64(0xCDC3);
+        for trial in 0..8 {
+            let data = random_bytes(&mut rng, 128 * 1024);
+            let pos = rng.random_range(0..data.len() / 4);
+            let ins_len = rng.random_range(1usize..64);
+            let ins = random_bytes(&mut rng, ins_len);
+            let mut shifted = data.clone();
+            shifted.splice(pos..pos, ins.iter().copied());
+
+            let hashes = |chunker: Chunker, d: &[u8]| -> HashSet<u128> {
+                chunker.cut(d).map(hash128).collect()
+            };
+
+            let cdc = Chunker::cdc(1024);
+            let before = hashes(cdc, &data);
+            let after = hashes(cdc, &shifted);
+            let shared = before.intersection(&after).count();
+            assert!(
+                shared * 4 >= before.len() * 3,
+                "trial {trial}: only {shared}/{} CDC chunks survived the \
+                 insertion",
+                before.len()
+            );
+
+            // Fixed-size chunking re-addresses every chunk after the
+            // insertion point — the control that motivates CDC.
+            let fixed = Chunker::fixed(1024);
+            let fb = hashes(fixed, &data);
+            let fa = hashes(fixed, &shifted);
+            let fshared = fb.intersection(&fa).count();
+            assert!(
+                fshared * 2 < fb.len(),
+                "trial {trial}: fixed-size unexpectedly survived the shift \
+                 ({fshared}/{})",
+                fb.len()
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_matches_slice_chunks() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let ours: Vec<&[u8]> = Chunker::fixed(4096).cut(&data).collect();
+        let std: Vec<&[u8]> = data.chunks(4096).collect();
+        assert_eq!(ours, std);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn cdc_rejects_non_power_of_two_avg() {
+        let _ = Chunker::cdc(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn fixed_rejects_zero() {
+        let _ = Chunker::fixed(0);
+    }
+}

@@ -246,6 +246,18 @@ impl StorageBackend for FaultInjectingBackend {
         self.inner.put(key, value)
     }
 
+    /// Batches go through the same per-key fault machinery as individual
+    /// puts — each key draws its own failure decision and counts as its
+    /// own attempt — so a fault plan bites batched writers exactly as
+    /// hard as looped ones. The first injected failure aborts the batch
+    /// (already-written keys stay written; `put_many` is not atomic).
+    fn put_many(&self, items: &[(String, Vec<u8>)]) -> StoreResult<()> {
+        for (key, value) in items {
+            self.put(key, value)?;
+        }
+        Ok(())
+    }
+
     fn get(&self, key: &str) -> StoreResult<Vec<u8>> {
         self.maybe_delay();
         self.inner.get(key)
@@ -290,6 +302,21 @@ mod tests {
         b.put("k2", b"y").unwrap();
         assert_eq!(b.faults_injected(), 2);
         assert_eq!(b.get("k1").unwrap(), b"x");
+    }
+
+    #[test]
+    fn put_many_draws_faults_per_key_and_aborts_at_the_first() {
+        let b = wrapped(FaultPlan::none().fail_n(1));
+        let batch: Vec<(String, Vec<u8>)> =
+            vec![("m/a".into(), b"1".to_vec()), ("m/b".into(), b"2".to_vec())];
+        assert!(b.put_many(&batch).unwrap_err().is_transient());
+        assert_eq!(b.faults_injected(), 1);
+        // Nothing landed: the first key failed and aborted the batch.
+        assert!(!b.contains("m/a").unwrap() && !b.contains("m/b").unwrap());
+        b.put_many(&batch).unwrap();
+        assert_eq!(b.get("m/b").unwrap(), b"2");
+        // Each key counted as its own attempt: 1 failed + 2 retried.
+        assert_eq!(b.put_attempts(), 3);
     }
 
     #[test]

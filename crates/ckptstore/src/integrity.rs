@@ -16,12 +16,21 @@
 //! (~2⁶⁴ chunks for the same odds — more than any job will ever write).
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+///
+/// Implemented with the slicing-by-8 technique: eight 256-entry tables
+/// let the inner loop fold 8 input bytes per iteration instead of 1,
+/// which matters because sealing runs over every chunk *and* every whole
+/// blob on the checkpoint drain path. The byte-at-a-time loop remains
+/// for the tail (and is the reference the tables are derived from).
 pub fn crc32(data: &[u8]) -> u32 {
-    // Table computed once; 256 u32s.
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, e) in t.iter_mut().enumerate() {
+    // Tables computed once; 8 × 256 u32s. TABLES[0] is the classic
+    // byte-at-a-time table; TABLES[k][b] advances a CRC whose low byte
+    // is `b` over k additional zero bytes.
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> =
+        std::sync::OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for (i, e) in t[0].iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 {
@@ -32,11 +41,31 @@ pub fn crc32(data: &[u8]) -> u32 {
             }
             *e = c;
         }
+        for i in 0..256usize {
+            let mut c = t[0][i];
+            for k in 1..8 {
+                c = t[0][(c & 0xFF) as usize] ^ (c >> 8);
+                t[k][i] = c;
+            }
+        }
         t
     });
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = table[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    let mut chunks = data.chunks_exact(8);
+    for block in &mut chunks {
+        let lo = u32::from_le_bytes(block[..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(block[4..].try_into().unwrap());
+        crc = tables[7][(lo & 0xFF) as usize]
+            ^ tables[6][((lo >> 8) & 0xFF) as usize]
+            ^ tables[5][((lo >> 16) & 0xFF) as usize]
+            ^ tables[4][(lo >> 24) as usize]
+            ^ tables[3][(hi & 0xFF) as usize]
+            ^ tables[2][((hi >> 8) & 0xFF) as usize]
+            ^ tables[1][((hi >> 16) & 0xFF) as usize]
+            ^ tables[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = tables[0][((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
     }
     !crc
 }
@@ -139,6 +168,32 @@ mod tests {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sliced_crc_matches_bytewise_reference() {
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in data {
+                let mut c = (crc ^ u32::from(b)) & 0xFF;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 {
+                        0xEDB8_8320 ^ (c >> 1)
+                    } else {
+                        c >> 1
+                    };
+                }
+                crc = c ^ (crc >> 8);
+            }
+            !crc
+        }
+        // Lengths straddling the 8-byte slicing boundary, plus larger
+        // blobs, with non-trivial byte content.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000, 4099] {
+            let data: Vec<u8> =
+                (0..len).map(|i| (i.wrapping_mul(151) >> 3) as u8).collect();
+            assert_eq!(crc32(&data), reference(&data), "len {len}");
+        }
     }
 
     #[test]

@@ -29,7 +29,12 @@
 //! * [`manifest`] — content-addressed chunk manifests for incremental
 //!   checkpoints written by the `ckptpipe` I/O pipeline; GC refcounts
 //!   chunks through these.
-//! * [`compress`] — dependency-free run-length chunk compression.
+//! * [`cdc`] — FastCDC-style content-defined chunking behind a
+//!   [`cdc::Chunker`] enum, so dedup survives insertions and shifts in
+//!   the checkpointed state.
+//! * [`compress`] — dependency-free chunk codecs selected per chunk via
+//!   [`compress::Codec`]: PackBits run-length encoding for run-dominated
+//!   pages and an LZ4-class match-finding compressor for the rest.
 //! * [`fault`] — [`fault::FaultInjectingBackend`], a deterministic seeded
 //!   fault-injection decorator (fail-once, fail-N, random, slow-put, and a
 //!   seeded per-operation latency profile) used to prove the retry and
@@ -42,6 +47,7 @@
 #![deny(missing_docs)]
 
 pub mod backend;
+pub mod cdc;
 pub mod codec;
 pub mod compress;
 pub mod erasure;
@@ -55,7 +61,9 @@ pub mod store;
 pub mod tier;
 
 pub use backend::{DiskBackend, MemoryBackend, StorageBackend};
+pub use cdc::Chunker;
 pub use codec::{Decoder, Encoder, SaveLoad};
+pub use compress::Codec;
 pub use error::{StoreError, StoreResult};
 pub use fault::{FaultInjectingBackend, FaultPlan};
 pub use integrity::{crc32, hash128, seal, unseal};
@@ -64,3 +72,50 @@ pub use manifest::{chunk_key, ChunkRef, Manifest};
 pub use obs::ObservedBackend;
 pub use store::{CheckpointStore, CkptId, RankBlobKind};
 pub use tier::{TierSpec, TieredBackend, WritePolicy};
+
+#[cfg(test)]
+mod test_alloc {
+    //! A counting global allocator for this crate's unit tests, so hot
+    //! paths can pin their allocation behavior (e.g. blob reassembly
+    //! must not allocate per-chunk temporaries). Counts are per-thread
+    //! so concurrently running tests don't pollute each other.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    struct CountingAlloc;
+
+    // SAFETY: delegates entirely to `System`; the counter uses
+    // `try_with` so allocation during thread-local teardown is safe.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(
+            &self,
+            ptr: *mut u8,
+            layout: Layout,
+            new_size: usize,
+        ) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+    /// Heap allocations (including reallocations) made by this thread
+    /// since it started.
+    pub fn allocations() -> u64 {
+        ALLOCS.try_with(Cell::get).unwrap_or(0)
+    }
+}

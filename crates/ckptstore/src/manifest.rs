@@ -19,17 +19,25 @@
 //! snapshots, which dominates its Figure 8 overhead numbers.
 
 use crate::codec::{CodecError, Decoder, Encoder, SaveLoad};
+use crate::compress::Codec;
 use crate::integrity::{crc32, hash128};
 
 /// Magic prefix of an encoded manifest (also a format version marker).
-/// `…0002` widened chunk addresses from CRC-32 to a 128-bit content hash.
-const MANIFEST_MAGIC: u32 = 0xC3A1_0002;
+/// `…0002` widened chunk addresses from CRC-32 to a 128-bit content hash;
+/// `…0003` replaced the per-chunk compressed flag with a codec id.
+const MANIFEST_MAGIC: u32 = 0xC3A1_0003;
 
 /// Storage key of the chunk with the given content address. Chunks live in
 /// a flat `chunk/` namespace outside any checkpoint directory, because
 /// they are shared across checkpoints.
 pub fn chunk_key(hash: u128, len: u32) -> String {
-    format!("chunk/{hash:032x}-{len}")
+    use std::fmt::Write as _;
+    // Pre-sized so the hot path (one key per chunk on every write and
+    // read) allocates exactly once: 6 ("chunk/") + 32 (hash) + 1 ('-')
+    // + ≤10 (len digits).
+    let mut key = String::with_capacity(50);
+    let _ = write!(key, "chunk/{hash:032x}-{len}");
+    key
 }
 
 /// A reference to one content-addressed chunk of a blob.
@@ -43,8 +51,8 @@ pub struct ChunkRef {
     /// the storage seal. Lets byte accounting and GC reason about actual
     /// storage cost without fetching the chunk.
     pub stored_len: u32,
-    /// Whether the stored representation is run-length compressed.
-    pub compressed: bool,
+    /// Codec of the stored representation ([`Codec::None`] = raw bytes).
+    pub codec: Codec,
 }
 
 impl ChunkRef {
@@ -54,13 +62,18 @@ impl ChunkRef {
             hash: hash128(piece),
             len: piece.len() as u32,
             stored_len: piece.len() as u32,
-            compressed: false,
+            codec: Codec::None,
         }
     }
 
     /// The storage key this chunk lives under.
     pub fn key(&self) -> String {
         chunk_key(self.hash, self.len)
+    }
+
+    /// Whether the stored representation needs decoding on read.
+    pub fn compressed(&self) -> bool {
+        self.codec != Codec::None
     }
 }
 
@@ -69,14 +82,19 @@ impl SaveLoad for ChunkRef {
         enc.put_u128(self.hash);
         enc.put_u32(self.len);
         enc.put_u32(self.stored_len);
-        enc.put_bool(self.compressed);
+        enc.put_u8(self.codec.id());
     }
     fn load(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(ChunkRef {
             hash: dec.get_u128()?,
             len: dec.get_u32()?,
             stored_len: dec.get_u32()?,
-            compressed: dec.get_bool()?,
+            codec: {
+                let id = dec.get_u8()?;
+                Codec::from_id(id).ok_or_else(|| {
+                    CodecError::new(format!("unknown chunk codec id {id}"))
+                })?
+            },
         })
     }
 }
@@ -165,7 +183,7 @@ mod tests {
             hash: 0xff,
             len: 7,
             stored_len: 7,
-            compressed: false,
+            codec: Codec::None,
         };
         assert_eq!(c.key(), "chunk/000000000000000000000000000000ff-7");
         // `for_piece` agrees with the content hash.
@@ -173,7 +191,7 @@ mod tests {
         let r = ChunkRef::for_piece(piece);
         assert_eq!(r.hash, hash128(piece));
         assert_eq!(r.len, piece.len() as u32);
-        assert!(!r.compressed);
+        assert!(!r.compressed());
     }
 
     #[test]
@@ -185,13 +203,13 @@ mod tests {
                 hash: 1 << 100,
                 len: 64,
                 stored_len: 4,
-                compressed: true,
+                codec: Codec::PackBits,
             },
             ChunkRef {
                 hash: 2,
                 len: 36,
                 stored_len: 36,
-                compressed: false,
+                codec: Codec::Lz4,
             },
         ];
         let enc = m.encode();
@@ -211,7 +229,7 @@ mod tests {
                 hash: 0,
                 len: 5,
                 stored_len: 5,
-                compressed: false,
+                codec: Codec::None,
             }],
         };
         m.total_len = 99;
@@ -221,5 +239,27 @@ mod tests {
         let mut enc = m.encode();
         enc.push(0);
         assert!(Manifest::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_codec_ids() {
+        let mut m = Manifest {
+            total_len: 5,
+            blob_crc: 0,
+            chunks: vec![ChunkRef {
+                hash: 7,
+                len: 5,
+                stored_len: 5,
+                codec: Codec::Lz4,
+            }],
+        };
+        m.blob_crc = 1;
+        let mut enc = m.encode();
+        // The codec id is the last byte of the encoded chunk list.
+        let last = enc.len() - 1;
+        assert_eq!(enc[last], Codec::Lz4.id());
+        enc[last] = 7;
+        let err = Manifest::decode(&enc).unwrap_err();
+        assert!(err.to_string().contains("codec"), "{err}");
     }
 }

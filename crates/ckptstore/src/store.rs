@@ -188,9 +188,12 @@ impl CheckpointStore {
         manifest_key: &str,
         manifest: &Manifest,
     ) -> StoreResult<Vec<u8>> {
+        // Reserve the exact blob length up front and decode every chunk
+        // straight into it — recovery of a large blob costs one output
+        // allocation, not one temporary per chunk.
         let mut blob = Vec::with_capacity(manifest.total_len as usize);
         for chunk in &manifest.chunks {
-            blob.extend_from_slice(&self.get_chunk(chunk)?);
+            self.get_chunk_into(chunk, &mut blob)?;
         }
         // End-to-end check over the reassembled blob: per-chunk CRCs
         // cannot catch ordering bugs or a manifest naming wrong chunks.
@@ -269,10 +272,11 @@ impl CheckpointStore {
     }
 
     /// Store one content-addressed chunk. `stored` is the chunk's stored
-    /// representation (compressed when `chunk.compressed`); its length
-    /// must match `chunk.stored_len`. Chunks are immutable and shared
-    /// across checkpoints, so re-putting an existing chunk is harmless
-    /// (same key, same content).
+    /// representation (encoded with `chunk.codec`, raw for
+    /// [`Codec::None`](crate::Codec::None)); its length must match
+    /// `chunk.stored_len`. Chunks are immutable and shared across
+    /// checkpoints, so re-putting an existing chunk is harmless (same
+    /// key, same content).
     pub fn put_chunk(
         &self,
         chunk: &ChunkRef,
@@ -287,14 +291,50 @@ impl CheckpointStore {
             .put(&chunk.key(), &crate::integrity::seal(stored))
     }
 
+    /// Store a batch of content-addressed chunks through one
+    /// [`StorageBackend::put_many`] call, sealing each. Same semantics
+    /// as a loop of [`Self::put_chunk`]s — including non-atomicity: on
+    /// error a prefix may already be stored, which is harmless for
+    /// immutable content-addressed chunks (a retry rewrites the same
+    /// bytes).
+    pub fn put_chunks(
+        &self,
+        chunks: &[(ChunkRef, Vec<u8>)],
+    ) -> StoreResult<()> {
+        let items: Vec<(String, Vec<u8>)> = chunks
+            .iter()
+            .map(|(chunk, stored)| {
+                assert_eq!(
+                    stored.len() as u32,
+                    chunk.stored_len,
+                    "chunk ref disagrees with stored payload length"
+                );
+                (chunk.key(), crate::integrity::seal(stored))
+            })
+            .collect();
+        self.backend.put_many(&items)
+    }
+
     /// True if the chunk is already on storage (the dedup test).
     pub fn has_chunk(&self, chunk: &ChunkRef) -> StoreResult<bool> {
         self.backend.contains(&chunk.key())
     }
 
-    /// Fetch and validate one chunk, returning its raw (decompressed)
-    /// bytes.
+    /// Fetch and validate one chunk, returning its raw (decoded) bytes.
     pub fn get_chunk(&self, chunk: &ChunkRef) -> StoreResult<Vec<u8>> {
+        let mut out = Vec::with_capacity(chunk.len as usize);
+        self.get_chunk_into(chunk, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fetch and validate one chunk, appending its raw bytes to `out`
+    /// (the zero-temporary reassembly path). On error `out` is restored
+    /// to its original length.
+    pub fn get_chunk_into(
+        &self,
+        chunk: &ChunkRef,
+        out: &mut Vec<u8>,
+    ) -> StoreResult<()> {
         let key = chunk.key();
         let corrupt = |detail: &str| StoreError::Corrupt {
             key: key.clone(),
@@ -303,18 +343,23 @@ impl CheckpointStore {
         let sealed = self.backend.get(&key)?;
         let stored = crate::integrity::unseal(&sealed)
             .ok_or_else(|| corrupt("CRC-32 integrity check failed"))?;
-        let raw = if chunk.compressed {
-            crate::compress::decompress(stored, chunk.len as usize)
-                .ok_or_else(|| corrupt("chunk decompression failed"))?
-        } else {
-            stored.to_vec()
-        };
-        if raw.len() as u32 != chunk.len
-            || crate::integrity::hash128(&raw) != chunk.hash
+        let start = out.len();
+        if chunk
+            .codec
+            .decode_into(stored, chunk.len as usize, out)
+            .is_none()
         {
+            out.truncate(start);
+            return Err(corrupt("chunk decode failed"));
+        }
+        let raw = &out[start..];
+        if raw.len() as u32 != chunk.len
+            || crate::integrity::hash128(raw) != chunk.hash
+        {
+            out.truncate(start);
             return Err(corrupt("chunk content disagrees with its address"));
         }
-        Ok(raw)
+        Ok(())
     }
 
     /// Phase B: atomically mark checkpoint `ckpt` as the recovery line.
@@ -825,6 +870,84 @@ mod tests {
             .get_rank_manifest(1, 0, RankBlobKind::State)
             .unwrap()
             .is_some());
+    }
+
+    #[test]
+    fn chunks_round_trip_through_every_codec() {
+        use crate::compress::Codec;
+        let s = store(1);
+        let piece: Vec<u8> = (0..2048)
+            .map(|i| [7u8, 7, 9, (i / 64) as u8][i % 4])
+            .collect();
+        for codec in [Codec::None, Codec::PackBits, Codec::Lz4] {
+            let stored = match codec.encode(&piece) {
+                Some(enc) => enc,
+                None => piece.clone(),
+            };
+            let mut chunk = ChunkRef::for_piece(&piece);
+            chunk.stored_len = stored.len() as u32;
+            chunk.codec = codec;
+            s.put_chunk(&chunk, &stored).unwrap();
+            assert_eq!(s.get_chunk(&chunk).unwrap(), piece, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn put_chunks_batches_and_each_chunk_reads_back() {
+        let s = store(1);
+        let pieces: Vec<Vec<u8>> =
+            (0..16u8).map(|i| vec![i; 100 + i as usize]).collect();
+        let batch: Vec<(ChunkRef, Vec<u8>)> = pieces
+            .iter()
+            .map(|p| (ChunkRef::for_piece(p), p.clone()))
+            .collect();
+        s.put_chunks(&batch).unwrap();
+        for (chunk, _) in &batch {
+            assert!(s.has_chunk(chunk).unwrap());
+            assert_eq!(s.get_chunk(chunk).unwrap().len() as u32, chunk.len);
+        }
+        assert!(s.put_chunks(&[]).is_ok());
+    }
+
+    #[test]
+    fn reassembly_allocates_a_constant_number_per_chunk() {
+        use crate::compress::Codec;
+        const CHUNKS: u64 = 256;
+        const CHUNK_LEN: usize = 256;
+        let s = store(1);
+        // A compressible blob stored as 256 PackBits chunks, so the test
+        // covers the decode-into path, not just raw copies.
+        let blob: Vec<u8> = (0..CHUNKS as usize * CHUNK_LEN)
+            .map(|i| (i / 1024) as u8)
+            .collect();
+        let mut manifest = Manifest::for_blob(&blob);
+        for piece in blob.chunks(CHUNK_LEN) {
+            let mut chunk = ChunkRef::for_piece(piece);
+            let enc = crate::compress::compress(piece);
+            if enc.len() < piece.len() {
+                chunk.stored_len = enc.len() as u32;
+                chunk.codec = Codec::PackBits;
+                s.put_chunk(&chunk, &enc).unwrap();
+            } else {
+                s.put_chunk(&chunk, piece).unwrap();
+            }
+            manifest.chunks.push(chunk);
+        }
+        s.put_rank_manifest(1, 0, RankBlobKind::State, &manifest)
+            .unwrap();
+
+        let before = crate::test_alloc::allocations();
+        let got = s.get_rank_blob(1, 0, RankBlobKind::State).unwrap();
+        let allocs = crate::test_alloc::allocations() - before;
+        assert_eq!(got, blob);
+        // Per chunk the read path allocates the key string and the
+        // backend's returned copy; decoding appends into the single
+        // pre-reserved output buffer. Anything per-chunk beyond that
+        // (e.g. a temporary decompression buffer) busts this budget.
+        assert!(
+            allocs <= 3 * CHUNKS + 64,
+            "reassembly made {allocs} allocations for {CHUNKS} chunks"
+        );
     }
 
     #[test]

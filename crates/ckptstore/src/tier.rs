@@ -529,6 +529,25 @@ impl StorageBackend for TieredBackend {
         res
     }
 
+    /// Batched writes land on tier 0 only, like [`put`], in one inner
+    /// `put_many` so tier 0 can amortize its per-operation cost.
+    ///
+    /// [`put`]: StorageBackend::put
+    fn put_many(&self, items: &[(String, Vec<u8>)]) -> StoreResult<()> {
+        #[cfg(feature = "obs")]
+        let res = {
+            let sw = c3obs::Stopwatch::start();
+            let res = self.tiers[0].backend.put_many(items);
+            if let Some(o) = self.obs.get() {
+                o.put_ns[0].record(sw.elapsed_ns());
+            }
+            res
+        };
+        #[cfg(not(feature = "obs"))]
+        let res = self.tiers[0].backend.put_many(items);
+        res
+    }
+
     /// Falls through tiers in order; any per-tier failure (missing key,
     /// corrupt shard, too few survivors) moves on to the next tier.
     fn get(&self, key: &str) -> StoreResult<Vec<u8>> {

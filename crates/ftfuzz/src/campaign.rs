@@ -283,6 +283,8 @@ mod tests {
             sync_io: true,
             incremental: false,
             compression: false,
+            chunker: c3_core::Chunker::fixed(4096),
+            codec: c3_core::Codec::PackBits,
             keep_last: 1,
             tiers: None,
             net: simmpi::NetCond::perfect(),
@@ -306,6 +308,8 @@ mod tests {
             sync_io: false,
             incremental: true,
             compression: true,
+            chunker: c3_core::Chunker::cdc(1024),
+            codec: c3_core::Codec::Lz4,
             keep_last: 1,
             tiers: None,
             net: simmpi::NetCond::perfect(),
@@ -327,6 +331,8 @@ mod tests {
             sync_io: false,
             incremental: true,
             compression: false,
+            chunker: c3_core::Chunker::fixed(4096),
+            codec: c3_core::Codec::PackBits,
             keep_last: 1,
             tiers: None,
             net: simmpi::NetCond::perfect(),

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use c3_core::{C3Config, PipelineConfig, TierTopology};
+use c3_core::{C3Config, Chunker, Codec, PipelineConfig, TierTopology};
 use ckptstore::{FaultInjectingBackend, FaultPlan, MemoryBackend};
 use ftsim::FailureSchedule;
 use simmpi::{NetCond, RetransmitPolicy};
@@ -90,6 +90,12 @@ pub struct Scenario {
     pub incremental: bool,
     /// Chunk compression.
     pub compression: bool,
+    /// How incremental blobs are cut: fixed-size pieces or FastCDC
+    /// content-defined chunks (exercises boundary-shift dedup).
+    pub chunker: Chunker,
+    /// Preferred chunk codec when compression is on (PackBits RLE or
+    /// the LZ4-class block codec).
+    pub codec: Codec,
     /// Committed lines to retain.
     pub keep_last: u64,
     /// Multi-level storage topology behind the faulty staging tier.
@@ -185,6 +191,19 @@ impl Scenario {
             FailureSchedule::compose(parts)
         };
 
+        // The chunker/codec dimensions are drawn after everything else
+        // so corpus seeds predating them keep their original shapes.
+        let chunker = match next(3) {
+            0 => Chunker::fixed(4096),
+            1 => Chunker::fixed(1024),
+            _ => Chunker::cdc(1024usize << next(3)),
+        };
+        let codec = if next(2) == 0 {
+            Codec::PackBits
+        } else {
+            Codec::Lz4
+        };
+
         Scenario {
             seed,
             nranks,
@@ -193,6 +212,8 @@ impl Scenario {
             sync_io,
             incremental,
             compression,
+            chunker,
+            codec,
             keep_last,
             tiers,
             net: NetCond::from_seed(seed, nranks),
@@ -212,6 +233,8 @@ impl Scenario {
         };
         io.incremental = self.incremental;
         io.compression = self.compression;
+        io.chunker = self.chunker;
+        io.codec = self.codec;
         io.keep_last = self.keep_last;
         io.tiers = self.tiers;
         let base = match self.interval {
@@ -327,6 +350,27 @@ mod tests {
         assert!(
             count(&|s| matches!(s.app, AppChoice::DenseCg { .. })) >= 64,
             "both apps appear"
+        );
+        assert!(
+            count(&|s| matches!(s.chunker, Chunker::Cdc { .. })) >= 48,
+            "content-defined chunking scenarios"
+        );
+        assert!(
+            count(&|s| matches!(s.chunker, Chunker::Fixed { .. })) >= 48,
+            "fixed-size chunking scenarios"
+        );
+        assert!(count(&|s| s.codec == Codec::Lz4) >= 64, "LZ4 scenarios");
+        assert!(
+            count(&|s| s.codec == Codec::PackBits) >= 64,
+            "PackBits scenarios"
+        );
+        assert!(
+            count(&|s| matches!(s.chunker, Chunker::Cdc { .. })
+                && s.codec == Codec::Lz4
+                && s.incremental
+                && s.compression)
+                >= 8,
+            "the CDC+LZ4 hot path is exercised"
         );
         for s in &scenarios {
             assert!((2..=5).contains(&s.nranks));

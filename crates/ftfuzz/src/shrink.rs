@@ -134,6 +134,18 @@ fn proposals(sc: &Scenario) -> Vec<Scenario> {
             ..sc.clone()
         });
     }
+    if sc.chunker != c3_core::Chunker::fixed(4096) {
+        push(Scenario {
+            chunker: c3_core::Chunker::fixed(4096),
+            ..sc.clone()
+        });
+    }
+    if sc.codec != c3_core::Codec::PackBits {
+        push(Scenario {
+            codec: c3_core::Codec::PackBits,
+            ..sc.clone()
+        });
+    }
     out
 }
 
@@ -267,6 +279,17 @@ fn fmt_schedule(s: &FailureSchedule) -> String {
     )
 }
 
+fn fmt_chunker(c: &c3_core::Chunker) -> String {
+    match *c {
+        c3_core::Chunker::Fixed { size } => {
+            format!("c3_core::Chunker::Fixed {{ size: {size} }}")
+        }
+        c3_core::Chunker::Cdc { min, avg, max } => format!(
+            "c3_core::Chunker::Cdc {{ min: {min}, avg: {avg}, max: {max} }}"
+        ),
+    }
+}
+
 fn fmt_tiers(t: &Option<c3_core::TierTopology>) -> String {
     match t {
         None => "None".into(),
@@ -312,6 +335,8 @@ pub fn reproducer(
          \x20       sync_io: {sync_io},\n\
          \x20       incremental: {incremental},\n\
          \x20       compression: {compression},\n\
+         \x20       chunker: {chunker},\n\
+         \x20       codec: c3_core::Codec::{codec:?},\n\
          \x20       keep_last: {keep_last},\n\
          \x20       tiers: {tiers},\n\
          \x20       net: {net},\n\
@@ -332,6 +357,8 @@ pub fn reproducer(
         sync_io = sc.sync_io,
         incremental = sc.incremental,
         compression = sc.compression,
+        chunker = fmt_chunker(&sc.chunker),
+        codec = sc.codec,
         keep_last = sc.keep_last,
         tiers = fmt_tiers(&sc.tiers),
         net = fmt_net(&sc.net),
@@ -354,6 +381,8 @@ mod tests {
             sync_io: false,
             incremental: true,
             compression: true,
+            chunker: c3_core::Chunker::cdc(1024),
+            codec: c3_core::Codec::Lz4,
             keep_last: 2,
             tiers: Some(c3_core::TierTopology::partner(1)),
             net: NetCond::perfect().with_dup_ppm(10_000),
@@ -396,6 +425,8 @@ mod tests {
             sync_io: true,
             incremental: false,
             compression: false,
+            chunker: c3_core::Chunker::fixed(4096),
+            codec: c3_core::Codec::PackBits,
             keep_last: 1,
             tiers: None,
             net: NetCond::perfect(),
@@ -422,6 +453,10 @@ mod tests {
         assert!(code.contains("fail_first_puts: 1"));
         assert!(code.contains("dup_ppm: 10000"));
         assert!(code.contains("TierTopology::partner(1)"));
+        assert!(code.contains(
+            "c3_core::Chunker::Cdc { min: 256, avg: 1024, max: 4096 }"
+        ));
+        assert!(code.contains("c3_core::Codec::Lz4"));
         assert!(code.contains("outcome.failure.is_none()"));
     }
 }

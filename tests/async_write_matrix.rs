@@ -17,8 +17,8 @@ use std::sync::Arc;
 use c3_apps::{DenseCg, Laplace};
 use c3_core::trace::encode_trace;
 use c3_core::{
-    run_job, C3App, C3Config, PipelineConfig, TierTopology, TraceSink,
-    WriteMode,
+    run_job, C3App, C3Config, Chunker, Codec, PipelineConfig, TierTopology,
+    TraceSink, WriteMode,
 };
 use c3verify::analyze;
 use ckptstore::{
@@ -41,6 +41,15 @@ fn async_io() -> PipelineConfig {
         writers: 2,
         queue_depth: 4,
     })
+}
+
+/// The CDC+LZ4 column: the same async pipeline with content-defined
+/// chunking and the LZ4 codec engaged, so kills land while CDC chunk
+/// batches are being hashed, encoded, and written in the background.
+fn cdc_io() -> PipelineConfig {
+    async_io()
+        .with_chunker(Chunker::cdc(1024))
+        .with_codec(Codec::Lz4)
 }
 
 /// One matrix cell: a failure-free reference run, then a run on slow
@@ -129,7 +138,7 @@ fn dense_cg_survives_kills_during_async_writes() {
             10,
             seed,
             round,
-            &async_io(),
+            &cdc_io(),
         );
     }
 }

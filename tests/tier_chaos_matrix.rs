@@ -13,8 +13,8 @@ use std::sync::Arc;
 use c3_apps::Laplace;
 use c3_core::trace::encode_trace;
 use c3_core::{
-    run_job, C3Config, PipelineConfig, TierTopology, TraceEvent, TraceRecord,
-    TraceSink,
+    run_job, C3Config, Chunker, Codec, PipelineConfig, TierTopology,
+    TraceEvent, TraceRecord, TraceSink,
 };
 use c3verify::{analyze, invariant, race_check};
 use ckptstore::{
@@ -89,8 +89,13 @@ fn lost_local_tier_recovers_from_partner_replica() {
         ],
         3,
     ));
+    // This column runs with content-defined chunking and the LZ4 codec,
+    // so partner-replica recovery decodes CDC-cut, LZ4-stored chunks.
     let cfg = C3Config::every_ops(9).with_io(
-        PipelineConfig::default().with_tiers(TierTopology::partner(1)),
+        PipelineConfig::default()
+            .with_chunker(Chunker::cdc(1024))
+            .with_codec(Codec::Lz4)
+            .with_tiers(TierTopology::partner(1)),
     );
     let (outputs, records) =
         clean_run("partner_run1", 3, &cfg, tiered.clone());
