@@ -6,11 +6,94 @@
 //! failure is injected mid-run and the end-to-end slowdown versus a
 //! failure-free run is reported, along with how much work the rollback
 //! discarded (failure op − checkpoint coverage).
+//!
+//! M4d compares the two recovery modes as the world grows: a full
+//! rollback makes *every* rank redo the work since the last commit, so
+//! the aggregate redone work scales with world size, while a localized
+//! splice re-executes only the dead rank — aggregate redone work stays
+//! ~flat no matter how many survivors there are. The section writes
+//! `BENCH_recovery.json` (full runs only) and asserts the scaling shape
+//! on the redone-iteration counters — wall clock is reported but never
+//! asserted. The splice counter is deterministic (only the dead rank's
+//! own op stream matters); the rollback counter varies by up to one
+//! checkpoint interval of commit coverage with thread scheduling, so
+//! the assertions leave at least a 2× margin over that jitter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use c3_apps::Laplace;
 use c3_bench::fmt_bytes;
-use c3_core::{run_job, C3Config};
+use c3_bench::report::{self, Cell, Report};
+use c3_core::{run_job, C3Config, C3Result, Process, RecoveryMode};
+use ckptstore::impl_saveload_struct;
 use ftsim::RecoveryMetrics;
+
+/// Application iterations executed across all ranks, attempts, and
+/// incarnations — re-execution (rollback replay or splice catch-up)
+/// counts again, so `counted − nprocs × iters` is the redone work.
+static ITERS_RUN: AtomicU64 = AtomicU64::new(0);
+
+struct CountedRing {
+    iters: u64,
+}
+
+struct RingState {
+    i: u64,
+    acc: u64,
+}
+impl_saveload_struct!(RingState { i: u64, acc: u64 });
+
+impl c3_core::C3App for CountedRing {
+    type State = RingState;
+    type Output = u64;
+
+    fn init(&self, p: &mut Process<'_>) -> C3Result<RingState> {
+        Ok(RingState {
+            i: 0,
+            acc: p.rank() as u64 + 1,
+        })
+    }
+
+    fn run(&self, p: &mut Process<'_>, s: &mut RingState) -> C3Result<u64> {
+        let world = p.world();
+        let n = p.size();
+        let right = (p.rank() + 1) % n;
+        let left = (p.rank() + n - 1) % n;
+        while s.i < self.iters {
+            let got =
+                p.sendrecv(world, right, 7, &s.acc.to_le_bytes(), left, 7)?;
+            s.acc = s.acc.rotate_left(3)
+                ^ u64::from_le_bytes(got.payload[..8].try_into().unwrap());
+            s.i += 1;
+            ITERS_RUN.fetch_add(1, Ordering::Relaxed);
+            p.potential_checkpoint(s)?;
+        }
+        Ok(s.acc)
+    }
+}
+
+/// Run one kill scenario and return (redone iterations, metrics).
+fn measure(
+    nprocs: usize,
+    iters: u64,
+    mode: RecoveryMode,
+    baseline: &c3_core::JobReport<u64>,
+) -> (u64, RecoveryMetrics) {
+    let app = CountedRing { iters };
+    // Kill rank 1 past the second commit so both modes have committed
+    // lines behind them. The splice's redone work is a pure function of
+    // (nprocs, mode); the rollback's also depends on which line the job
+    // had committed when the kill landed (see the module doc).
+    let cfg = C3Config::every_ops(40)
+        .with_failure(1, 100)
+        .with_recovery(mode);
+    let before = ITERS_RUN.load(Ordering::Relaxed);
+    let report = run_job(nprocs, &cfg, None, &app).expect("faulty run");
+    let executed = ITERS_RUN.load(Ordering::Relaxed) - before;
+    assert_eq!(report.outputs, baseline.outputs, "recovery must be exact");
+    let redone = executed - nprocs as u64 * iters;
+    (redone, RecoveryMetrics::from_reports(&report, baseline))
+}
 
 fn main() {
     let nprocs = 4;
@@ -19,7 +102,12 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>10} {:>10} {:>14}",
         "grid", "baseline", "with fail", "slowdown", "restarts", "state/rank"
     );
-    for (n, iters) in [(64usize, 600u64), (128, 400), (256, 250)] {
+    let grids: &[(usize, u64)] = if report::smoke() {
+        &[(64, 600)]
+    } else {
+        &[(64, 600), (128, 400), (256, 250)]
+    };
+    for &(n, iters) in grids {
         let app = Laplace { n, iters };
         let cfg = C3Config::every_ops(300);
         let baseline = run_job(nprocs, &cfg, None, &app).expect("baseline");
@@ -48,7 +136,12 @@ fn main() {
         "interval(ops)", "baseline", "with fail", "slowdown", "ckpts"
     );
     let app = Laplace { n: 128, iters: 400 };
-    for interval in [100u64, 300, 900] {
+    let intervals: &[u64] = if report::smoke() {
+        &[300]
+    } else {
+        &[100, 300, 900]
+    };
+    for &interval in intervals {
         let cfg = C3Config::every_ops(interval);
         let baseline = run_job(nprocs, &cfg, None, &app).expect("baseline");
         let faulty_cfg = C3Config::every_ops(interval).with_failure(2, 550);
@@ -86,4 +179,100 @@ fn main() {
              (eff {eff:.3}); sweep argmax τ = {best:>6.0} (eff {best_eff:.3})"
         );
     }
+
+    // M4d: online splice vs full rollback as the world grows. One rank
+    // dies at a fixed op; the aggregate work the repair redoes is counted
+    // in application iterations (deterministic), wall clock is reported
+    // for color only.
+    println!("\n=== M4d — recovery mode vs world size (ring, 1 failure) ===");
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "ranks", "mode", "redone iters", "elapsed", "repairs"
+    );
+    let iters = 60u64;
+    // The smoke pair keeps the scaling assertions meaningful (the
+    // full-restart redone work still more than doubles from 2 to 8).
+    let sizes: Vec<usize> = if report::smoke() {
+        vec![2, 8]
+    } else {
+        vec![2, 4, 8, 12]
+    };
+    let mut report = Report::new("recovery")
+        .param("app", "counted-ring")
+        .param("iters", iters)
+        .param("interval_ops", 40u64)
+        .param("fail_rank", 1u64)
+        .param("fail_at_op", 100u64);
+    let mut redone: Vec<(RecoveryMode, usize, u64)> = Vec::new();
+    for &nprocs in &sizes {
+        let baseline = run_job(
+            nprocs,
+            &C3Config::every_ops(40),
+            None,
+            &CountedRing { iters },
+        )
+        .expect("baseline");
+        for mode in [RecoveryMode::FullRestart, RecoveryMode::Localized] {
+            let (work, m) = measure(nprocs, iters, mode, &baseline);
+            let label = match mode {
+                RecoveryMode::FullRestart => "full-restart",
+                RecoveryMode::Localized => "localized",
+            };
+            println!(
+                "{:>8} {:>14} {:>14} {:>11.3}s {:>12}",
+                nprocs,
+                label,
+                work,
+                m.faulty_elapsed.as_secs_f64(),
+                match mode {
+                    RecoveryMode::FullRestart => m.restarts,
+                    RecoveryMode::Localized => m.splices,
+                },
+            );
+            report.push_cell(
+                Cell::new()
+                    .field("mode", label)
+                    .field("nprocs", nprocs)
+                    .field("redone_iters", work)
+                    .field("elapsed_s", m.faulty_elapsed.as_secs_f64())
+                    .field("slowdown", m.slowdown)
+                    .field("restarts", m.restarts)
+                    .field("splices", m.splices),
+            );
+            redone.push((mode, nprocs, work));
+        }
+    }
+    let of = |mode: RecoveryMode, n: usize| {
+        redone
+            .iter()
+            .find(|&&(m, np, _)| m == mode && np == n)
+            .map(|&(_, _, w)| w)
+            .unwrap()
+    };
+    let (first, last) = (sizes[0], sizes[sizes.len() - 1]);
+    // Shape assertions: a rollback's redone work scales with world
+    // size, a splice's does not, and at scale the splice redoes
+    // strictly less. Margins absorb the rollback counter's
+    // commit-coverage jitter.
+    assert!(
+        of(RecoveryMode::FullRestart, last)
+            >= 2 * of(RecoveryMode::FullRestart, first),
+        "full-restart redone work must grow with the world"
+    );
+    assert!(
+        of(RecoveryMode::Localized, last)
+            <= 2 * of(RecoveryMode::Localized, first).max(1),
+        "localized redone work must stay ~flat as the world grows"
+    );
+    assert!(
+        of(RecoveryMode::Localized, last)
+            < of(RecoveryMode::FullRestart, last),
+        "at scale the splice must redo less work than the rollback"
+    );
+    println!(
+        "\na rollback redoes (ranks × work-since-commit); a splice redoes \
+         only the dead rank's tape, so its cost is independent of the \
+         world size."
+    );
+    report.write("BENCH_recovery.json");
 }

@@ -23,10 +23,11 @@ fn checked_in_artifacts_satisfy_schema() {
         seen.push(name);
     }
     seen.sort();
-    // The three micro benches that track their numbers in-repo.
+    // The micro benches that track their numbers in-repo.
     for expected in [
         "BENCH_overhead.json",
         "BENCH_pipeline.json",
+        "BENCH_recovery.json",
         "BENCH_transport.json",
     ] {
         assert!(

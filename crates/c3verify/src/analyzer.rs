@@ -75,6 +75,20 @@
 //!   claimed one in some earlier attempt of the trace. The first attempt
 //!   of a trace is exempt (it may be continuing a previous job whose
 //!   drain events live in that job's trace).
+//! * **I15 splice-supersession** — under localized recovery a rank may
+//!   appear several times per attempt, once per incarnation. Every
+//!   superseded incarnation's stream ends in a `FailStop` (a rank is
+//!   replaced only because it died), every respawned stream begins with
+//!   a `RankRespawned` carrying its own incarnation number, and the
+//!   incarnation numbers are contiguous from 0. Only the highest
+//!   incarnation — the *effective stream* — feeds I1–I14: the spliced
+//!   rank re-executes the attempt deterministically, so its effective
+//!   stream joins with the survivors' exactly like a failure-free run.
+//! * **I16 splice-catchup-once** — a respawned incarnation completes
+//!   catch-up exactly once (one `SpliceReplayed` per respawn, none in
+//!   original incarnations) unless it died mid-catch-up, and its final
+//!   replayed-frame count never falls below the count observed when the
+//!   incarnation started.
 //!
 //! Structural defects of the trace itself (duplicate sequence numbers,
 //! ragged count vectors, initiator events off rank 0) are reported as
@@ -118,6 +132,11 @@ pub mod invariant {
     pub const I13: &str = "I13-drain-before-commit";
     /// Recovery never reads a checkpoint from a tier it was not drained to.
     pub const I14: &str = "I14-tier-provenance";
+    /// Superseded incarnations died; respawns announce themselves; the
+    /// effective per-rank history is the highest incarnation's.
+    pub const I15: &str = "I15-splice-supersession";
+    /// Exactly one catch-up completion per respawned incarnation.
+    pub const I16: &str = "I16-splice-catchup-once";
     /// The trace itself is structurally sound.
     pub const T0: &str = "T0-well-formed";
 }
@@ -142,6 +161,13 @@ struct RecvFact {
     sender_logging: bool,
     epoch: u32,
     seq: u64,
+    /// True when the receive sits in a respawned incarnation's catch-up
+    /// region (before its `SpliceReplayed` marker). Such receives re-enact
+    /// the dead incarnation's tape, but polled control consumption is not
+    /// order-faithful under replay, so the *classification* may diverge
+    /// from the physical one — I2 pairs these by identity against the
+    /// superseded incarnation's receive instead of trusting the class.
+    catch_up: bool,
 }
 
 /// A collective control exchange observed in a rank stream.
@@ -185,6 +211,16 @@ struct RankFacts {
     initiator_items: Vec<IniItem>,
     /// ckpt -> blobs this rank staged with the I/O pipeline.
     staged: BTreeMap<u64, u64>,
+    /// Sends transmitted by superseded (dead) incarnations of this rank.
+    /// They are physical wire traffic: survivors may have received them,
+    /// and the respawn's re-execution of the same identity was squelched
+    /// before it reached the wire.
+    superseded_sends: Vec<SendFact>,
+    /// Receives classified by superseded (dead) incarnations of this
+    /// rank. They record the *physical* classification of each taped
+    /// message — the ground truth when the respawn's catch-up replay
+    /// classifies the same message differently.
+    superseded_recvs: Vec<RecvFact>,
     /// Rank 0 only: (ckpt, blobs, seq) per pipeline drain barrier.
     drains: Vec<(u64, u64, u64)>,
     /// Rank 0 only: (kept ckpt, seq) per post-commit GC sweep.
@@ -230,6 +266,10 @@ fn scan_rank(
     let mut suppressed_ids: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nranks];
     let mut suppress_list_len: Vec<Option<u64>> = vec![None; nranks];
     let mut prev_seq: Option<u64> = None;
+    // True once a respawned incarnation's `SpliceReplayed` marker has
+    // passed: events before it are catch-up re-enactments of the dead
+    // incarnation's tape.
+    let mut caught_up = false;
 
     let mut flag = |inv: &'static str, seq: u64, detail: String| {
         out.push(Violation {
@@ -534,6 +574,7 @@ fn scan_rank(
                     sender_logging: *sender_logging,
                     epoch: *receiver_epoch,
                     seq,
+                    catch_up: rec.incarnation > 0 && !caught_up,
                 });
             }
             TraceEvent::LateLogged { src, message_id } => {
@@ -852,6 +893,23 @@ fn scan_rank(
                 }
                 f.tier_drains.push((*ckpt, *tier));
             }
+            // Splice structure (which incarnation these events may appear
+            // in, and how often) is checked by `check_splices` across all
+            // incarnation streams; here only rank-local sanity applies.
+            TraceEvent::RankRespawned { incarnation, .. } => {
+                if *incarnation == 0 {
+                    flag(
+                        invariant::T0,
+                        seq,
+                        "respawn event claims incarnation 0 (original \
+                         incarnations are never respawns)"
+                            .into(),
+                    );
+                }
+            }
+            TraceEvent::SpliceReplayed { .. } => {
+                caught_up = true;
+            }
             TraceEvent::TierRecovered { ckpt, tier } => {
                 if f.recovered != Some(*ckpt) {
                     flag(
@@ -936,35 +994,100 @@ fn join_classifications(
                     .push_back(s.logging);
             }
         }
+        // Physical overlay for localized recovery: a send transmitted by
+        // a superseded incarnation is what the receiver actually holds.
+        // The respawn's re-execution of the same identity never reached
+        // the wire (the splice layer squelched it), so its piggyback
+        // flag — which replay divergence may have flipped — must not be
+        // the pairing truth. Replace the re-executed copy's flag with
+        // the transmitted original's; identities the respawn never
+        // re-issued are added outright.
+        for s in &f.superseded_sends {
+            let e = sends
+                .entry((rank, s.dst, s.comm, s.epoch, s.id))
+                .or_default();
+            match e.front_mut() {
+                Some(flag) => *flag = s.logging,
+                None => e.push_back(s.logging),
+            }
+        }
     }
     for (&rank, f) in facts {
+        // Physical classifications by this rank's dead incarnations, by
+        // message identity. A catch-up re-enactment of the same taped
+        // message pairs through these: replay is not order-faithful in
+        // polled control consumption, so the re-enacted *class* (and with
+        // it the implied sender epoch) may diverge from what physically
+        // happened — the superseded incarnation's receive is the truth.
+        let mut physical: HashMap<(u32, u64, u32), VecDeque<&RecvFact>> =
+            HashMap::new();
+        for p in &f.superseded_recvs {
+            physical
+                .entry((p.src, p.comm, p.id))
+                .or_default()
+                .push_back(p);
+        }
         for r in &f.recvs {
-            let sender_epoch = match r.class {
+            let (class, epoch, piggy) = match r.catch_up {
+                true => match physical
+                    .get_mut(&(r.src, r.comm, r.id))
+                    .and_then(VecDeque::pop_front)
+                {
+                    Some(p) => (p.class, p.epoch, p.sender_logging),
+                    // The dead incarnation fed this message to its
+                    // matching engine (taping it) but died before the
+                    // application receive: the catch-up receive is its
+                    // first app-level receipt. Its class may still be
+                    // divergent — the miss arm below widens the epoch.
+                    None => (r.class, r.epoch, r.sender_logging),
+                },
+                false => (r.class, r.epoch, r.sender_logging),
+            };
+            let sender_epoch = match class {
                 MsgClass::Late => {
-                    if r.epoch == 0 {
+                    if epoch == 0 {
                         continue; // already flagged in scan_rank
                     }
-                    r.epoch - 1
+                    epoch - 1
                 }
-                MsgClass::IntraEpoch => r.epoch,
-                MsgClass::Early => r.epoch + 1,
+                MsgClass::IntraEpoch => epoch,
+                MsgClass::Early => epoch + 1,
             };
-            let key = (r.src, rank, r.comm, sender_epoch, r.id);
-            match sends.get_mut(&key).and_then(VecDeque::pop_front) {
+            let mut hit = sends
+                .get_mut(&(r.src, rank, r.comm, sender_epoch, r.id))
+                .and_then(VecDeque::pop_front);
+            if hit.is_none() && r.catch_up {
+                // No physical counterpart recorded and the class-implied
+                // epoch misses: accept the identity under any adjacent
+                // sender epoch (the identity is physical; the class is a
+                // logical re-enactment).
+                for alt in [epoch.wrapping_sub(1), epoch, epoch + 1] {
+                    if alt == sender_epoch || alt == u32::MAX {
+                        continue;
+                    }
+                    hit = sends
+                        .get_mut(&(r.src, rank, r.comm, alt, r.id))
+                        .and_then(VecDeque::pop_front);
+                    if hit.is_some() {
+                        break;
+                    }
+                }
+            }
+            match hit {
                 None => out.push(Violation {
                     invariant: invariant::I2,
                     attempt,
                     rank,
                     seq: r.seq,
                     detail: format!(
-                        "message from {} (id {}) classified {:?} in epoch \
-                         {}, but rank {} sent no such message in epoch \
-                         {sender_epoch}",
-                        r.src, r.id, r.class, r.epoch, r.src
+                        "message from {} (id {}) classified {class:?} in \
+                         epoch {epoch}, but rank {} sent no such message \
+                         in epoch {sender_epoch}",
+                        r.src, r.id, r.src
                     ),
                 }),
                 Some(sender_logging) => {
-                    if sender_logging != r.sender_logging {
+                    if sender_logging != piggy {
                         out.push(Violation {
                             invariant: invariant::I2,
                             attempt,
@@ -972,8 +1095,9 @@ fn join_classifications(
                             seq: r.seq,
                             detail: format!(
                                 "message from {} (id {}) delivered with \
-                                 amLogging={} but was sent with amLogging={}",
-                                r.src, r.id, r.sender_logging, sender_logging
+                                 amLogging={piggy} but was sent with \
+                                 amLogging={sender_logging}",
+                                r.src, r.id
                             ),
                         });
                     }
@@ -1578,10 +1702,17 @@ fn check_tiers(
     }
 }
 
-/// Check a recorded trace against the protocol invariants.
-pub fn analyze(records: &[TraceRecord]) -> Report {
-    let mut by_attempt: BTreeMap<u64, BTreeMap<u32, Vec<&TraceRecord>>> =
-        BTreeMap::new();
+/// One attempt's streams, keyed rank → incarnation → records.
+pub(crate) type IncStreams<'a> =
+    BTreeMap<u32, BTreeMap<u32, Vec<&'a TraceRecord>>>;
+
+/// Group a trace by attempt → rank → incarnation (sorting each stream by
+/// `seq`) and compute the world size. Shared by the invariant analyzer
+/// and the race checker so both select effective streams identically.
+pub(crate) fn group_trace(
+    records: &[TraceRecord],
+) -> (BTreeMap<u64, IncStreams<'_>>, u32) {
+    let mut by_attempt: BTreeMap<u64, IncStreams<'_>> = BTreeMap::new();
     let mut ranks_seen: u32 = 0;
     for r in records {
         ranks_seen = ranks_seen.max(r.rank + 1);
@@ -1593,8 +1724,196 @@ pub fn analyze(records: &[TraceRecord]) -> Report {
             .or_default()
             .entry(r.rank)
             .or_default()
+            .entry(r.incarnation)
+            .or_default()
             .push(r);
     }
+    for ranks in by_attempt.values_mut() {
+        for incs in ranks.values_mut() {
+            for stream in incs.values_mut() {
+                stream.sort_by_key(|r| r.seq);
+            }
+        }
+    }
+    (by_attempt, ranks_seen)
+}
+
+/// The effective stream of one rank within an attempt: the highest
+/// incarnation's records. Under localized recovery a spliced rank
+/// re-executes the attempt deterministically, so this is the stream that
+/// joins with the survivors' histories.
+pub(crate) fn effective_stream<'a, 'b>(
+    incs: &'b BTreeMap<u32, Vec<&'a TraceRecord>>,
+) -> &'b [&'a TraceRecord] {
+    incs.values().next_back().map(Vec::as_slice).unwrap_or(&[])
+}
+
+/// I15 + I16: the splice structure of one attempt, across *all*
+/// incarnation streams (everything else in the analyzer sees only the
+/// effective — highest — incarnation per rank).
+fn check_splices(
+    attempt: u64,
+    ranks: &IncStreams<'_>,
+    out: &mut Vec<Violation>,
+) {
+    for (&rank, incs) in ranks {
+        let max_inc = incs.keys().next_back().copied().unwrap_or(0);
+        let mut flag = |inv: &'static str, seq: u64, detail: String| {
+            out.push(Violation {
+                invariant: inv,
+                attempt,
+                rank,
+                seq,
+                detail,
+            });
+        };
+        for want in 0..=max_inc {
+            if !incs.contains_key(&want) {
+                flag(
+                    invariant::I15,
+                    0,
+                    format!(
+                        "incarnation {want} missing: incarnations reach \
+                         {max_inc} but are not contiguous from 0"
+                    ),
+                );
+            }
+        }
+        for (&inc, stream) in incs {
+            let last_seq = stream.last().map_or(0, |r| r.seq);
+            let died = matches!(
+                stream.last().map(|r| &r.event),
+                Some(TraceEvent::FailStop { .. })
+            );
+            if inc < max_inc && !died {
+                flag(
+                    invariant::I15,
+                    last_seq,
+                    format!(
+                        "incarnation {inc} was superseded by incarnation \
+                         {max_inc} but its stream does not end in a failure"
+                    ),
+                );
+            }
+            // Respawn announcement: first event of every respawned
+            // stream, absent from original incarnations.
+            let mut respawn_replayed: Option<u64> = None;
+            for (i, r) in stream.iter().enumerate() {
+                if let TraceEvent::RankRespawned {
+                    incarnation,
+                    replayed,
+                } = &r.event
+                {
+                    if inc == 0 {
+                        flag(
+                            invariant::I15,
+                            r.seq,
+                            "respawn announcement in an original \
+                             incarnation's stream"
+                                .into(),
+                        );
+                    } else if i != 0 {
+                        flag(
+                            invariant::I15,
+                            r.seq,
+                            format!(
+                                "respawn announcement is event {i} of \
+                                 incarnation {inc}'s stream, not the first"
+                            ),
+                        );
+                    } else if *incarnation != inc {
+                        flag(
+                            invariant::I15,
+                            r.seq,
+                            format!(
+                                "respawn announcement claims incarnation \
+                                 {incarnation} inside incarnation {inc}'s \
+                                 stream"
+                            ),
+                        );
+                    }
+                    if respawn_replayed.is_none() {
+                        respawn_replayed = Some(*replayed);
+                    }
+                }
+            }
+            if inc > 0 && respawn_replayed.is_none() {
+                flag(
+                    invariant::I15,
+                    stream.first().map_or(0, |r| r.seq),
+                    format!(
+                        "respawned incarnation {inc} never announced \
+                         itself (no RankRespawned)"
+                    ),
+                );
+            }
+            // I16: catch-up completes exactly once per respawn (unless
+            // the respawn itself died mid-catch-up), never in an
+            // original incarnation, and the replayed-frame counter is
+            // monotone from the respawn announcement.
+            let splices: Vec<(u64, u64)> = stream
+                .iter()
+                .filter_map(|r| match &r.event {
+                    TraceEvent::SpliceReplayed { replayed, .. } => {
+                        Some((r.seq, *replayed))
+                    }
+                    _ => None,
+                })
+                .collect();
+            if inc == 0 {
+                if let Some(&(seq, _)) = splices.first() {
+                    flag(
+                        invariant::I16,
+                        seq,
+                        "catch-up completion in an original incarnation's \
+                         stream"
+                            .into(),
+                    );
+                }
+            } else {
+                if splices.len() > 1 {
+                    flag(
+                        invariant::I16,
+                        splices[1].0,
+                        format!(
+                            "incarnation {inc} completed catch-up {} times",
+                            splices.len()
+                        ),
+                    );
+                }
+                if splices.is_empty() && !died {
+                    flag(
+                        invariant::I16,
+                        last_seq,
+                        format!(
+                            "respawned incarnation {inc} finished the \
+                             attempt without completing catch-up"
+                        ),
+                    );
+                }
+                if let (Some(at_respawn), Some(&(seq, total))) =
+                    (respawn_replayed, splices.first())
+                {
+                    if total < at_respawn {
+                        flag(
+                            invariant::I16,
+                            seq,
+                            format!(
+                                "catch-up reports {total} replayed frame(s) \
+                                 but {at_respawn} were already replayed \
+                                 when the incarnation started"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check a recorded trace against the protocol invariants.
+pub fn analyze(records: &[TraceRecord]) -> Report {
+    let (by_attempt, ranks_seen) = group_trace(records);
     let nranks = ranks_seen as usize;
     // Every rank of a well-formed trace contributes at least one record,
     // so a world size beyond the record count can only come from a
@@ -1629,14 +1948,70 @@ pub fn analyze(records: &[TraceRecord]) -> Report {
     let mut prior_commits: BTreeSet<u64> = BTreeSet::new();
     let mut drained: BTreeMap<u64, u8> = BTreeMap::new();
     let first_attempt = by_attempt.keys().next().copied();
-    for (&attempt, ranks) in &mut by_attempt {
+    for (&attempt, ranks) in &by_attempt {
+        check_splices(attempt, ranks, &mut violations);
         let mut facts: BTreeMap<u32, RankFacts> = BTreeMap::new();
-        for (&rank, stream) in ranks.iter_mut() {
-            stream.sort_by_key(|r| r.seq);
-            facts.insert(
-                rank,
-                scan_rank(attempt, rank, nranks, stream, &mut violations),
-            );
+        for (&rank, incs) in ranks.iter() {
+            let stream = effective_stream(incs);
+            let mut f =
+                scan_rank(attempt, rank, nranks, stream, &mut violations);
+            // Staging and wire traffic are physical, not logical: a
+            // superseded incarnation's blobs entered the I/O pipeline
+            // before it died and are counted by the drain barrier, so
+            // I13's accounting must include them — and its transmitted
+            // sends were (or may yet be) delivered to survivors, so the
+            // I2 pairing must know about them — even though the
+            // effective history starts over at the respawn.
+            let max_inc = incs.keys().next_back().copied().unwrap_or(0);
+            for (&inc, superseded) in incs.iter() {
+                if inc == max_inc {
+                    continue;
+                }
+                for r in superseded {
+                    match &r.event {
+                        TraceEvent::BlobStaged { ckpt, .. } => {
+                            *f.staged.entry(*ckpt).or_default() += 1;
+                        }
+                        TraceEvent::Send {
+                            comm,
+                            dst,
+                            epoch,
+                            logging,
+                            message_id,
+                            suppressed: false,
+                            ..
+                        } => f.superseded_sends.push(SendFact {
+                            comm: *comm,
+                            dst: *dst,
+                            epoch: *epoch,
+                            logging: *logging,
+                            id: *message_id,
+                            suppressed: false,
+                            seq: r.seq,
+                        }),
+                        TraceEvent::RecvClassified {
+                            comm,
+                            src,
+                            message_id,
+                            class,
+                            sender_logging,
+                            receiver_epoch,
+                            ..
+                        } => f.superseded_recvs.push(RecvFact {
+                            comm: *comm,
+                            src: *src,
+                            id: *message_id,
+                            class: *class,
+                            sender_logging: *sender_logging,
+                            epoch: *receiver_epoch,
+                            seq: r.seq,
+                            catch_up: false,
+                        }),
+                        _ => {}
+                    }
+                }
+            }
+            facts.insert(rank, f);
         }
         join_classifications(attempt, &facts, &mut violations);
         join_send_counts(attempt, nranks, &facts, &mut violations);

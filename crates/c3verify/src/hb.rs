@@ -43,6 +43,33 @@
 //! Attempts are independent (a restart begins from stable storage, and
 //! in-flight traffic does not cross the failure), so each attempt gets
 //! its own graph.
+//!
+//! Under localized recovery a spliced rank appears several times per
+//! attempt, once per incarnation, and the graph models the *physical*
+//! history:
+//!
+//! * every incarnation's stream enters the graph, and a rank's chains
+//!   are concatenated in incarnation order — a respawn starts strictly
+//!   after its predecessor's death, so the concatenation is itself
+//!   program order;
+//! * only wire-transmitted sends source message edges: a respawned
+//!   incarnation's re-executed sends were squelched by the splice layer
+//!   until the dead incarnation's per-(destination, comm, tag) budgets
+//!   (per-destination for control messages) were spent, so survivors
+//!   paired their receives with the *superseded* incarnation's copies;
+//! * receives are matched per (rank, incarnation) against fresh pools:
+//!   a respawned incarnation re-consumes, via the replay tape, messages
+//!   the superseded incarnation already consumed, and both consumptions
+//!   causally follow the same original send;
+//! * catch-up re-enactments — events in a respawned stream before its
+//!   [`TraceEvent::SpliceReplayed`] marker — are exempt from the R1/R2
+//!   anchors: the corresponding physical deliveries and finalizations
+//!   happened in the superseded incarnation (where they are checked),
+//!   while the re-execution touches neither the wire nor stable storage.
+//!
+//! Collective cliques are still aligned over effective streams only; a
+//! spliced rank's replayed collectives re-emit the control exchange, so
+//! front-alignment pairs the k-th entries across ranks as before.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -73,6 +100,8 @@ pub mod race {
 /// One event in the happens-before graph.
 struct Node<'a> {
     rank: u32,
+    /// Which incarnation of the rank produced the event (0 = original).
+    inc: u32,
     seq: u64,
     event: &'a TraceEvent,
     /// Incoming cross-rank edges (node indices); program order is
@@ -90,6 +119,9 @@ pub struct HbGraph<'a> {
     nodes: Vec<Node<'a>>,
     /// Indices of nodes left clockless by a causal cycle.
     cyclic: Vec<usize>,
+    /// Per node: true if it lies in a respawned incarnation's catch-up
+    /// region (before the stream's `SpliceReplayed` marker).
+    catch_up: Vec<bool>,
 }
 
 impl<'a> HbGraph<'a> {
@@ -138,105 +170,196 @@ type MsgKey = (u32, u32, u64, u32, u32); // (src, dst, comm, epoch, id)
 type CtrlQueues = HashMap<(u32, u32), VecDeque<(u8, u64, usize)>>;
 
 /// Build the happens-before graph for one attempt's records (already
-/// grouped per rank and sorted by `seq`).
+/// grouped rank -> incarnation and sorted by `seq`).
 fn build_graph<'a>(
     attempt: u64,
     nranks: usize,
-    streams: &BTreeMap<u32, Vec<&'a TraceRecord>>,
+    ranks: &crate::analyzer::IncStreams<'a>,
 ) -> HbGraph<'a> {
     let mut nodes: Vec<Node<'a>> = Vec::new();
-    // Per-rank node index lists, in stream order.
+    // Per-rank node index chains: every incarnation's stream, in
+    // incarnation order. A respawn starts strictly after its
+    // predecessor's death, so the concatenation is program order.
     let mut by_rank: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-    for (&rank, stream) in streams {
+    for (&rank, incs) in ranks {
         let ids = by_rank.entry(rank).or_default();
-        for rec in stream {
-            ids.push(nodes.len());
-            nodes.push(Node {
-                rank,
-                seq: rec.seq,
-                event: &rec.event,
-                preds: Vec::new(),
-                clock: None,
-            });
+        for (&inc, stream) in incs {
+            for rec in stream {
+                ids.push(nodes.len());
+                nodes.push(Node {
+                    rank,
+                    inc,
+                    seq: rec.seq,
+                    event: &rec.event,
+                    preds: Vec::new(),
+                    clock: None,
+                });
+            }
         }
     }
+    let max_inc: BTreeMap<u32, u32> = ranks
+        .iter()
+        .map(|(&r, incs)| (r, incs.keys().next_back().copied().unwrap_or(0)))
+        .collect();
 
-    // Application-message edges: identity join, FIFO per key (duplicate
-    // identities pair in send order, like the analyzer's I2 pass).
-    let mut sends: HashMap<MsgKey, VecDeque<usize>> = HashMap::new();
-    for (i, n) in nodes.iter().enumerate() {
-        if let TraceEvent::Send {
-            comm,
-            dst,
-            epoch,
-            message_id,
-            suppressed: false,
-            ..
-        } = n.event
-        {
-            sends
-                .entry((n.rank, *dst, *comm, *epoch, *message_id))
-                .or_default()
-                .push_back(i);
-        }
-    }
-    let mut recv_edges: Vec<(usize, usize)> = Vec::new();
-    for (i, n) in nodes.iter().enumerate() {
-        if let TraceEvent::RecvClassified {
-            comm,
-            src,
-            message_id,
-            class,
-            receiver_epoch,
-            ..
-        } = n.event
-        {
-            let sender_epoch = match class {
-                c3_core::epoch::MsgClass::Late => {
-                    if *receiver_epoch == 0 {
-                        continue; // impossible claim; analyzer flags it
+    // Which sends actually reached the wire. A respawned incarnation's
+    // re-executed sends are squelched by the splice layer until the dead
+    // incarnation's per-(destination, comm, tag) transmitted-frame
+    // budgets (per-destination for control messages) are spent — mirror
+    // that accounting so survivors' receives pair with the copies they
+    // physically hold.
+    let mut transmitted: Vec<bool> = vec![true; nodes.len()];
+    {
+        let mut app_budget: HashMap<(u32, u32, u64, i32), u64> =
+            HashMap::new();
+        let mut ctrl_budget: HashMap<(u32, u32), u64> = HashMap::new();
+        for n in nodes.iter() {
+            if n.inc < max_inc[&n.rank] {
+                match n.event {
+                    TraceEvent::Send {
+                        dst,
+                        comm,
+                        tag,
+                        suppressed: false,
+                        ..
+                    } => {
+                        *app_budget
+                            .entry((n.rank, *dst, *comm, *tag))
+                            .or_default() += 1;
                     }
-                    receiver_epoch - 1
+                    TraceEvent::ControlSent { dst, .. } => {
+                        *ctrl_budget.entry((n.rank, *dst)).or_default() += 1;
+                    }
+                    _ => {}
                 }
-                c3_core::epoch::MsgClass::IntraEpoch => *receiver_epoch,
-                c3_core::epoch::MsgClass::Early => receiver_epoch + 1,
-            };
-            let key = (*src, n.rank, *comm, sender_epoch, *message_id);
-            if let Some(s) = sends.get_mut(&key).and_then(VecDeque::pop_front)
-            {
-                recv_edges.push((s, i));
             }
         }
-    }
-    for (s, r) in recv_edges {
-        nodes[r].preds.push(s);
+        let mut app_spent: HashMap<(u32, u32, u64, i32), u64> = HashMap::new();
+        let mut ctrl_spent: HashMap<(u32, u32), u64> = HashMap::new();
+        for ids in by_rank.values() {
+            for &i in ids {
+                let n = &nodes[i];
+                match n.event {
+                    TraceEvent::Send {
+                        suppressed: true, ..
+                    } => transmitted[i] = false,
+                    TraceEvent::Send { dst, comm, tag, .. } if n.inc > 0 => {
+                        let k = (n.rank, *dst, *comm, *tag);
+                        let budget = app_budget.get(&k).copied().unwrap_or(0);
+                        let spent = app_spent.entry(k).or_default();
+                        if *spent < budget {
+                            *spent += 1;
+                            transmitted[i] = false;
+                        }
+                    }
+                    TraceEvent::ControlSent { dst, .. } if n.inc > 0 => {
+                        let k = (n.rank, *dst);
+                        let budget = ctrl_budget.get(&k).copied().unwrap_or(0);
+                        let spent = ctrl_spent.entry(k).or_default();
+                        if *spent < budget {
+                            *spent += 1;
+                            transmitted[i] = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 
-    // Control-message edges: FIFO per (sender, receiver) channel, matched
-    // on (kind, arg) so a mutated (dropped) entry desynchronizes only its
-    // own pair, not the rest of the channel.
-    let mut ctrl: CtrlQueues = HashMap::new();
-    for (i, n) in nodes.iter().enumerate() {
-        if let TraceEvent::ControlSent { dst, kind, arg } = n.event {
-            ctrl.entry((n.rank, *dst))
-                .or_default()
-                .push_back((*kind, *arg, i));
-        }
-    }
-    let mut ctrl_edges: Vec<(usize, usize)> = Vec::new();
-    for (i, n) in nodes.iter().enumerate() {
-        if let TraceEvent::ControlRecv { src, kind, arg } = n.event {
-            if let Some(q) = ctrl.get_mut(&(*src, n.rank)) {
-                if let Some(pos) =
-                    q.iter().position(|&(k, a, _)| k == *kind && a == *arg)
-                {
-                    let (_, _, s) = q.remove(pos).unwrap();
-                    ctrl_edges.push((s, i));
+    // Message and control edges, matched per (receiver, incarnation)
+    // against fresh pools of transmitted sends: a respawned incarnation
+    // re-consumes, via the replay tape, messages the superseded
+    // incarnation already consumed, and both consumptions causally
+    // follow the same original send. Application messages join on
+    // identity (FIFO per key, like the analyzer's I2 pass); control
+    // messages match FIFO per channel on (kind, arg) so a mutated
+    // (dropped) entry desynchronizes only its own pair.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (&rank, ids) in &by_rank {
+        let incs: Vec<u32> = ranks[&rank].keys().copied().collect::<Vec<_>>();
+        for &inc in &incs {
+            let mut sends: HashMap<MsgKey, VecDeque<usize>> = HashMap::new();
+            let mut ctrl: CtrlQueues = HashMap::new();
+            for (j, m) in nodes.iter().enumerate() {
+                if !transmitted[j] {
+                    continue;
+                }
+                match m.event {
+                    TraceEvent::Send {
+                        comm,
+                        dst,
+                        epoch,
+                        message_id,
+                        ..
+                    } if *dst == rank => {
+                        sends
+                            .entry((m.rank, *dst, *comm, *epoch, *message_id))
+                            .or_default()
+                            .push_back(j);
+                    }
+                    TraceEvent::ControlSent { dst, kind, arg }
+                        if *dst == rank =>
+                    {
+                        ctrl.entry((m.rank, *dst))
+                            .or_default()
+                            .push_back((*kind, *arg, j));
+                    }
+                    _ => {}
+                }
+            }
+            for &i in ids {
+                if nodes[i].inc != inc {
+                    continue;
+                }
+                match nodes[i].event {
+                    TraceEvent::RecvClassified {
+                        comm,
+                        src,
+                        message_id,
+                        class,
+                        receiver_epoch,
+                        ..
+                    } => {
+                        let sender_epoch = match class {
+                            c3_core::epoch::MsgClass::Late => {
+                                if *receiver_epoch == 0 {
+                                    continue; // analyzer flags it
+                                }
+                                receiver_epoch - 1
+                            }
+                            c3_core::epoch::MsgClass::IntraEpoch => {
+                                *receiver_epoch
+                            }
+                            c3_core::epoch::MsgClass::Early => {
+                                receiver_epoch + 1
+                            }
+                        };
+                        let key =
+                            (*src, rank, *comm, sender_epoch, *message_id);
+                        if let Some(s) =
+                            sends.get_mut(&key).and_then(VecDeque::pop_front)
+                        {
+                            edges.push((s, i));
+                        }
+                    }
+                    TraceEvent::ControlRecv { src, kind, arg } => {
+                        if let Some(q) = ctrl.get_mut(&(*src, rank)) {
+                            if let Some(pos) = q
+                                .iter()
+                                .position(|&(k, a, _)| k == *kind && a == *arg)
+                            {
+                                let (_, _, s) = q.remove(pos).unwrap();
+                                edges.push((s, i));
+                            }
+                        }
+                    }
+                    _ => {}
                 }
             }
         }
     }
-    for (s, r) in ctrl_edges {
+    for (s, r) in edges {
         nodes[r].preds.push(s);
     }
 
@@ -277,18 +400,41 @@ fn build_graph<'a>(
         .iter()
         .any(|n| matches!(n.event, TraceEvent::FailStop { .. }));
     if !(recovered && failed) {
+        // Clique members are the *physical* participants of each round.
+        // For a spliced rank that is the superseded incarnation's records
+        // (survivors exchanged those rounds with it, and its stream
+        // predecessors lie before the exchange — members from the
+        // respawn's re-enactments would give survivors' early rounds
+        // predecessors deep in the dead incarnation's tail and close a
+        // cycle), followed by the respawn's records beyond the re-enacted
+        // count. The count-skip rather than the catch-up marker handles a
+        // death inside a collective: the superseded incarnation never
+        // recorded that round, and the respawn completes it live just
+        // before the marker is emitted.
         let world: Vec<Vec<usize>> = by_rank
-            .values()
-            .map(|ids| {
-                ids.iter()
+            .iter()
+            .map(|(&r, ids)| {
+                let coll = |i: &usize| {
+                    matches!(
+                        nodes[*i].event,
+                        TraceEvent::CollectiveControl { comm: 0, .. }
+                    )
+                };
+                let mut v: Vec<usize> = ids
+                    .iter()
                     .copied()
-                    .filter(|&i| {
-                        matches!(
-                            nodes[i].event,
-                            TraceEvent::CollectiveControl { comm: 0, .. }
-                        )
-                    })
-                    .collect::<Vec<_>>()
+                    .filter(|i| nodes[*i].inc < max_inc[&r])
+                    .filter(coll)
+                    .collect();
+                let replayed = v.len();
+                v.extend(
+                    ids.iter()
+                        .copied()
+                        .filter(|i| nodes[*i].inc == max_inc[&r])
+                        .filter(coll)
+                        .skip(replayed),
+                );
+                v
             })
             .collect();
         let common = world.iter().map(Vec::len).min().unwrap_or(0);
@@ -385,11 +531,34 @@ fn build_graph<'a>(
         Vec::new()
     };
 
+    // Mark each respawned incarnation's catch-up region: everything from
+    // its start until its SpliceReplayed marker (to the stream's end if
+    // the marker is missing — the incarnation died or the trace is
+    // truncated, so nothing after the region exists anyway).
+    let mut catch_up = vec![false; nodes.len()];
+    for ids in by_rank.values() {
+        let mut cur_inc = 0u32;
+        let mut caught = true;
+        for &i in ids {
+            if nodes[i].inc != cur_inc {
+                cur_inc = nodes[i].inc;
+                caught = cur_inc == 0;
+            }
+            if !caught {
+                catch_up[i] = true;
+            }
+            if matches!(nodes[i].event, TraceEvent::SpliceReplayed { .. }) {
+                caught = true;
+            }
+        }
+    }
+
     HbGraph {
         attempt,
         nranks,
         nodes,
         cyclic,
+        catch_up,
     }
 }
 
@@ -455,6 +624,13 @@ fn check_races(g: &HbGraph<'_>, out: &mut Vec<Violation>) {
                 receiver_epoch,
                 ..
             } => {
+                // A catch-up re-enactment of a delivery the superseded
+                // incarnation already received (and is checked on) is
+                // not a wire event; the epoch's commit may legitimately
+                // predate the respawn.
+                if g.catch_up[i] {
+                    continue;
+                }
                 let e = u64::from(*receiver_epoch);
                 for &(ckpt, c) in &commits {
                     if ckpt == e && !g.before(i, c) {
@@ -475,6 +651,12 @@ fn check_races(g: &HbGraph<'_>, out: &mut Vec<Violation>) {
             // stable storage, so a concurrent finalization is a
             // lost-update race on the recovery line.
             TraceEvent::LogFinalized { ckpt, .. } => {
+                // Same exemption as R1: a replayed finalization's log
+                // blob was deduplicated at the staging layer, so it
+                // writes nothing the commit could race with.
+                if g.catch_up[i] {
+                    continue;
+                }
                 for &(c_ckpt, c) in &commits {
                     if c_ckpt == *ckpt && !g.before(i, c) {
                         flag(
@@ -582,10 +764,12 @@ fn check_races(g: &HbGraph<'_>, out: &mut Vec<Violation>) {
 /// the same stream with no other checkpoint in between.
 fn barrier_aligned_to(g: &HbGraph<'_>, i: usize, ckpt: u64) -> bool {
     let rank = g.nodes[i].rank;
-    let seq = g.nodes[i].seq;
-    let mut best: Option<(u64, bool)> = None; // (seq, is_alignment)
+    // Chain position is (incarnation, seq): seq restarts at zero in a
+    // respawned incarnation's stream.
+    let pos = (g.nodes[i].inc, g.nodes[i].seq);
+    let mut best: Option<((u32, u64), bool)> = None; // (pos, is_alignment)
     for n in &g.nodes {
-        if n.rank != rank || n.seq >= seq {
+        if n.rank != rank || (n.inc, n.seq) >= pos {
             continue;
         }
         let hit = match n.event {
@@ -596,8 +780,8 @@ fn barrier_aligned_to(g: &HbGraph<'_>, i: usize, ckpt: u64) -> bool {
             _ => None,
         };
         if let Some(is_alignment) = hit {
-            if best.is_none_or(|(s, _)| n.seq > s) {
-                best = Some((n.seq, is_alignment));
+            if best.is_none_or(|(p, _)| (n.inc, n.seq) > p) {
+                best = Some(((n.inc, n.seq), is_alignment));
             }
         }
     }
@@ -611,21 +795,7 @@ fn barrier_aligned_to(g: &HbGraph<'_>, i: usize, ckpt: u64) -> bool {
 /// depends on was actually ordered by the execution's happens-before
 /// relation, not just observed in a benign order.
 pub fn race_check(records: &[TraceRecord]) -> Report {
-    let mut by_attempt: BTreeMap<u64, BTreeMap<u32, Vec<&TraceRecord>>> =
-        BTreeMap::new();
-    let mut ranks_seen: u32 = 0;
-    for r in records {
-        ranks_seen = ranks_seen.max(r.rank + 1);
-        if let TraceEvent::CheckpointTaken { send_counts, .. } = &r.event {
-            ranks_seen = ranks_seen.max(send_counts.len() as u32);
-        }
-        by_attempt
-            .entry(r.attempt)
-            .or_default()
-            .entry(r.rank)
-            .or_default()
-            .push(r);
-    }
+    let (by_attempt, ranks_seen) = crate::analyzer::group_trace(records);
     // Same T0 guard as the analyzer: vector clocks are sized by the
     // world size, so a corrupted rank field must not drive allocation.
     if ranks_seen as usize > records.len() {
@@ -650,11 +820,8 @@ pub fn race_check(records: &[TraceRecord]) -> Report {
 
     let mut violations = Vec::new();
     let mut commits = Vec::new();
-    for (&attempt, streams) in &mut by_attempt {
-        for stream in streams.values_mut() {
-            stream.sort_by_key(|r| r.seq);
-        }
-        let g = build_graph(attempt, ranks_seen as usize, streams);
+    for (&attempt, ranks) in &by_attempt {
+        let g = build_graph(attempt, ranks_seen as usize, ranks);
         check_races(&g, &mut violations);
         for n in &g.nodes {
             if n.rank == 0 {
@@ -680,28 +847,14 @@ pub fn race_check(records: &[TraceRecord]) -> Report {
 /// total event and cross-edge counts — exposed for tests and the CLI's
 /// diagnostics.
 pub fn graph_stats(records: &[TraceRecord]) -> (usize, usize) {
-    let mut by_attempt: BTreeMap<u64, BTreeMap<u32, Vec<&TraceRecord>>> =
-        BTreeMap::new();
-    let mut ranks_seen: u32 = 0;
-    for r in records {
-        ranks_seen = ranks_seen.max(r.rank + 1);
-        by_attempt
-            .entry(r.attempt)
-            .or_default()
-            .entry(r.rank)
-            .or_default()
-            .push(r);
-    }
+    let (by_attempt, ranks_seen) = crate::analyzer::group_trace(records);
     if ranks_seen as usize > records.len() {
         return (0, 0); // corrupted rank field; see race_check's T0 guard
     }
     let mut events = 0;
     let mut edges = 0;
-    for (&attempt, streams) in &mut by_attempt {
-        for stream in streams.values_mut() {
-            stream.sort_by_key(|r| r.seq);
-        }
-        let g = build_graph(attempt, ranks_seen as usize, streams);
+    for (&attempt, ranks) in &by_attempt {
+        let g = build_graph(attempt, ranks_seen as usize, ranks);
         events += g.len();
         edges += g.nodes.iter().map(|n| n.preds.len()).sum::<usize>();
     }
@@ -718,6 +871,7 @@ mod tests {
         TraceRecord {
             rank,
             attempt: 1,
+            incarnation: 0,
             seq,
             event,
         }

@@ -5,7 +5,7 @@
 //! Three layers, stacked on the trace recorder in `c3_core::trace`:
 //!
 //! 1. **[`analyzer`]** — an offline pass over a recorded trace that
-//!    checks twelve safety invariants of the protocol (epoch monotonicity,
+//!    checks sixteen safety invariants of the protocol (epoch monotonicity,
 //!    classification soundness, the late-message accounting equation, the
 //!    initiator's phase gating, the collective conjunction rule, …) and
 //!    reports violations with rank / attempt / operation context.
@@ -39,7 +39,7 @@ pub use hb::{race, race_check};
 pub use report::{Report, Violation};
 pub use verdict::{verdict, verdict_records, CheckKind, Verdict};
 
-/// Decode a trace artifact file (magic `C3TRACE1`).
+/// Decode a trace artifact file (magic `C3TRACE2`).
 pub fn read_trace_file(path: &Path) -> Result<Vec<TraceRecord>, String> {
     let bytes =
         std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -57,7 +57,7 @@ pub fn analyze_sink(sink: &TraceSink) -> Report {
     analyze(&sink.snapshot())
 }
 
-/// Race-check a trace artifact file (magic `C3TRACE1`).
+/// Race-check a trace artifact file (magic `C3TRACE2`).
 pub fn race_check_file(path: &Path) -> Result<Report, String> {
     Ok(race_check(&read_trace_file(path)?))
 }

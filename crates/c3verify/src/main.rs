@@ -2,7 +2,7 @@
 //! invariants.
 //!
 //! ```text
-//! c3verify [check] [--quiet] <trace-file>...   state invariants I1..I13
+//! c3verify [check] [--quiet] <trace-file>...   state invariants I1..I16
 //! c3verify race    [--quiet] <trace-file>...   ordering invariants R0..R6
 //! c3verify explore [--dpor] [--max N]          canned interleaving sweep
 //! ```
@@ -45,7 +45,7 @@ fn files_cmd(args: &[String], kind: CheckKind) -> ExitCode {
             "--help" | "-h" => {
                 println!("{USAGE}");
                 println!(
-                    "checks C3 protocol traces (magic C3TRACE1) against \
+                    "checks C3 protocol traces (magic C3TRACE2) against \
                      the PPoPP 2003 protocol invariants; `race` rebuilds \
                      the happens-before relation and reports unordered \
                      conflicting event pairs"

@@ -19,7 +19,7 @@ use crate::report::Report;
 /// Which invariant family to check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckKind {
-    /// The state invariants I1..I14 + T0 (`c3verify check`).
+    /// The state invariants I1..I16 + T0 (`c3verify check`).
     Invariants,
     /// The happens-before ordering invariants R0..R6 (`c3verify race`).
     Races,
@@ -165,6 +165,7 @@ mod tests {
         TraceRecord {
             rank,
             attempt: 1,
+            incarnation: 0,
             seq,
             event,
         }

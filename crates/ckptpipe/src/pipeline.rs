@@ -160,6 +160,10 @@ struct Shared {
     not_full: Condvar,
     tickets: Mutex<HashMap<CkptId, WriteTicket>>,
     drained: Condvar,
+    // Keys accepted via `stage_once`, for duplicate suppression when a
+    // respawned rank re-executes an attempt against this still-running
+    // pipeline (localized recovery).
+    staged_once: Mutex<HashSet<(CkptId, usize, RankBlobKind)>>,
     // Dedup misses fall back to `CheckpointStore::has_chunk`, which also
     // catches chunks written by earlier job attempts.
     prev_chunks: Mutex<PrevChunkSets>,
@@ -237,6 +241,7 @@ impl CheckpointPipeline {
             not_full: Condvar::new(),
             tickets: Mutex::new(HashMap::new()),
             drained: Condvar::new(),
+            staged_once: Mutex::new(HashSet::new()),
             prev_chunks: Mutex::new(HashMap::new()),
             gc_gate: RwLock::new(()),
             stats: StatCells::default(),
@@ -317,6 +322,43 @@ impl CheckpointPipeline {
             o.stage_ns.record(t.elapsed_ns());
         }
         res
+    }
+
+    /// Stage one rank blob at most once per pipeline lifetime: a repeat
+    /// call for a `(ckpt, rank, kind)` this pipeline already accepted is
+    /// dropped, returning `false`. A respawned rank re-executing an
+    /// attempt under localized recovery re-stages blobs its dead
+    /// predecessor already handed to this (shared, still-running)
+    /// pipeline; writing them again would double-count blobs at the
+    /// drain barrier and spend write bandwidth on bit-identical bytes.
+    pub fn stage_once(
+        &self,
+        ckpt: CkptId,
+        rank: usize,
+        kind: RankBlobKind,
+        bytes: impl Into<Bytes>,
+    ) -> StoreResult<bool> {
+        if !self
+            .shared
+            .staged_once
+            .lock()
+            .unwrap()
+            .insert((ckpt, rank, kind))
+        {
+            return Ok(false);
+        }
+        match self.stage(ckpt, rank, kind, bytes) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                // The blob never entered the queue; let a retry re-stage.
+                self.shared
+                    .staged_once
+                    .lock()
+                    .unwrap()
+                    .remove(&(ckpt, rank, kind));
+                Err(e)
+            }
+        }
     }
 
     fn stage_inner(

@@ -36,7 +36,7 @@ use crate::manifest::{ChunkRef, Manifest};
 pub type CkptId = u64;
 
 /// The categories of per-rank blob a checkpoint is made of.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RankBlobKind {
     /// Application + protocol-layer snapshot taken at `potentialCheckpoint`.
     /// Present for every rank in a committable checkpoint.
@@ -796,6 +796,62 @@ mod tests {
         s.commit(2).unwrap();
         // Nothing newer: a sweep is a no-op.
         assert_eq!(s.discard_after(2).unwrap(), 0);
+    }
+
+    #[test]
+    fn discard_after_sweeps_derived_tier_keys() {
+        // Restart fell back past line 2 on a tiered store whose mover
+        // had already promoted line 2 to the partner and erasure tiers:
+        // the sweep must remove the derived keys (`rep/…`, `ec/…`) too,
+        // or the re-executed run's line 2 would read stale replicas.
+        let raw: Vec<Arc<MemoryBackend>> =
+            (0..3).map(|_| Arc::new(MemoryBackend::new())).collect();
+        let tiered = Arc::new(crate::TieredBackend::new(
+            vec![
+                crate::TierSpec::direct(raw[0].clone()),
+                crate::TierSpec::partner(raw[1].clone(), 1),
+                crate::TierSpec::erasure(raw[2].clone(), 2, 1),
+            ],
+            2,
+        ));
+        let s = CheckpointStore::new(tiered.clone(), 2);
+        for ckpt in [1u64, 2] {
+            write_full_checkpoint(&s, ckpt);
+            s.commit(ckpt).unwrap();
+            for key in raw[0].list("ckpt/").unwrap() {
+                tiered.promote(&key, 1).unwrap();
+                tiered.promote(&key, 2).unwrap();
+            }
+        }
+        assert!(
+            raw[1]
+                .list("rep/")
+                .unwrap()
+                .iter()
+                .any(|k| k.contains("00000002")),
+            "precondition: line 2 has partner replicas"
+        );
+        assert_eq!(s.discard_after(1).unwrap(), 1);
+        for (t, prefix) in [(1usize, "rep/"), (2, "ec/")] {
+            let stale: Vec<String> = raw[t]
+                .list(prefix)
+                .unwrap()
+                .into_iter()
+                .filter(|k| k.contains("00000002"))
+                .collect();
+            assert!(
+                stale.is_empty(),
+                "tier {t} kept stale derived keys of the discarded line: \
+                 {stale:?}"
+            );
+        }
+        // The surviving line is untouched on every tier.
+        assert!(s.is_committed(1).unwrap());
+        assert!(raw[1]
+            .list("rep/")
+            .unwrap()
+            .iter()
+            .any(|k| k.contains("00000001")));
     }
 
     #[test]

@@ -67,6 +67,23 @@ pub enum CheckpointTrigger {
     EveryMillis(u64),
 }
 
+/// How the job driver repairs a detected stopping failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryMode {
+    /// The paper's model: the failure detector aborts the whole attempt
+    /// and every rank rolls back to the last committed global checkpoint.
+    #[default]
+    FullRestart,
+    /// Online spare-rank substitution: survivors keep running while the
+    /// dead rank is respawned in place and caught up by deterministic
+    /// replay of its consumed-message tape (no global rollback). Deaths
+    /// the splice supervisor cannot repair online — the initiator rank 0,
+    /// or a rank dying a second time — escalate to a full
+    /// rollback-restart of the attempt, so `FullRestart` remains the
+    /// safety net underneath.
+    Localized,
+}
+
 /// A deterministic injected stopping failure: rank `rank` fail-stops when
 /// its protocol-operation counter reaches `at_op`, once the job is on
 /// attempt `min_attempt` or later. Each injection fires at most once
@@ -142,8 +159,13 @@ pub struct C3Config {
     /// Simulated failure-detection latency in milliseconds: how long after
     /// a fail-stop the detector aborts the attempt.
     pub detection_latency_ms: u64,
-    /// Upper bound on restarts before the job driver gives up.
+    /// Upper bound on restarts before the job driver gives up with
+    /// [`crate::C3Error::RestartBudgetExhausted`]. Localized splices do
+    /// not consume this budget — only full rollback-restarts do.
     pub max_restarts: usize,
+    /// How a detected stopping failure is repaired (full rollback vs
+    /// localized spare-rank substitution).
+    pub recovery: RecoveryMode,
     /// Optional protocol-event trace sink (see [`crate::trace`]). Every
     /// rank of every attempt appends its events; `None` disables tracing.
     pub trace: Option<crate::trace::TraceSink>,
@@ -183,6 +205,7 @@ impl Default for C3Config {
             failures: Arc::new(Vec::new()),
             detection_latency_ms: 2,
             max_restarts: 16,
+            recovery: RecoveryMode::default(),
             trace: None,
             io: ckptpipe::PipelineConfig::default(),
             net: simmpi::NetCond::perfect(),
@@ -243,6 +266,18 @@ impl C3Config {
     /// Set the simulated network conditions.
     pub fn with_net(mut self, net: simmpi::NetCond) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Select the recovery mode (full rollback vs localized splice).
+    pub fn with_recovery(mut self, mode: RecoveryMode) -> Self {
+        self.recovery = mode;
+        self
+    }
+
+    /// Cap the number of full rollback-restarts.
+    pub fn with_max_restarts(mut self, max: usize) -> Self {
+        self.max_restarts = max;
         self
     }
 

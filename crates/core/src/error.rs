@@ -21,6 +21,12 @@ pub enum C3Error {
     Protocol(String),
     /// The application returned an error of its own.
     App(String),
+    /// The job kept failing past [`crate::C3Config::max_restarts`] full
+    /// rollback-restarts; the driver gave up rather than loop forever.
+    RestartBudgetExhausted {
+        /// The configured restart cap that was breached.
+        max_restarts: usize,
+    },
 }
 
 impl C3Error {
@@ -42,6 +48,10 @@ impl fmt::Display for C3Error {
             C3Error::Codec(e) => write!(f, "recovery decode: {e}"),
             C3Error::Protocol(m) => write!(f, "protocol violation: {m}"),
             C3Error::App(m) => write!(f, "application error: {m}"),
+            C3Error::RestartBudgetExhausted { max_restarts } => write!(
+                f,
+                "job did not complete within {max_restarts} restarts"
+            ),
         }
     }
 }

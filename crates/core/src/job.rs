@@ -15,10 +15,10 @@ use std::time::{Duration, Instant};
 
 use ckptpipe::CheckpointPipeline;
 use ckptstore::{CheckpointStore, MemoryBackend, StorageBackend};
-use simmpi::{JobControl, MpiError, World};
+use simmpi::{JobControl, MpiError, SpliceDecision, SpliceQuery, World};
 use statesave::snapshot::SaveState;
 
-use crate::config::C3Config;
+use crate::config::{C3Config, RecoveryMode};
 use crate::error::{C3Error, C3Result};
 use crate::process::{ProcStats, Process};
 
@@ -50,8 +50,15 @@ pub trait C3App: Sync {
 pub struct JobReport<O> {
     /// Per-rank outputs of the final (successful) attempt.
     pub outputs: Vec<O>,
-    /// Number of rollback/restart cycles performed.
+    /// Number of full rollback/restart cycles performed. A localized
+    /// splice that later escalates to a rollback is counted here (once),
+    /// not under [`JobReport::splices`] — the two counters partition the
+    /// repairs, they never both count the same failure.
     pub restarts: usize,
+    /// Number of completed localized splices: rank deaths repaired
+    /// online by spare-rank substitution, without any global rollback.
+    /// Always zero under [`RecoveryMode::FullRestart`].
+    pub splices: usize,
     /// For each restart, the checkpoint recovered from (0 = from scratch).
     pub recovered_from: Vec<u64>,
     /// Per-rank protocol statistics of the final attempt.
@@ -75,6 +82,7 @@ impl<O> JobReport<O> {
             self.stats.iter().map(|s| s.suppressed_sends).sum();
         format!(
             "{} rank(s), {} restart(s) (recovered from {:?}), \
+{} localized splice(s), \
 last committed checkpoint {:?}, per-rank local checkpoints {:?}; \
 logged {late} late message(s), recorded {early} early id(s), \
 suppressed {suppressed} re-send(s); \
@@ -82,6 +90,7 @@ suppressed {suppressed} re-send(s); \
             self.outputs.len(),
             self.restarts,
             self.recovered_from,
+            self.splices,
             self.last_committed,
             ckpt_counts,
             self.storage_bytes_written,
@@ -146,14 +155,14 @@ pub fn run_job<A: C3App>(
 
     let started = Instant::now();
     let mut restarts = 0usize;
+    let mut splices = 0usize;
     let mut recovered_from = Vec::new();
 
     for attempt in 1.. {
         if attempt > cfg.max_restarts + 1 {
-            return Err(C3Error::Protocol(format!(
-                "job did not complete within {} restarts",
-                cfg.max_restarts
-            )));
+            return Err(C3Error::RestartBudgetExhausted {
+                max_restarts: cfg.max_restarts,
+            });
         }
         // Restart from the newest committed checkpoint line that is
         // still *servable* — on a tiered store a committed line may have
@@ -181,10 +190,6 @@ pub fn run_job<A: C3App>(
         }
 
         let control = JobControl::new(nprocs);
-        let detector = spawn_detector(
-            control.clone(),
-            Duration::from_millis(cfg.detection_latency_ms),
-        );
 
         // One I/O pipeline per attempt, shared by every rank. A killed
         // attempt may leave writes for an uncommitted checkpoint in
@@ -196,46 +201,90 @@ pub fn run_job<A: C3App>(
             .map(|s| CheckpointPipeline::new(s, io_cfg.clone()));
 
         type Inner<O> = C3Result<(O, ProcStats)>;
-        let results: Vec<Result<Inner<A::Output>, MpiError>> =
-            World::run_collect_net(
-                nprocs,
-                control.clone(),
-                cfg.net.clone(),
-                |mpi| {
-                    let mut body = || -> Inner<A::Output> {
-                        let mut p = Process::new(
-                            mpi,
-                            cfg.clone(),
-                            pipeline.clone(),
-                            attempt as u64,
-                            recover,
-                        )?;
-                        let mut state =
-                            match p.take_recovered_state::<A::State>()? {
-                                Some(s) => s,
-                                None => app.init(&mut p)?,
-                            };
-                        let out = app.run(&mut p, &mut state)?;
-                        p.finalize()?;
-                        Ok((out, p.final_stats()))
-                    };
-                    match body() {
-                        Err(e) if e.is_rollback() => Err(match e {
-                            C3Error::Mpi(m) => m,
-                            _ => unreachable!("is_rollback implies Mpi"),
-                        }),
-                        other => {
-                            if other.is_err() {
-                                // A genuine error (bug, storage failure, app
-                                // failure): unblock peers so the attempt ends.
-                                mpi.control().abort();
-                            }
-                            Ok(other)
-                        }
+        let rank_fn = |mpi: &mut simmpi::Mpi| {
+            let mut body = || -> Inner<A::Output> {
+                let mut p = Process::new(
+                    mpi,
+                    cfg.clone(),
+                    pipeline.clone(),
+                    attempt as u64,
+                    recover,
+                )?;
+                let mut state = match p.take_recovered_state::<A::State>()? {
+                    Some(s) => s,
+                    None => app.init(&mut p)?,
+                };
+                let out = app.run(&mut p, &mut state)?;
+                p.finalize()?;
+                Ok((out, p.final_stats()))
+            };
+            match body() {
+                Err(e) if e.is_rollback() => Err(match e {
+                    C3Error::Mpi(m) => m,
+                    _ => unreachable!("is_rollback implies Mpi"),
+                }),
+                other => {
+                    if other.is_err() {
+                        // A genuine error (bug, storage failure, app
+                        // failure): unblock peers so the attempt ends.
+                        mpi.control().abort();
                     }
-                },
-            );
-        detector.stop();
+                    Ok(other)
+                }
+            }
+        };
+        let results: Vec<Result<Inner<A::Output>, MpiError>> =
+            match cfg.recovery {
+                RecoveryMode::FullRestart => {
+                    // The paper's model: a simulated distributed failure
+                    // detector aborts the whole attempt `latency` after
+                    // the first fail-stop; every rank rolls back.
+                    let detector = spawn_detector(
+                        control.clone(),
+                        Duration::from_millis(cfg.detection_latency_ms),
+                    );
+                    let results = World::run_collect_net(
+                        nprocs,
+                        control.clone(),
+                        cfg.net.clone(),
+                        rank_fn,
+                    );
+                    detector.stop();
+                    results
+                }
+                RecoveryMode::Localized => {
+                    // Online recovery: the splice supervisor owns failure
+                    // handling — survivors keep running while a dead rank
+                    // is respawned and caught up by deterministic replay.
+                    // Deaths it cannot repair online escalate by aborting
+                    // the attempt, which lands back in the rollback path
+                    // below.
+                    let (results, stats) = World::run_supervised_net(
+                        nprocs,
+                        control.clone(),
+                        cfg.net.clone(),
+                        Duration::from_millis(cfg.detection_latency_ms),
+                        |q: SpliceQuery| {
+                            // Rank 0 hosts the initiator (commit, GC,
+                            // checkpoint triggering): its death, or a rank
+                            // dying twice in one attempt, escalates to a
+                            // full rollback-restart.
+                            if q.rank == 0 || q.rank_respawns >= 1 {
+                                SpliceDecision::Escalate
+                            } else {
+                                SpliceDecision::Respawn
+                            }
+                        },
+                        rank_fn,
+                    );
+                    // Only splices that *stuck* (the respawned incarnation
+                    // finished the attempt) count; an escalated attempt is
+                    // counted as a restart when the rollback loops, never
+                    // as both.
+                    splices += stats.completed;
+                    results
+                }
+            };
         if let Some(p) = &pipeline {
             p.shutdown();
         }
@@ -268,6 +317,7 @@ pub fn run_job<A: C3App>(
         return Ok(JobReport {
             outputs,
             restarts,
+            splices,
             recovered_from,
             stats,
             elapsed: started.elapsed(),

@@ -85,7 +85,9 @@ pub mod recovery;
 pub mod rng;
 pub mod trace;
 
-pub use config::{C3Config, CheckpointTrigger, InstrumentationLevel};
+pub use config::{
+    C3Config, CheckpointTrigger, InstrumentationLevel, RecoveryMode,
+};
 pub use error::{C3Error, C3Result};
 pub use job::{run_job, C3App, JobReport};
 pub use pending::{CommHandle, ReqHandle};

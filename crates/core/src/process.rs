@@ -218,8 +218,15 @@ impl<'a> Process<'a> {
                 recover_from.is_some(),
             )
         });
-        let tracer =
-            cfg.trace.as_ref().map(|s| s.for_rank(rank as u32, attempt));
+        // A respawned incarnation (localized recovery) gets its own
+        // trace stream: the superseded incarnation's events stay in the
+        // sink and the analyzer selects the highest incarnation per
+        // (rank, attempt) as the effective history.
+        let incarnation = mpi.incarnation();
+        let tracer = cfg
+            .trace
+            .as_ref()
+            .map(|s| s.for_incarnation(rank as u32, attempt, incarnation));
         #[cfg(feature = "obs")]
         let obs = cfg.obs.as_ref().map(|reg| {
             mpi.attach_obs(reg);
@@ -263,6 +270,13 @@ impl<'a> Process<'a> {
             last_trigger_time: now,
             stats: ProcStats::default(),
         };
+        if incarnation > 0 {
+            let replayed = p.mpi.replayed_frames();
+            p.trace_event(TraceEvent::RankRespawned {
+                incarnation,
+                replayed,
+            });
+        }
         if let Some(ckpt) = recover_from {
             p.recover(ckpt)?;
         }
@@ -443,6 +457,16 @@ impl<'a> Process<'a> {
                 self.mpi.control().fail_rank(rank);
                 return Err(C3Error::Mpi(MpiError::FailStop));
             }
+        }
+        // A respawned incarnation just exhausted its consumed-message
+        // tape: note the catch-up completion (once per respawn).
+        if self.mpi.take_caught_up() {
+            let replayed = self.mpi.replayed_frames();
+            let suppressed = self.mpi.suppressed_sends();
+            self.trace_event(TraceEvent::SpliceReplayed {
+                replayed,
+                suppressed,
+            });
         }
         if !self.cfg.level.piggybacks() {
             return Ok(());
@@ -1202,6 +1226,12 @@ impl<'a> Process<'a> {
     /// Hand one rank blob to the checkpoint I/O pipeline. In async mode
     /// this returns as soon as the blob is queued; durability is
     /// established by the initiator's phase-4 drain before commit.
+    ///
+    /// Staging is once-per-key: a respawned incarnation re-executing the
+    /// attempt under localized recovery reproduces stagings its dead
+    /// predecessor already handed to the shared pipeline, and those
+    /// duplicates are dropped (no write, no trace event) so the drain
+    /// barrier's blob accounting stays exact.
     fn stage_blob(
         &mut self,
         ckpt: u64,
@@ -1209,14 +1239,17 @@ impl<'a> Process<'a> {
         bytes: Vec<u8>,
     ) -> C3Result<()> {
         let rank = self.mpi.rank();
-        self.pipeline
+        let staged = self
+            .pipeline
             .as_ref()
             .expect("checkpoints need a pipeline")
-            .stage(ckpt, rank, kind, bytes)?;
-        self.trace_event(TraceEvent::BlobStaged {
-            ckpt,
-            kind: blob_kind_tag(kind),
-        });
+            .stage_once(ckpt, rank, kind, bytes)?;
+        if staged {
+            self.trace_event(TraceEvent::BlobStaged {
+                ckpt,
+                kind: blob_kind_tag(kind),
+            });
+        }
         Ok(())
     }
 

@@ -331,6 +331,30 @@ pub enum TraceEvent {
         /// The shallowest tier that could serve this rank's state.
         tier: u8,
     },
+    /// This rank was spliced back online: a fresh incarnation replaces a
+    /// fail-stopped one *within the same attempt*, while the survivors
+    /// keep running (localized recovery — no global rollback). First
+    /// event of the new incarnation's stream. The analyzer checks (I15)
+    /// that a superseded incarnation's stream ends in a failure and that
+    /// the effective per-rank history is the highest incarnation's.
+    RankRespawned {
+        /// The new incarnation number (1 = first respawn).
+        incarnation: u32,
+        /// Messages on the consumed-message tape to be replayed.
+        replayed: u64,
+    },
+    /// A respawned incarnation finished catching up: the dead
+    /// incarnation's consumed-message tape is exhausted and the rank is
+    /// live on the real fabric. The analyzer checks (I16) that the
+    /// squelched re-send count never exceeds what the tape could have
+    /// induced and that exactly one catch-up completes per respawn.
+    SpliceReplayed {
+        /// Taped messages released during catch-up.
+        replayed: u64,
+        /// Re-executed sends squelched below the death-time sequence
+        /// high-water.
+        suppressed: u64,
+    },
 }
 
 fn class_code(c: MsgClass) -> u8 {
@@ -547,6 +571,22 @@ impl TraceEvent {
                 enc.put_u64(*ckpt);
                 enc.put_u8(*tier);
             }
+            TraceEvent::RankRespawned {
+                incarnation,
+                replayed,
+            } => {
+                enc.put_u8(24);
+                enc.put_u32(*incarnation);
+                enc.put_u64(*replayed);
+            }
+            TraceEvent::SpliceReplayed {
+                replayed,
+                suppressed,
+            } => {
+                enc.put_u8(25);
+                enc.put_u64(*replayed);
+                enc.put_u64(*suppressed);
+            }
         }
     }
 
@@ -668,6 +708,14 @@ impl TraceEvent {
                 ckpt: dec.get_u64()?,
                 tier: dec.get_u8()?,
             },
+            24 => TraceEvent::RankRespawned {
+                incarnation: dec.get_u32()?,
+                replayed: dec.get_u64()?,
+            },
+            25 => TraceEvent::SpliceReplayed {
+                replayed: dec.get_u64()?,
+                suppressed: dec.get_u64()?,
+            },
             k => {
                 return Err(CodecError::new(format!(
                     "unknown trace event kind {k}"
@@ -684,7 +732,13 @@ pub struct TraceRecord {
     pub rank: u32,
     /// Job attempt number (1-based; increments on every restart).
     pub attempt: u64,
-    /// Per-(rank, attempt) sequence number, from 0.
+    /// Rank incarnation within the attempt (0 = original; a localized
+    /// splice respawns the rank as incarnation 1, 2, …). Streams of
+    /// superseded incarnations stay in the trace — the analyzer selects
+    /// the highest incarnation per (rank, attempt) as the effective
+    /// history.
+    pub incarnation: u32,
+    /// Per-(rank, attempt, incarnation) sequence number, from 0.
     pub seq: u64,
     /// The event itself.
     pub event: TraceEvent,
@@ -694,6 +748,7 @@ impl TraceRecord {
     fn save(&self, enc: &mut Encoder) {
         enc.put_u32(self.rank);
         enc.put_u64(self.attempt);
+        enc.put_u32(self.incarnation);
         enc.put_u64(self.seq);
         self.event.save(enc);
     }
@@ -702,14 +757,16 @@ impl TraceRecord {
         Ok(TraceRecord {
             rank: dec.get_u32()?,
             attempt: dec.get_u64()?,
+            incarnation: dec.get_u32()?,
             seq: dec.get_u64()?,
             event: TraceEvent::load(dec)?,
         })
     }
 }
 
-/// Magic bytes prefixing a serialized trace.
-const TRACE_MAGIC: &[u8; 8] = b"C3TRACE1";
+/// Magic bytes prefixing a serialized trace. Bumped to `2` when
+/// [`TraceRecord`] gained the `incarnation` stamp (localized recovery).
+const TRACE_MAGIC: &[u8; 8] = b"C3TRACE2";
 
 /// Serialize a trace to bytes (the `c3verify` artifact format).
 pub fn encode_trace(records: &[TraceRecord]) -> Vec<u8> {
@@ -756,12 +813,25 @@ impl TraceSink {
         Self::default()
     }
 
-    /// A per-rank recorder stamping `rank`/`attempt` and sequencing.
+    /// A per-rank recorder stamping `rank`/`attempt` (incarnation 0).
     pub fn for_rank(&self, rank: u32, attempt: u64) -> RankTracer {
+        self.for_incarnation(rank, attempt, 0)
+    }
+
+    /// A per-rank recorder for a specific incarnation of `rank` within
+    /// `attempt` — used when a localized splice respawns a rank and its
+    /// fresh stream must be distinguishable from the superseded one.
+    pub fn for_incarnation(
+        &self,
+        rank: u32,
+        attempt: u64,
+        incarnation: u32,
+    ) -> RankTracer {
         RankTracer {
             records: self.records.clone(),
             rank,
             attempt,
+            incarnation,
             seq: 0,
         }
     }
@@ -793,6 +863,7 @@ pub struct RankTracer {
     records: Arc<Mutex<Vec<TraceRecord>>>,
     rank: u32,
     attempt: u64,
+    incarnation: u32,
     seq: u64,
 }
 
@@ -804,6 +875,7 @@ impl RankTracer {
         self.records.lock().push(TraceRecord {
             rank: self.rank,
             attempt: self.attempt,
+            incarnation: self.incarnation,
             seq,
             event,
         });
@@ -910,6 +982,14 @@ mod tests {
             },
             TraceEvent::TierDrained { ckpt: 4, tier: 2 },
             TraceEvent::TierRecovered { ckpt: 4, tier: 1 },
+            TraceEvent::RankRespawned {
+                incarnation: 1,
+                replayed: 42,
+            },
+            TraceEvent::SpliceReplayed {
+                replayed: 42,
+                suppressed: 17,
+            },
         ]
     }
 
@@ -921,6 +1001,7 @@ mod tests {
             .map(|(i, event)| TraceRecord {
                 rank: (i % 4) as u32,
                 attempt: 1 + (i % 2) as u64,
+                incarnation: (i % 3) as u32,
                 seq: i as u64,
                 event,
             })
@@ -935,6 +1016,7 @@ mod tests {
         let mut bytes = encode_trace(&[TraceRecord {
             rank: 0,
             attempt: 1,
+            incarnation: 0,
             seq: 0,
             event: TraceEvent::RecoveryComplete,
         }]);

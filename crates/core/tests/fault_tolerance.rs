@@ -260,7 +260,13 @@ fn too_many_failures_exhaust_restart_budget() {
     }
     cfg.max_restarts = 2;
     let err = run_job(2, &cfg, None, &RingApp { iters: 50 }).unwrap_err();
-    assert!(matches!(err, c3_core::C3Error::Protocol(_)), "{err}");
+    assert!(
+        matches!(
+            err,
+            c3_core::C3Error::RestartBudgetExhausted { max_restarts: 2 }
+        ),
+        "{err}"
+    );
 }
 
 #[test]
@@ -398,4 +404,105 @@ fn failure_during_recovery_replay_recovers_again() {
     let fired = cfg.failures.iter().filter(|i| i.is_consumed()).count();
     assert_eq!(fired, 2, "both injections must fire");
     assert_eq!(report.restarts, 2);
+}
+
+// ====================================================================
+// Localized (online) recovery: spare-rank substitution without global
+// rollback. See `c3_core::RecoveryMode::Localized`.
+// ====================================================================
+
+#[test]
+fn localized_splice_repairs_death_without_global_rollback() {
+    let n = 4;
+    let iters = 30;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(24)
+        .with_failure(2, 120)
+        .with_recovery(c3_core::RecoveryMode::Localized);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect, "splice must not perturb results");
+    assert_eq!(report.restarts, 0, "no global rollback happened");
+    assert_eq!(report.splices, 1, "the death was repaired online");
+    assert!(report.recovered_from.is_empty());
+}
+
+#[test]
+fn localized_initiator_death_escalates_to_full_restart() {
+    // Rank 0 hosts the initiator; its death cannot be spliced online and
+    // must fall back to the paper's rollback-restart.
+    let n = 3;
+    let iters = 24;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(20)
+        .with_failure(0, 90)
+        .with_recovery(c3_core::RecoveryMode::Localized);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    assert_eq!(report.restarts, 1, "escalated to a full restart");
+    assert_eq!(report.splices, 0, "no splice completed");
+}
+
+#[test]
+fn localized_second_kill_mid_splice_escalates() {
+    // Two injections on the same rank at the same op: the first kills the
+    // original incarnation, the second fires on the respawned incarnation
+    // while it is catching up — the supervisor refuses a second splice of
+    // the same rank and escalates to a full rollback-restart. The two
+    // repairs must not double-count: the death ends up under `restarts`,
+    // not `splices`.
+    let n = 4;
+    let iters = 30;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(24)
+        .with_failure(2, 120)
+        .with_failure(2, 120)
+        .with_recovery(c3_core::RecoveryMode::Localized);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    let fired = cfg.failures.iter().filter(|i| i.is_consumed()).count();
+    assert_eq!(fired, 2, "both injections must fire");
+    assert_eq!(report.restarts, 1, "the second kill forced a rollback");
+    assert_eq!(report.splices, 0, "the abandoned splice is not counted");
+}
+
+#[test]
+fn localized_repairs_conserve_across_counters() {
+    // Every repair is counted exactly once, under exactly one counter.
+    // Three non-initiator ranks die at well-separated ops; each death is
+    // repaired online, so the splice counter absorbs all three and the
+    // restart counter stays untouched (and vice versa nothing is lost:
+    // every fired injection is accounted for by exactly one repair).
+    let n = 4;
+    let iters = 40;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(24)
+        .with_failure(1, 60)
+        .with_failure(2, 110)
+        .with_failure(3, 160)
+        .with_recovery(c3_core::RecoveryMode::Localized);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    let fired = cfg.failures.iter().filter(|i| i.is_consumed()).count();
+    assert_eq!(fired, 3, "all three injections must fire");
+    assert_eq!(
+        (report.splices, report.restarts),
+        (3, 0),
+        "three online repairs, no rollback"
+    );
+    assert!(
+        report.recovered_from.is_empty(),
+        "no attempt ever recovered from a checkpoint"
+    );
+}
+
+#[test]
+fn localized_mode_without_failures_is_inert() {
+    let n = 4;
+    let iters = 24;
+    let expect = reference_outputs(n, iters);
+    let cfg = C3Config::every_ops(32)
+        .with_recovery(c3_core::RecoveryMode::Localized);
+    let report = run_job(n, &cfg, None, &RingApp { iters }).unwrap();
+    assert_eq!(report.outputs, expect);
+    assert_eq!((report.restarts, report.splices), (0, 0));
 }

@@ -203,6 +203,15 @@ impl Scenario {
         } else {
             Codec::Lz4
         };
+        // Recovery-mode dimension (drawn last, same reason): one seed in
+        // three repairs its kills by online splice instead of global
+        // rollback — kills of rank 0 or double kills of one rank then
+        // exercise the escalation path on top.
+        let schedule = if next(3) == 0 {
+            schedule.with_localized()
+        } else {
+            schedule
+        };
 
         Scenario {
             seed,
@@ -334,6 +343,14 @@ mod tests {
         assert!(
             count(&|s| !s.schedule.recovery_kills.is_empty()) >= 16,
             "kills during recovery"
+        );
+        assert!(
+            count(&|s| s.schedule.localized && !s.schedule.is_empty()) >= 32,
+            "localized (online-splice) recovery scenarios"
+        );
+        assert!(
+            count(&|s| !s.schedule.localized && !s.schedule.is_empty()) >= 96,
+            "full-rollback recovery scenarios"
         );
         assert!(
             count(&|s| s.interval.unwrap() <= 4) >= 16,

@@ -86,6 +86,15 @@ fn proposals(sc: &Scenario) -> Vec<Scenario> {
             ..sc.clone()
         });
     }
+    // Plain rollback instead of online splice.
+    if sc.schedule.localized {
+        let mut schedule = sc.schedule.clone();
+        schedule.localized = false;
+        push(Scenario {
+            schedule,
+            ..sc.clone()
+        });
+    }
 
     // Fewer ranks: drop the highest rank and retarget anything that
     // referenced it.
@@ -273,9 +282,10 @@ fn fmt_schedule(s: &FailureSchedule) -> String {
     format!(
         "ftsim::FailureSchedule {{\n            injections: vec![{}],\n     \
          \x20      recovery_kills: vec![{}],\n            net: None,\n       \
-         \x20}}",
+         \x20    localized: {},\n        }}",
         pairs(&s.injections),
         pairs(&s.recovery_kills),
+        s.localized,
     )
 }
 

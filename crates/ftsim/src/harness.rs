@@ -10,8 +10,11 @@ use crate::schedule::FailureSchedule;
 pub struct ChaosReport {
     /// Schedules exercised.
     pub runs: usize,
-    /// Total restarts observed across all runs.
+    /// Total full rollback/restarts observed across all runs.
     pub total_restarts: usize,
+    /// Total completed localized splices (online repairs without a
+    /// global rollback) across all runs.
+    pub total_splices: usize,
     /// Per-run recovery checkpoint ids (flattened).
     pub recoveries: Vec<u64>,
 }
@@ -35,6 +38,7 @@ where
     let reference = run_job(nprocs, base_cfg, None, app)?;
     assert_eq!(reference.restarts, 0, "reference run must be failure-free");
     let mut total_restarts = 0;
+    let mut total_splices = 0;
     let mut recoveries = Vec::new();
     for (idx, schedule) in schedules.iter().enumerate() {
         let cfg = schedule.apply(base_cfg.clone());
@@ -44,11 +48,13 @@ where
             "schedule #{idx} ({schedule:?}) diverged from the reference"
         );
         total_restarts += report.restarts;
+        total_splices += report.splices;
         recoveries.extend(report.recovered_from.iter().copied());
     }
     Ok(ChaosReport {
         runs: schedules.len(),
         total_restarts,
+        total_splices,
         recoveries,
     })
 }

@@ -7,8 +7,10 @@ use c3_core::JobReport;
 /// Derived metrics comparing a faulty run against a failure-free baseline.
 #[derive(Debug, Clone)]
 pub struct RecoveryMetrics {
-    /// Restarts performed.
+    /// Full rollback/restarts performed.
     pub restarts: usize,
+    /// Completed localized splices (online repairs, no global rollback).
+    pub splices: usize,
     /// Checkpoints the final attempt recovered from.
     pub recovered_from: Vec<u64>,
     /// Wall-clock time of the faulty run.
@@ -31,6 +33,7 @@ impl RecoveryMetrics {
             / baseline.elapsed.as_secs_f64().max(1e-9);
         RecoveryMetrics {
             restarts: faulty.restarts,
+            splices: faulty.splices,
             recovered_from: faulty.recovered_from.clone(),
             faulty_elapsed: faulty.elapsed,
             baseline_elapsed: baseline.elapsed,
@@ -42,9 +45,10 @@ impl RecoveryMetrics {
     /// One-line human-readable summary (used by the benchmark binaries).
     pub fn summary(&self) -> String {
         format!(
-            "restarts={} recovered_from={:?} elapsed={:.3}s baseline={:.3}s \
-             slowdown={:.2}x storage={}B",
+            "restarts={} splices={} recovered_from={:?} elapsed={:.3}s \
+             baseline={:.3}s slowdown={:.2}x storage={}B",
             self.restarts,
+            self.splices,
             self.recovered_from,
             self.faulty_elapsed.as_secs_f64(),
             self.baseline_elapsed.as_secs_f64(),
@@ -63,6 +67,7 @@ mod tests {
         JobReport {
             outputs: vec![0],
             restarts,
+            splices: 0,
             recovered_from: vec![1; restarts],
             stats: vec![ProcStats::default()],
             elapsed: Duration::from_millis(elapsed_ms),

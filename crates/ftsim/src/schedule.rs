@@ -21,6 +21,10 @@ pub struct FailureSchedule {
     /// Simulated interconnect conditions; `None` leaves the config's wire
     /// untouched (the perfect wire, unless the caller set one).
     pub net: Option<simmpi::NetCond>,
+    /// Run the job under [`c3_core::RecoveryMode::Localized`]: rank
+    /// deaths are repaired by online spare-rank substitution, falling
+    /// back to full rollback only when a splice policy escalates.
+    pub localized: bool,
 }
 
 impl FailureSchedule {
@@ -30,6 +34,7 @@ impl FailureSchedule {
             injections: Vec::new(),
             recovery_kills: Vec::new(),
             net: None,
+            localized: false,
         }
     }
 
@@ -45,6 +50,32 @@ impl FailureSchedule {
     pub fn with_net(mut self, net: simmpi::NetCond) -> Self {
         self.net = Some(net);
         self
+    }
+
+    /// Repair this schedule's failures by online splice instead of
+    /// global rollback (where the splice policy allows it).
+    pub fn with_localized(mut self) -> Self {
+        self.localized = true;
+        self
+    }
+
+    /// A kill aimed at the online-splice path: one seeded-random
+    /// *non-initiator* rank dies at an op drawn from `op_range`, and the
+    /// schedule opts into localized recovery — under the default splice
+    /// policy the death is repaired by respawn-and-replay while the
+    /// survivors keep running. (Initiator deaths escalate to a full
+    /// rollback by policy, so rank 0 is excluded to keep the schedule on
+    /// the splice path.)
+    pub fn kill_then_splice(
+        seed: u64,
+        nranks: usize,
+        op_range: std::ops::Range<u64>,
+    ) -> Self {
+        assert!(nranks > 1 && !op_range.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rank = rng.random_range(1..nranks);
+        let at_op = rng.random_range(op_range);
+        FailureSchedule::single(rank, at_op).with_localized()
     }
 
     /// Add one failure, keeping the plan sorted by op.
@@ -68,6 +99,7 @@ impl FailureSchedule {
         if other.net.is_some() {
             self.net = other.net;
         }
+        self.localized |= other.localized;
         self
     }
 
@@ -225,6 +257,9 @@ impl FailureSchedule {
         if let Some(net) = &self.net {
             cfg = cfg.with_net(net.clone());
         }
+        if self.localized {
+            cfg = cfg.with_recovery(c3_core::RecoveryMode::Localized);
+        }
         cfg
     }
 
@@ -328,6 +363,22 @@ mod tests {
         // with_injection keeps the plan sorted too.
         let s = FailureSchedule::single(1, 50).with_injection(0, 10);
         assert_eq!(s.injections, vec![(0, 10), (1, 50)]);
+    }
+
+    #[test]
+    fn kill_then_splice_avoids_the_initiator_and_sets_the_mode() {
+        let a = FailureSchedule::kill_then_splice(11, 4, 30..90);
+        assert_eq!(a, FailureSchedule::kill_then_splice(11, 4, 30..90));
+        assert_eq!(a.injections.len(), 1);
+        let (rank, op) = a.injections[0];
+        assert!((1..4).contains(&rank), "initiator deaths escalate");
+        assert!((30..90).contains(&op));
+        assert!(a.localized);
+        let cfg = a.apply(C3Config::default());
+        assert_eq!(cfg.recovery, c3_core::RecoveryMode::Localized);
+        // Composition is sticky: one localized part opts the union in.
+        let all = FailureSchedule::single(0, 10).and(a);
+        assert!(all.localized);
     }
 
     #[test]

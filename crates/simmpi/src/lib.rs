@@ -60,6 +60,7 @@ pub(crate) mod obs;
 pub mod pool;
 pub mod rank;
 pub mod request;
+pub mod splice;
 pub mod transport;
 pub mod world;
 
@@ -70,4 +71,5 @@ pub use error::{MpiError, MpiResult};
 pub use netsim::{NetCond, NetStats, Partition, RetransmitPolicy, WireStats};
 pub use rank::{Mpi, ANY_SOURCE, ANY_TAG};
 pub use request::Request;
+pub use splice::{SpliceDecision, SpliceQuery, SpliceStats};
 pub use world::{JobControl, World};

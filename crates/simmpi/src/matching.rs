@@ -140,6 +140,13 @@ impl MatchEngine {
         self.unexpected.len()
     }
 
+    /// Take every unexpected message, in arrival order, leaving the
+    /// queue empty (used by the splice layer to stash a dying
+    /// incarnation's fed-but-unconsumed traffic for its successor).
+    pub fn drain_unexpected(&mut self) -> VecDeque<Message> {
+        std::mem::take(&mut self.unexpected)
+    }
+
     /// Number of posted receives still pending.
     pub fn pending_len(&self) -> usize {
         self.posted.len()

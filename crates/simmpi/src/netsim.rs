@@ -605,9 +605,13 @@ impl NetEndpoint {
         fabric.validate_send(msg.dst)?;
         let dst = msg.dst;
         let control = fabric.control();
-        if control.is_failed(dst) || control.is_done(dst) {
+        if control.is_done(dst)
+            || (control.is_failed(dst) && !control.holds_failed_traffic())
+        {
             // Messages to a dead or departed rank silently vanish, as on
-            // the perfect wire (stopping-failure model).
+            // the perfect wire (stopping-failure model). Under a splice
+            // supervisor a failed rank's mailbox outlives it, so traffic
+            // is buffered for the incarnation to come instead.
             return Ok(());
         }
         let chan = &mut self.tx[dst];
@@ -700,10 +704,22 @@ impl NetEndpoint {
             if chan.unacked.is_empty() {
                 continue;
             }
-            if control.is_failed(dst) || control.is_done(dst) {
-                // A dead rank neither receives nor acks; a departed rank
-                // has already delivered everything it was going to.
-                // Either way the frames vanish, as on the perfect wire.
+            if control.is_failed(dst) {
+                if control.holds_failed_traffic() {
+                    // A supervisor may splice in a new incarnation that
+                    // will drain this channel: freeze it — no write-off,
+                    // no retransmission, no retry-budget burn — until
+                    // the fail-stop flag clears.
+                    continue;
+                }
+                // A dead rank neither receives nor acks; the frames
+                // vanish, as on the perfect wire.
+                chan.unacked.clear();
+                continue;
+            }
+            if control.is_done(dst) {
+                // A departed rank has already delivered everything it
+                // was going to.
                 chan.unacked.clear();
                 continue;
             }

@@ -1,6 +1,7 @@
 //! Per-rank MPI handle: point-to-point operations and request completion.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -13,6 +14,7 @@ use crate::error::{MpiError, MpiResult};
 use crate::matching::{MatchEngine, PostOutcome, RecvId};
 use crate::netsim::{Frame, NetEndpoint, NetStats};
 use crate::request::{ReqState, Request};
+use crate::splice::{DeathStash, FlightRecorder, TapeEntry};
 use crate::transport::Fabric;
 use crate::world::JobControl;
 
@@ -56,10 +58,66 @@ pub struct Mpi {
     /// Local hint for the next free communicator context id; new contexts
     /// are agreed collectively as `max(hints) + 0` across participants.
     pub(crate) next_ctx_hint: u32,
+    /// Flight recorder of a supervised job: every consumed message is
+    /// taped so a dead rank can be respawned by deterministic replay.
+    /// `None` (the default) keeps the hot path untouched.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Operation count at which each engine-resident message was fed,
+    /// keyed by `(sender world rank, sender-assigned seq)`. Only
+    /// populated while a recorder is attached; consumption-time taping
+    /// reads (and removes) the entry to compute the release point.
+    feed_ops: HashMap<(usize, u64), u64>,
+    /// Catch-up replay state of a respawned incarnation; `None` once the
+    /// tape is exhausted (or on every ordinary incarnation).
+    replay: Option<ReplayState>,
+    /// Per-destination frame counts actually transmitted by this
+    /// incarnation, keyed by `(context, tag)`. Cheap bookkeeping that
+    /// becomes the successor's suppression budget if this incarnation
+    /// dies: within one `(context, tag)` class the send order is
+    /// deterministic under re-execution even when classes interleave
+    /// differently (control pumps may consume peers' messages at
+    /// slightly different points), so class-wise counting is the
+    /// finest sound unit of duplicate suppression.
+    class_sent: Vec<HashMap<(u32, i32), u64>>,
+    /// Remaining re-executed sends to squelch, per destination and
+    /// `(context, tag)` class: the dead incarnation's `class_sent`.
+    /// The survivors already hold (or will receive, via the resurrected
+    /// endpoint) those frames. Empty on an ordinary incarnation.
+    suppress_budget: Vec<HashMap<(u32, i32), u64>>,
+    /// Re-executed sends squelched so far.
+    suppressed_sends: u64,
+    /// Messages the replay tape held at respawn.
+    replayed_frames: u64,
+    /// Which incarnation of this rank this handle is (0 = original).
+    incarnation: u32,
+    /// Set when the replay tape exhausts; consumed once by the layer
+    /// above to note the catch-up completion.
+    caught_up_pending: bool,
     /// Pre-registered metric handles; `None` until a registry is
     /// attached, which keeps the un-observed hot path at one branch.
     #[cfg(feature = "obs")]
     obs: Option<crate::obs::MpiObs>,
+}
+
+/// Catch-up state of a respawned incarnation: the dead incarnation's
+/// consumed-message tape plus live frames held back until the tape is
+/// exhausted (they arrived after the death, so the original never saw
+/// them; releasing them early would perturb replay determinism).
+struct ReplayState {
+    tape: VecDeque<TapeEntry>,
+    held: VecDeque<Message>,
+    /// The dead incarnation's fed-but-unconsumed messages: physically
+    /// arrived before the death, never observed by the original, so
+    /// they go live together (ahead of the held frames, preserving
+    /// per-sender arrival order) once the tape is exhausted.
+    undelivered: Vec<Message>,
+    /// True while a released tape entry has not yet been consumed.
+    /// Entries are released strictly one at a time, in tape order:
+    /// consumption order is the only total order the original run
+    /// defines, and op counts alone cannot sequence two polls of the
+    /// same operation (the original may have consumed a message between
+    /// two same-op probes that the op threshold cannot tell apart).
+    outstanding: bool,
 }
 
 impl Mpi {
@@ -84,8 +142,87 @@ impl Mpi {
             send_seq: vec![0; size],
             ops: 0,
             next_ctx_hint: crate::comm::WORLD_CONTEXT + 1,
+            recorder: None,
+            feed_ops: HashMap::new(),
+            replay: None,
+            class_sent: vec![HashMap::new(); size],
+            suppress_budget: vec![HashMap::new(); size],
+            suppressed_sends: 0,
+            replayed_frames: 0,
+            incarnation: 0,
+            caught_up_pending: false,
             #[cfg(feature = "obs")]
             obs: None,
+        }
+    }
+
+    /// Tape every consumed message into `rec` (supervised jobs only).
+    pub(crate) fn attach_recorder(&mut self, rec: Arc<FlightRecorder>) {
+        self.recorder = Some(rec);
+    }
+
+    /// Extract what this dying incarnation leaves for its successor: the
+    /// per-class transmitted-frame counts, the reliable-delivery
+    /// endpoint, and the mailbox itself (the fabric's channels are
+    /// single-consumer, so the successor must inherit the receiver or
+    /// lose every frame queued during the death window).
+    pub(crate) fn export_stash(&mut self) -> DeathStash {
+        // Swap in a disconnected dummy; this handle issues no further
+        // receives (the rank function already unwound with `FailStop`).
+        let (_tx, dummy) = crossbeam::channel::unbounded();
+        // Fed-but-unconsumed traffic: matched-but-unclaimed receives
+        // first (RecvId order = per-class match order), then the
+        // unexpected queue in arrival order. Within a (src, context,
+        // tag) class every matched message arrived before every still
+        // unexpected one, so this concatenation preserves the only
+        // ordering the matching engine guarantees.
+        let mut matched: Vec<(RecvId, Message)> =
+            self.completed.drain().collect();
+        matched.sort_unstable_by_key(|(id, _)| *id);
+        let mut undelivered: Vec<Message> =
+            matched.into_iter().map(|(_, m)| m).collect();
+        undelivered.extend(self.engine.drain_unexpected());
+        self.feed_ops.clear();
+        DeathStash {
+            class_sent: self.class_sent.clone(),
+            net: self.net.take(),
+            inbox: Some(std::mem::replace(&mut self.inbox, dummy)),
+            undelivered,
+        }
+    }
+
+    /// Turn a freshly built handle into respawned incarnation
+    /// `incarnation` of its rank: squelch re-executed sends up to the
+    /// dead incarnation's per-class transmitted counts, resurrect the
+    /// wire endpoint, and arm the consumed-message tape for op-faithful
+    /// replay.
+    pub(crate) fn configure_respawn(
+        &mut self,
+        incarnation: u32,
+        stash: DeathStash,
+        tape: VecDeque<TapeEntry>,
+    ) {
+        self.incarnation = incarnation;
+        self.suppress_budget = stash.class_sent;
+        if let Some(ep) = stash.net {
+            self.net = Some(ep);
+        }
+        self.replayed_frames = tape.len() as u64;
+        if tape.is_empty() {
+            // Nothing was consumed before death: the incarnation is live
+            // from its first operation, and the predecessor's unconsumed
+            // traffic is available immediately.
+            for msg in stash.undelivered {
+                self.feed(msg);
+            }
+            self.caught_up_pending = true;
+        } else {
+            self.replay = Some(ReplayState {
+                tape,
+                held: VecDeque::new(),
+                undelivered: stash.undelivered,
+                outstanding: false,
+            });
         }
     }
 
@@ -139,8 +276,13 @@ impl Mpi {
         Ok(())
     }
 
-    /// Hand one application message to the matching engine.
+    /// Hand one message to the matching engine, noting its feed-time
+    /// operation count when a recorder is attached (consumption-time
+    /// taping needs it to compute the release point).
     fn feed(&mut self, msg: Message) {
+        if self.recorder.is_some() {
+            self.feed_ops.insert((msg.src, msg.seq), self.ops);
+        }
         #[cfg(feature = "obs")]
         if let Some(o) = self.obs.as_mut() {
             o.note_delivered();
@@ -150,10 +292,39 @@ impl Mpi {
         }
     }
 
+    /// Tape one message at the moment it is handed to the caller. The
+    /// recorded release point is `max(feed_op, consume_op - 1)`: never
+    /// before the original's physical arrival (so replay visibility
+    /// stays within the window the dead incarnation had), and exactly
+    /// at the poll that found it (the control pump probes one operation
+    /// before its consuming receive). Taping at consumption rather
+    /// than at feed keeps polled consumption order-faithful under
+    /// replay: a message the original fed but never polled must not be
+    /// consumed mid-replay at a point the original never reached.
+    fn record_consumed(&mut self, msg: &Message) {
+        let fed = self.feed_ops.remove(&(msg.src, msg.seq));
+        if let Some(rec) = &self.recorder {
+            let fed = fed.unwrap_or(self.ops);
+            rec.record(self.rank, fed.max(self.ops.saturating_sub(1)), msg);
+        }
+        // During catch-up every consumable message came off the tape
+        // (live frames are held, the undelivered stash waits for the
+        // end), so this consumption clears the way for the next entry.
+        if let Some(rp) = self.replay.as_mut() {
+            rp.outstanding = false;
+        }
+    }
+
     /// Route one frame from the mailbox: direct frames go straight to the
     /// matching engine; sublayer frames pass through the reliable-delivery
     /// endpoint, which may emit zero or more messages in wire order.
+    /// During a respawned incarnation's catch-up, live frames are held
+    /// back instead (they post-date everything on the replay tape).
     fn dispatch(&mut self, frame: Frame) {
+        if self.replay.is_some() {
+            self.hold_frame(frame);
+            return;
+        }
         match frame {
             Frame::Direct(msg) => self.feed(msg),
             other => {
@@ -172,6 +343,29 @@ impl Mpi {
         }
     }
 
+    /// Park one live frame behind the replay tape. Sublayer frames still
+    /// pass through the resurrected endpoint so duplicates are dropped
+    /// and acks flow (peers stop retransmitting into the catch-up).
+    fn hold_frame(&mut self, frame: Frame) {
+        debug_assert!(self.replay.is_some(), "hold_frame outside catch-up");
+        let Some(mut rp) = self.replay.take() else {
+            return;
+        };
+        match frame {
+            Frame::Direct(msg) => rp.held.push_back(msg),
+            other => {
+                if let Some(ep) = self.net.as_mut() {
+                    rp.held.extend(ep.on_frame(
+                        &self.fabric,
+                        other,
+                        Instant::now(),
+                    ));
+                }
+            }
+        }
+        self.replay = Some(rp);
+    }
+
     /// Drive the reliable-delivery sublayer's timers (held-frame release
     /// and retransmission). No-op on the perfect wire.
     fn net_poll(&mut self) -> MpiResult<()> {
@@ -182,12 +376,56 @@ impl Mpi {
     }
 
     /// Move every frame waiting in the mailbox into the matching engine.
+    /// A respawned incarnation in catch-up instead releases tape entries
+    /// visible at the current operation count and holds live frames back.
     fn drain(&mut self) -> MpiResult<()> {
         self.net_poll()?;
+        if self.replay.is_some() {
+            self.replay_step();
+            return Ok(());
+        }
         while let Ok(frame) = self.inbox.try_recv() {
             self.dispatch(frame);
         }
         Ok(())
+    }
+
+    /// One catch-up round: absorb live frames into the hold queue (still
+    /// acking through the resurrected endpoint so peers stop
+    /// retransmitting), release tape entries whose recorded op count has
+    /// been reached, and go live once the tape is exhausted.
+    fn replay_step(&mut self) {
+        while let Ok(frame) = self.inbox.try_recv() {
+            self.hold_frame(frame);
+        }
+        let Some(mut rp) = self.replay.take() else {
+            return;
+        };
+        if !rp.outstanding {
+            match rp.tape.pop_front() {
+                Some((at, msg)) if at <= self.ops => {
+                    rp.outstanding = true;
+                    self.feed(msg);
+                }
+                Some(entry) => rp.tape.push_front(entry),
+                None => {}
+            }
+        }
+        if rp.tape.is_empty() {
+            // Caught up: release the predecessor's fed-but-unconsumed
+            // messages (they physically arrived before the death), then
+            // the held live traffic (it post-dates them, so per-sender
+            // FIFO is preserved), and rejoin the ordinary delivery path.
+            for msg in rp.undelivered {
+                self.feed(msg);
+            }
+            for msg in rp.held {
+                self.feed(msg);
+            }
+            self.caught_up_pending = true;
+        } else {
+            self.replay = Some(rp);
+        }
     }
 
     /// Linger until every frame this rank sent has been acknowledged (or
@@ -300,17 +538,41 @@ impl Mpi {
         self.liveness()?;
         self.ops += 1;
         let dst_world = Self::resolve_dst(comm, dst)?;
+        let context = Self::plane_context(comm, plane);
+        let seq = self.send_seq[dst_world];
+        self.send_seq[dst_world] += 1;
+        if let Some(budget) =
+            self.suppress_budget[dst_world].get_mut(&(context, tag))
+        {
+            if *budget > 0 {
+                // Re-executed send of a respawned incarnation: the dead
+                // incarnation already transmitted this class's next
+                // frame, so the destination holds (or will receive, via
+                // the resurrected endpoint's retransmission buffer) the
+                // original. Spend the class budget and squelch the
+                // duplicate. Budgets are per (destination, context, tag)
+                // rather than a flat per-destination frame count: replay
+                // may interleave control and application traffic
+                // differently than the original run did, and a flat
+                // count would then spend suppression slots on the wrong
+                // frames and let duplicates through.
+                *budget -= 1;
+                self.suppressed_sends += 1;
+                return Ok(());
+            }
+        }
+        *self.class_sent[dst_world]
+            .entry((context, tag))
+            .or_insert(0) += 1;
         #[cfg(feature = "obs")]
         let timer = self
             .obs
             .as_mut()
             .and_then(|o| o.note_send((header.len() + payload.len()) as u64));
-        let seq = self.send_seq[dst_world];
-        self.send_seq[dst_world] += 1;
         let msg = Message {
             src: self.rank,
             dst: dst_world,
-            context: Self::plane_context(comm, plane),
+            context,
             tag,
             header,
             payload,
@@ -342,6 +604,7 @@ impl Mpi {
         let context = Self::plane_context(comm, plane);
         match self.engine.post(src_world, context, tag) {
             PostOutcome::Matched(msg) => {
+                self.record_consumed(&msg);
                 Ok(Request::recv_ready(self.rank, Self::recv_msg(comm, msg)))
             }
             PostOutcome::Pending(id) => {
@@ -403,6 +666,7 @@ impl Mpi {
                 }
                 ReqState::RecvPending(id) => {
                     if let Some(msg) = self.completed.remove(&id) {
+                        self.record_consumed(&msg);
                         #[cfg(feature = "obs")]
                         if let (Some(o), Some(t)) = (&self.obs, timer) {
                             o.recv_wait_ns.record(t.elapsed_ns());
@@ -412,7 +676,13 @@ impl Mpi {
                     // Not complete: restore state and block for traffic.
                     req.state = ReqState::RecvPending(id);
                     self.liveness()?;
-                    self.net_poll()?;
+                    // A full drain (not just a net poll): a respawned
+                    // incarnation's completion may come off the replay
+                    // tape, which only the drain path releases.
+                    self.drain()?;
+                    if self.completed.contains_key(&id) {
+                        continue;
+                    }
                     match self.inbox.recv_timeout(Duration::from_millis(1)) {
                         Ok(frame) => {
                             self.dispatch(frame);
@@ -648,7 +918,12 @@ impl Mpi {
             std::mem::replace(&mut req.state, ReqState::Consumed)
         {
             if !self.engine.cancel(id) {
-                self.completed.remove(&id);
+                // Discarded without reaching the caller: not taped (the
+                // re-execution cancels identically), but drop the
+                // feed-op bookkeeping.
+                if let Some(m) = self.completed.remove(&id) {
+                    self.feed_ops.remove(&(m.src, m.seq));
+                }
             }
         }
         Ok(())
@@ -693,5 +968,41 @@ impl Mpi {
                 .expect("sender must be a member");
             (s, m.tag, m.header.len() + m.payload.len())
         }))
+    }
+
+    // ------------------------------------------------------------------
+    // Splice introspection (online rank substitution).
+    // ------------------------------------------------------------------
+
+    /// Which incarnation of its rank this handle is: 0 for an ordinary
+    /// rank, `k` for the `k`-th respawn spliced in by a supervised run.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
+    }
+
+    /// Messages the replay tape held when this incarnation was respawned
+    /// (0 on ordinary incarnations).
+    pub fn replayed_frames(&self) -> u64 {
+        self.replayed_frames
+    }
+
+    /// Re-executed sends squelched below the death-time sequence
+    /// high-water so far.
+    pub fn suppressed_sends(&self) -> u64 {
+        self.suppressed_sends
+    }
+
+    /// True while a respawned incarnation is still replaying its
+    /// predecessor's consumed-message tape.
+    pub fn in_catchup(&self) -> bool {
+        self.replay.is_some()
+    }
+
+    /// One-shot catch-up completion signal: returns true exactly once,
+    /// when the replay tape has been exhausted and the incarnation has
+    /// gone live on the real fabric. The protocol layer uses this to
+    /// trace the splice completion.
+    pub fn take_caught_up(&mut self) -> bool {
+        std::mem::take(&mut self.caught_up_pending)
     }
 }

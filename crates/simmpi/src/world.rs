@@ -1,14 +1,17 @@
 //! Job lifecycle: spawn ranks, run them, and coordinate abort/fail-stop.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::comm::Comm;
-#[cfg(test)]
 use crate::error::MpiError;
 use crate::error::MpiResult;
 use crate::netsim::NetCond;
 use crate::rank::Mpi;
+use crate::splice::{
+    FlightRecorder, SpliceDecision, SpliceQuery, SpliceStats,
+};
 use crate::transport::Fabric;
 
 /// Shared job control block.
@@ -31,6 +34,10 @@ struct ControlInner {
     aborted: AtomicBool,
     failed: Vec<AtomicBool>,
     done: Vec<AtomicBool>,
+    /// When set (supervised jobs), the reliable-delivery sublayer *holds*
+    /// traffic to a failed rank instead of writing it off: a supervisor
+    /// may splice in a new incarnation that will drain it.
+    hold_failed_traffic: AtomicBool,
 }
 
 impl JobControl {
@@ -41,6 +48,7 @@ impl JobControl {
                 aborted: AtomicBool::new(false),
                 failed: (0..n).map(|_| AtomicBool::new(false)).collect(),
                 done: (0..n).map(|_| AtomicBool::new(false)).collect(),
+                hold_failed_traffic: AtomicBool::new(false),
             }),
         }
     }
@@ -74,6 +82,29 @@ impl JobControl {
     /// failure detector would eventually report to the runtime).
     pub fn any_failed(&self) -> bool {
         self.inner.failed.iter().any(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Clear `rank`'s fail-stop flag: its next incarnation is live. Only
+    /// the splice supervisor calls this, after the dead incarnation's
+    /// thread has been joined.
+    pub fn clear_failed(&self, rank: usize) {
+        if let Some(flag) = self.inner.failed.get(rank) {
+            flag.store(false, Ordering::Release);
+        }
+    }
+
+    /// Ask peers to *hold* (keep retransmitting later, never write off)
+    /// traffic to failed ranks, because a supervisor may splice in a new
+    /// incarnation that will drain it. Set once before a supervised run.
+    pub fn set_hold_failed_traffic(&self, hold: bool) {
+        self.inner
+            .hold_failed_traffic
+            .store(hold, Ordering::Release);
+    }
+
+    /// Whether traffic to failed ranks is held for a possible respawn.
+    pub fn holds_failed_traffic(&self) -> bool {
+        self.inner.hold_failed_traffic.load(Ordering::Acquire)
     }
 
     /// Record that `rank`'s rank function has returned (it will issue no
@@ -167,6 +198,169 @@ impl World {
         })
     }
 
+    /// Run an `n`-rank job under a *splice supervisor*: survivors keep
+    /// running across a rank's stopping failure, and the dead rank is
+    /// respawned in place by deterministic replay of its consumed-message
+    /// tape (see [`crate::splice`]).
+    ///
+    /// The supervisor (this thread) watches the fail-stop flags. When a
+    /// rank dies it joins the dead thread, waits `detection_latency`
+    /// (simulated failure-detection delay), and consults `policy`:
+    /// [`SpliceDecision::Respawn`] splices in a fresh incarnation that
+    /// replays the tape, squelches re-executed sends below the
+    /// death-time sequence high-water, and resumes the dead rank's wire
+    /// endpoint; [`SpliceDecision::Escalate`] aborts the attempt so the
+    /// caller can fall back to a full rollback-restart.
+    ///
+    /// Returns each rank's final incarnation's result plus what the
+    /// supervisor did. While supervised, peers *hold* reliable-delivery
+    /// traffic to failed ranks instead of writing it off.
+    pub fn run_supervised_net<T, F, P>(
+        n: usize,
+        control: JobControl,
+        cond: NetCond,
+        detection_latency: Duration,
+        mut policy: P,
+        f: F,
+    ) -> (Vec<MpiResult<T>>, SpliceStats)
+    where
+        T: Send,
+        F: Fn(&mut Mpi) -> MpiResult<T> + Send + Sync,
+        P: FnMut(SpliceQuery) -> SpliceDecision,
+    {
+        assert!(n > 0, "a job has at least one rank");
+        assert_eq!(control.size(), n, "control block sized for wrong job");
+        control.set_hold_failed_traffic(true);
+        let (fabric, receivers) =
+            Fabric::new_with_net(n, control.clone(), cond);
+        let recorder = Arc::new(FlightRecorder::new(n));
+        let slots: Vec<Mutex<Option<MpiResult<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let mut stats = SpliceStats::default();
+        let mut incarnations = vec![0u32; n];
+
+        std::thread::scope(|scope| {
+            let slots = &slots;
+            let f = &f;
+            let control2 = &control;
+            let recorder2 = &recorder;
+            let spawn_rank = |mut mpi: Mpi| {
+                let rank = mpi.rank();
+                scope.spawn(move || {
+                    let out = f(&mut mpi);
+                    match &out {
+                        Err(MpiError::FailStop) => {
+                            // Leave the successor's material behind; the
+                            // rank is *not* marked done — its mailbox
+                            // stays live for the incarnation to come.
+                            recorder2.record_death(rank, mpi.export_stash());
+                        }
+                        _ => control2.mark_done(rank),
+                    }
+                    let out = match out {
+                        Ok(v) => mpi.net_flush().map(|_| v),
+                        err => err,
+                    };
+                    *slots[rank].lock().expect("result slot") = Some(out);
+                })
+            };
+
+            let mut handles: Vec<Option<_>> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, inbox)| {
+                    let mut mpi = Mpi::new(rank, n, fabric.clone(), inbox);
+                    mpi.attach_recorder(recorder.clone());
+                    Some(spawn_rank(mpi))
+                })
+                .collect();
+
+            loop {
+                let mut acted = false;
+                for rank in 0..n {
+                    if !control.is_failed(rank) {
+                        continue;
+                    }
+                    let Some(handle) = handles[rank].take() else {
+                        continue;
+                    };
+                    // The dying thread exits at its next liveness check;
+                    // joining it guarantees the death stash is recorded.
+                    handle.join().expect("rank thread panicked");
+                    std::thread::sleep(detection_latency);
+                    acted = true;
+                    if control.is_aborted() {
+                        continue;
+                    }
+                    let query = SpliceQuery {
+                        rank,
+                        rank_respawns: incarnations[rank],
+                        total_respawns: stats.respawns,
+                    };
+                    match policy(query) {
+                        SpliceDecision::Escalate => {
+                            stats.escalated = true;
+                            control.abort();
+                        }
+                        SpliceDecision::Respawn => {
+                            let (mut stash, tape) = recorder
+                                .begin_respawn(rank)
+                                .expect("joined rank left no stash");
+                            incarnations[rank] += 1;
+                            stats.respawns += 1;
+                            *slots[rank].lock().expect("result slot") = None;
+                            let inbox = stash
+                                .inbox
+                                .take()
+                                .expect("death stash carries the mailbox");
+                            let mut mpi =
+                                Mpi::new(rank, n, fabric.clone(), inbox);
+                            mpi.configure_respawn(
+                                incarnations[rank],
+                                stash,
+                                tape,
+                            );
+                            // Go live only once the successor exists:
+                            // peers held traffic for it meanwhile.
+                            control.clear_failed(rank);
+                            handles[rank] = Some(spawn_rank(mpi));
+                        }
+                    }
+                }
+                if acted {
+                    continue;
+                }
+                let all_finished = handles
+                    .iter()
+                    .all(|h| h.as_ref().is_none_or(|h| h.is_finished()));
+                if all_finished
+                    && (control.is_aborted() || !control.any_failed())
+                {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            for handle in handles.into_iter().flatten() {
+                handle.join().expect("rank thread panicked");
+            }
+        });
+
+        let results: Vec<MpiResult<T>> = slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot")
+                    .expect("every rank stored a result")
+            })
+            .collect();
+        for (rank, res) in results.iter().enumerate() {
+            if incarnations[rank] > 0 && res.is_ok() {
+                stats.completed += 1;
+            }
+        }
+        (results, stats)
+    }
+
     /// Run `f` once per rank over the wire described by `cond`; returns
     /// every rank's output, or the first rank error encountered.
     pub fn run_net<T, F>(n: usize, cond: NetCond, f: F) -> MpiResult<Vec<T>>
@@ -221,6 +415,138 @@ mod tests {
         // Out-of-range ranks are inert.
         c.fail_rank(99);
         assert!(!c.is_failed(99));
+    }
+
+    /// A deterministic ring exchange that kills `victim` mid-run (once,
+    /// guarded by `killed`): every rank sends to its right neighbour and
+    /// receives from its left each round, accumulating what it hears.
+    fn ring_with_kill(
+        rounds: u64,
+        victim: usize,
+        kill_round: u64,
+        killed: &AtomicBool,
+    ) -> impl Fn(&mut Mpi) -> MpiResult<u64> + Send + Sync + '_ {
+        move |mpi| {
+            let comm = mpi.world();
+            let me = mpi.rank();
+            let right = (me + 1) % mpi.size();
+            let left = (me + mpi.size() - 1) % mpi.size();
+            let mut acc = 0u64;
+            for round in 0..rounds {
+                mpi.send_t::<u64>(
+                    &comm,
+                    right,
+                    7,
+                    &[me as u64 * 1000 + round],
+                )?;
+                let got = mpi.recv_t::<u64>(&comm, left, 7)?;
+                acc = acc.wrapping_mul(31).wrapping_add(got[0]);
+                if round == kill_round
+                    && me == victim
+                    && !killed.swap(true, Ordering::SeqCst)
+                {
+                    mpi.control().fail_rank(victim);
+                }
+            }
+            Ok(acc)
+        }
+    }
+
+    #[test]
+    fn supervised_run_without_failures_matches_plain() {
+        let n = 4;
+        let dead = AtomicBool::new(true); // already "killed": no injection
+        let expected: Vec<u64> =
+            World::run(n, ring_with_kill(8, 0, 0, &dead)).unwrap();
+        let control = JobControl::new(n);
+        let (results, stats) = World::run_supervised_net(
+            n,
+            control,
+            NetCond::perfect(),
+            Duration::from_millis(1),
+            |_| SpliceDecision::Respawn,
+            ring_with_kill(8, 0, 0, &dead),
+        );
+        let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(stats, SpliceStats::default());
+    }
+
+    #[test]
+    fn supervised_splice_replays_dead_rank() {
+        let n = 4;
+        // Failure-free reference run.
+        let dead = AtomicBool::new(true);
+        let expected: Vec<u64> =
+            World::run(n, ring_with_kill(20, 2, 10, &dead)).unwrap();
+
+        // Same job, but rank 2 fail-stops at round 10 and is spliced back.
+        let killed = AtomicBool::new(false);
+        let control = JobControl::new(n);
+        let (results, stats) = World::run_supervised_net(
+            n,
+            control,
+            NetCond::perfect(),
+            Duration::from_millis(1),
+            |q| {
+                assert_eq!(q.rank, 2);
+                SpliceDecision::Respawn
+            },
+            ring_with_kill(20, 2, 10, &killed),
+        );
+        let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expected, "splice must not perturb any rank");
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(!stats.escalated);
+    }
+
+    #[test]
+    fn supervised_splice_survives_lossy_wire() {
+        let n = 3;
+        let dead = AtomicBool::new(true);
+        let expected: Vec<u64> =
+            World::run(n, ring_with_kill(12, 1, 5, &dead)).unwrap();
+
+        let killed = AtomicBool::new(false);
+        let control = JobControl::new(n);
+        let (results, stats) = World::run_supervised_net(
+            n,
+            control,
+            NetCond::lossy(0xC3),
+            Duration::from_millis(1),
+            |_| SpliceDecision::Respawn,
+            ring_with_kill(12, 1, 5, &killed),
+        );
+        let got: Vec<u64> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn supervised_escalation_aborts_attempt() {
+        let n = 4;
+        let killed = AtomicBool::new(false);
+        let control = JobControl::new(n);
+        let (results, stats) = World::run_supervised_net(
+            n,
+            control,
+            NetCond::perfect(),
+            Duration::from_millis(1),
+            |_| SpliceDecision::Escalate,
+            ring_with_kill(20, 2, 10, &killed),
+        );
+        assert!(stats.escalated);
+        assert_eq!(stats.respawns, 0);
+        assert_eq!(results[2].as_ref().unwrap_err(), &MpiError::FailStop);
+        // Survivors unblock with `Aborted` (they cannot finish the ring
+        // without rank 2).
+        assert!(results
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| *r != 2)
+            .any(|(_, res)| res.as_ref().unwrap_err() == &MpiError::Aborted));
     }
 
     #[test]

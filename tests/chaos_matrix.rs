@@ -269,6 +269,67 @@ fn chaos_kills_on_a_multi_level_store() {
     assert_healthy(&reg, true);
 }
 
+/// Localized-recovery column of the matrix: the same kill schedules and
+/// the same equivalence bar, but deaths are repaired by online
+/// spare-rank substitution — survivors keep running while the victim is
+/// respawned and caught up from the consumed-message tape. The column
+/// sweeps both repair paths: seeded non-initiator kills that splice
+/// cleanly, and a double kill of one rank whose second injection lands
+/// on the respawned incarnation mid-catch-up, forcing the supervisor to
+/// abandon the splice and escalate to a full rollback. Every run's
+/// trace must satisfy the state invariants (including the I15/I16
+/// splice structure) and the happens-before race check.
+#[test]
+fn chaos_localized_splice_column() {
+    use c3_core::run_job;
+    use ftsim::FailureSchedule as FS;
+
+    let nprocs = 3;
+    let app = MixedApp { iters: 30 };
+    let base = C3Config::every_ops(14);
+    let reference = run_job(nprocs, &base, None, &app).unwrap();
+
+    let schedules: Vec<FS> = (0..3)
+        .map(|seed| FS::kill_then_splice(seed + 600, nprocs, 30..90))
+        // Second kill mid-splice: same rank, same op, twice — the
+        // repeat fires on the catching-up incarnation.
+        .chain([FS::single(2, 60).with_injection(2, 60).with_localized()])
+        .collect();
+
+    let reg = c3obs::Registry::new();
+    let (mut splices, mut restarts) = (0usize, 0usize);
+    for (idx, schedule) in schedules.iter().enumerate() {
+        let sink = c3_core::TraceSink::new();
+        let cfg = schedule
+            .apply(base.clone())
+            .with_trace(sink.clone())
+            .with_obs(reg.clone());
+        let report = run_job(nprocs, &cfg, None, &app).unwrap();
+        assert_eq!(
+            report.outputs, reference.outputs,
+            "schedule #{idx} ({schedule:?}) diverged from the reference"
+        );
+        let records = sink.take();
+        let verdict = c3verify::analyze(&records);
+        assert!(
+            verdict.is_clean(),
+            "invariants violated under schedule #{idx}:\n{}",
+            verdict.render()
+        );
+        let races = c3verify::race_check(&records);
+        assert!(
+            races.is_clean(),
+            "races under schedule #{idx}:\n{}",
+            races.render()
+        );
+        splices += report.splices;
+        restarts += report.restarts;
+    }
+    assert!(splices >= 3, "the single kills must be repaired online");
+    assert!(restarts >= 1, "the double kill must escalate to a rollback");
+    assert_healthy(&reg, true);
+}
+
 /// Non-determinism under chaos: outputs legitimately differ from a
 /// reference run (fresh draws happen beyond the logged region after a
 /// rollback), but the protocol must keep every rank's view of the shared
